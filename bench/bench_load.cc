@@ -1,0 +1,109 @@
+/// \file bench_load.cc
+/// The insertion / bulk-load / update study the paper's §6 announces as
+/// future work ("we are preparing a study on insertion, bulk load and
+/// update performance"): bulk load vs triple-at-a-time insertion vs
+/// deletion across the DB2RDF store and the baselines, plus the cost of
+/// the coloring pre-pass.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "benchdata/lubm.h"
+#include "schema/coloring_mapping.h"
+#include "schema/hash_mapping.h"
+#include "schema/loader.h"
+#include "store/predicate_store_backend.h"
+#include "store/rdf_store.h"
+#include "store/triple_store_backend.h"
+
+using namespace rdfrel;        // NOLINT
+using namespace rdfrel::bench; // NOLINT
+
+int main() {
+  uint64_t universities = static_cast<uint64_t>(15 * ScaleFactor());
+  auto w = benchdata::MakeLubm(universities, 4);
+  const uint64_t triples = w.graph.size();
+  std::printf("== §6 study: insertion / bulk load / update (%llu triples) "
+              "==\n\n",
+              static_cast<unsigned long long>(triples));
+
+  // 1. Coloring pre-pass cost.
+  double color_ms = TimeOnceMs([&] {
+    auto ig = schema::InterferenceGraph::FromGraphBySubject(w.graph);
+    auto r = schema::ColorInterferenceGraph(ig, 64);
+    benchmark::DoNotOptimize(&r);
+  });
+  std::printf("coloring pre-pass (interference graph + greedy): %.2f ms "
+              "(%.2f Ktriples/s)\n",
+              color_ms, triples / color_ms);
+
+  // 2. Bulk load, per backend.
+  {
+    double ms = TimeOnceMs([&] {
+      auto s = store::RdfStore::Load(benchdata::MakeLubm(universities, 4)
+                                         .graph);
+      benchmark::DoNotOptimize(&s);
+    });
+    std::printf("bulk load DB2RDF (coloring + DPH/DS/RPH/RS + indexes + "
+                "lex): %.1f ms (%.1f Ktriples/s)\n",
+                ms, triples / ms);
+  }
+  {
+    double ms = TimeOnceMs([&] {
+      auto s = store::TripleStoreBackend::Load(
+          benchdata::MakeLubm(universities, 4).graph);
+      benchmark::DoNotOptimize(&s);
+    });
+    std::printf("bulk load triple-store:    %40.1f ms (%.1f Ktriples/s)\n",
+                ms, triples / ms);
+  }
+  {
+    double ms = TimeOnceMs([&] {
+      auto s = store::PredicateStoreBackend::Load(
+          benchdata::MakeLubm(universities, 4).graph);
+      benchmark::DoNotOptimize(&s);
+    });
+    std::printf("bulk load predicate-store: %40.1f ms (%.1f Ktriples/s)\n",
+                ms, triples / ms);
+  }
+
+  // 3. Incremental insertion into a warm DB2RDF store.
+  {
+    auto base = store::RdfStore::Load(
+                    benchdata::MakeLubm(universities, 4).graph)
+                    .value();
+    auto extra = benchdata::MakeLubm(2, 99).graph;
+    auto decoded = extra.DecodeAll().value();
+    double ms = TimeOnceMs([&] {
+      for (const auto& t : decoded) {
+        if (!base->Insert(t).ok()) std::abort();
+      }
+    });
+    std::printf("\nincremental insert of %zu triples: %.1f ms (%.1f "
+                "Ktriples/s)\n",
+                decoded.size(), ms, decoded.size() / ms);
+
+    // 4. Deletion of the same triples.
+    double del_ms = TimeOnceMs([&] {
+      for (const auto& t : decoded) {
+        Status st = base->Delete(t);
+        // Generators may emit duplicate triples; the set collapses them,
+        // so a second delete is a NotFound no-op.
+        if (!st.ok() && !st.IsNotFound()) std::abort();
+      }
+    });
+    std::printf("deletion of the same %zu triples: %.1f ms (%.1f "
+                "Ktriples/s)\n",
+                decoded.size(), del_ms, decoded.size() / del_ms);
+  }
+
+  std::printf(
+      "\nShape expectation: DB2RDF bulk load costs a small multiple of the "
+      "skinny\nlayouts (wide rows + two directions + coloring), while "
+      "incremental maintenance\nstays within the same order of magnitude — "
+      "the trade the paper's storage\ndesign makes for its query-time "
+      "wins.\n");
+  return 0;
+}

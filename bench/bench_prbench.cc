@@ -1,0 +1,67 @@
+/// \file bench_prbench.cc
+/// Reproduces paper Figures 17-18: the PRBench-shaped tool-integration
+/// workload, highlighting the long-running queries (PQ10, PQ26-PQ28 — the
+/// very wide UNIONs) and the medium queries (PQ14-17, PQ24, PQ29) where
+/// the paper's DB2RDF was consistently ~5x+ faster than Jena/Virtuoso.
+
+#include <cstdio>
+
+#include "bench/dataset_bench.h"
+#include "benchdata/prbench.h"
+#include "store/predicate_store_backend.h"
+#include "store/rdf_store.h"
+#include "store/triple_store_backend.h"
+
+using namespace rdfrel;        // NOLINT
+using namespace rdfrel::bench; // NOLINT
+
+int main() {
+  uint64_t projects = static_cast<uint64_t>(30 * ScaleFactor());
+  auto w = benchdata::MakePrbench(projects, 4);
+  std::printf("== Figures 17-18: PRBench-shaped workload (%llu projects, "
+              "%llu triples) ==\n\n",
+              static_cast<unsigned long long>(projects),
+              static_cast<unsigned long long>(w.graph.size()));
+
+  auto entity =
+      store::RdfStore::Load(benchdata::MakePrbench(projects, 4).graph)
+          .value();
+  auto triple = store::TripleStoreBackend::Load(
+                    benchdata::MakePrbench(projects, 4).graph)
+                    .value();
+  auto pred = store::PredicateStoreBackend::Load(
+                  benchdata::MakePrbench(projects, 4).graph)
+                  .value();
+
+  std::vector<std::pair<std::string, store::SparqlStore*>> stores = {
+      {"DB2RDF", entity.get()},
+      {"Triple-store", triple.get()},
+      {"Predicate-oriented", pred.get()}};
+
+  std::printf("-- Figure 17 (long-running: PQ10, PQ26-PQ28) --\n");
+  benchdata::Workload longw;
+  longw.name = w.name;
+  for (const auto& q : w.queries) {
+    if (q.id == "PQ10" || q.id == "PQ26" || q.id == "PQ27" ||
+        q.id == "PQ28") {
+      longw.queries.push_back(q);
+    }
+  }
+  RunDataset(longw, stores, /*rounds=*/2);
+
+  std::printf("\n-- Figure 18 (medium: PQ14-PQ17, PQ24, PQ29) --\n");
+  benchdata::Workload medw;
+  medw.name = w.name;
+  for (const auto& q : w.queries) {
+    if (q.id == "PQ14" || q.id == "PQ15" || q.id == "PQ16" ||
+        q.id == "PQ17" || q.id == "PQ24" || q.id == "PQ29") {
+      medw.queries.push_back(q);
+    }
+  }
+  RunDataset(medw, stores, /*rounds=*/2);
+
+  std::printf("\n-- full query mix (Figure 15 PRBench row) --\n");
+  auto summaries = RunDataset(w, stores, /*rounds=*/2);
+  PrintSummaries("PRBench", w.graph.size(), w.queries.size(), summaries);
+  return 0;
+}

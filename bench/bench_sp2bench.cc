@@ -1,0 +1,42 @@
+/// \file bench_sp2bench.cc
+/// Per-query results on the SP2Bench-shaped workload (SQ1-SQ17), backing
+/// the paper's Figure 15 SP2Bench row. SQ4 is the deliberate cross-product
+/// query on which every system in the paper struggled or timed out.
+
+#include <cstdio>
+
+#include "bench/dataset_bench.h"
+#include "benchdata/sp2bench.h"
+#include "store/predicate_store_backend.h"
+#include "store/rdf_store.h"
+#include "store/triple_store_backend.h"
+
+using namespace rdfrel;        // NOLINT
+using namespace rdfrel::bench; // NOLINT
+
+int main() {
+  uint64_t years = static_cast<uint64_t>(60 * ScaleFactor());
+  auto w = benchdata::MakeSp2Bench(years, 4);
+  std::printf("== SP2Bench-shaped workload (%llu years, %llu triples) "
+              "==\n\n",
+              static_cast<unsigned long long>(years),
+              static_cast<unsigned long long>(w.graph.size()));
+
+  auto entity =
+      store::RdfStore::Load(benchdata::MakeSp2Bench(years, 4).graph)
+          .value();
+  auto triple = store::TripleStoreBackend::Load(
+                    benchdata::MakeSp2Bench(years, 4).graph)
+                    .value();
+  auto pred = store::PredicateStoreBackend::Load(
+                  benchdata::MakeSp2Bench(years, 4).graph)
+                  .value();
+
+  auto summaries = RunDataset(
+      w, {{"DB2RDF", entity.get()},
+          {"Triple-store", triple.get()},
+          {"Predicate-oriented", pred.get()}},
+      /*rounds=*/2);
+  PrintSummaries("SP2Bench", w.graph.size(), w.queries.size(), summaries);
+  return 0;
+}

@@ -1,0 +1,96 @@
+#ifndef RDFREL_BENCH_HARNESS_H_
+#define RDFREL_BENCH_HARNESS_H_
+
+/// \file harness.h
+/// Shared benchmark plumbing. Timing follows the paper's methodology (§4):
+/// queries are run in several consecutive rounds against a warm store, the
+/// first round is discarded, and the remaining rounds are averaged.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "store/sparql_store.h"
+#include "util/status.h"
+
+namespace rdfrel::bench {
+
+/// Scale factor from the environment (RDFREL_BENCH_SCALE, default 1.0).
+/// Benches multiply their dataset sizes by it, so `RDFREL_BENCH_SCALE=10`
+/// approximates paper-sized runs.
+inline double ScaleFactor() {
+  const char* env = std::getenv("RDFREL_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+struct QueryTiming {
+  std::string id;
+  double mean_ms = 0;
+  int64_t rows = -1;       ///< -1 == error
+  std::string error;
+};
+
+/// Runs one query for `1 + rounds` rounds (first discarded) and reports the
+/// mean of the rest.
+inline QueryTiming TimeQuery(store::SparqlStore* store,
+                             const std::string& id, const std::string& query,
+                             int rounds = 3) {
+  QueryTiming t;
+  t.id = id;
+  // Warm-up round (also captures result count / errors).
+  auto first = store->Query(query);
+  if (!first.ok()) {
+    t.error = first.status().ToString();
+    return t;
+  }
+  t.rows = static_cast<int64_t>(first->size());
+  double total = 0;
+  for (int r = 0; r < rounds; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = store->Query(query);
+    auto end = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      t.error = result.status().ToString();
+      t.rows = -1;
+      return t;
+    }
+    total += std::chrono::duration<double, std::milli>(end - start).count();
+  }
+  t.mean_ms = total / rounds;
+  return t;
+}
+
+/// Times an arbitrary thunk once, in milliseconds.
+inline double TimeOnceMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Prints a markdown-ish table row.
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  std::string line = "|";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), " %-*s |", widths[i], cells[i].c_str());
+    line += buf;
+  }
+  std::puts(line.c_str());
+}
+
+inline std::string Ms(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace rdfrel::bench
+
+#endif  // RDFREL_BENCH_HARNESS_H_

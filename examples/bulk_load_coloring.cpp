@@ -1,0 +1,74 @@
+/// \file bulk_load_coloring.cpp
+/// Shows the predicate-to-column machinery of paper §2.2 directly: build
+/// the interference graph of a dataset, color it, compare against pure
+/// hashing, and watch the spill behaviour as the column budget shrinks.
+///
+///   ./examples/bulk_load_coloring
+
+#include <cstdio>
+
+#include "benchdata/dbpedia.h"
+#include "schema/coloring_mapping.h"
+#include "schema/hash_mapping.h"
+#include "schema/loader.h"
+#include "sql/database.h"
+
+int main() {
+  using namespace rdfrel;  // NOLINT
+
+  // A skewed, predicate-rich dataset (DBpedia-shaped).
+  benchdata::Workload w = benchdata::MakeDbpedia(4000, 600, 9);
+  std::printf("dataset: %llu triples, %zu distinct predicates\n\n",
+              static_cast<unsigned long long>(w.graph.size()),
+              w.graph.DistinctPredicates().size());
+
+  // 1. The interference graph: predicates co-occurring on an entity clash.
+  auto ig = schema::InterferenceGraph::FromGraphBySubject(w.graph);
+  std::printf("interference graph: %zu nodes, %zu edges\n", ig.num_nodes(),
+              ig.num_edges());
+
+  // 2. Color it (unbounded budget first).
+  auto unbounded = schema::ColorInterferenceGraph(ig, 0);
+  std::printf("unbounded coloring: %u colors for %zu predicates (%.1fx "
+              "compression)\n\n",
+              unbounded.colors_used, ig.num_nodes(),
+              static_cast<double>(ig.num_nodes()) / unbounded.colors_used);
+
+  // 3. Load under different mappings and budgets; count spills.
+  auto load = [&](std::shared_ptr<const schema::PredicateMapping> direct,
+                  uint32_t k, const char* label) {
+    sql::Database db;
+    schema::Db2RdfConfig cfg;
+    cfg.k_direct = k;
+    cfg.k_reverse = 16;
+    auto sch = schema::Db2RdfSchema::Create(&db, cfg).value();
+    schema::Loader loader(
+        sch.get(), direct,
+        std::make_shared<schema::HashMapping>(16, 2, 99));
+    auto stats = loader.BulkLoad(w.graph).value();
+    std::printf("%-28s k=%-3u dph rows %llu, spill rows %llu, spilled "
+                "predicates %zu\n",
+                label, k,
+                static_cast<unsigned long long>(stats.dph_rows),
+                static_cast<unsigned long long>(stats.dph_spill_rows),
+                sch->spilled_direct().size());
+  };
+
+  for (uint32_t budget : {64u, 32u, 16u}) {
+    auto r = schema::ColorInterferenceGraph(ig, budget);
+    uint32_t k = std::max(r.colors_used, 1u);
+    load(std::make_shared<schema::ColoringMapping>(r, k, 2, 1), k,
+         ("coloring, budget " + std::to_string(budget)).c_str());
+  }
+  for (uint32_t k : {64u, 32u, 16u}) {
+    load(std::make_shared<schema::HashMapping>(k, 2, 1), k,
+         ("hashing (2 fns), k=" + std::to_string(k)).c_str());
+  }
+  std::printf(
+      "\nColoring packs co-occurrence-free predicates into shared columns; "
+      "at generous\nbudgets it spills well below hashing (the Table 4 "
+      "story). Under very tight\nbudgets most of the Zipf tail is punted "
+      "to the same hash fallback, so the two\nconverge — the paper's "
+      "motivation for composing coloring WITH hashing.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// \file knowledge_graph.cpp
+/// The paper's running DBpedia scenario (Figures 1 and 6): load the sample
+/// knowledge graph, run the §3 running-example query with UNION and
+/// OPTIONAL, and compare the optimizer's chosen flow against the
+/// sub-optimal bottom-up one.
+///
+///   ./examples/knowledge_graph
+
+#include <cstdio>
+#include <iostream>
+
+#include "store/rdf_store.h"
+
+int main() {
+  using namespace rdfrel;  // NOLINT
+  using rdf::Term;
+
+  // Figure 1(a): the DBpedia sample.
+  rdf::Graph g;
+  auto iri = [](const std::string& s) { return Term::Iri("http://dbp/" + s); };
+  auto lit = [](const std::string& s) { return Term::Literal(s); };
+  g.Add({iri("CharlesFlint"), iri("born"), lit("1850")});
+  g.Add({iri("CharlesFlint"), iri("died"), lit("1934")});
+  g.Add({iri("CharlesFlint"), iri("founder"), iri("IBM")});
+  g.Add({iri("LarryPage"), iri("born"), lit("1973")});
+  g.Add({iri("LarryPage"), iri("founder"), iri("Google")});
+  g.Add({iri("LarryPage"), iri("board"), iri("Google")});
+  g.Add({iri("LarryPage"), iri("home"), lit("Palo Alto")});
+  g.Add({iri("Android"), iri("developer"), iri("Google")});
+  g.Add({iri("Android"), iri("version"), lit("4.1")});
+  g.Add({iri("Android"), iri("kernel"), iri("Linux")});
+  g.Add({iri("Android"), iri("preceded"), lit("4.0")});
+  g.Add({iri("Android"), iri("graphics"), iri("OpenGL")});
+  g.Add({iri("Google"), iri("industry"), lit("Software")});
+  g.Add({iri("Google"), iri("industry"), lit("Internet")});
+  g.Add({iri("Google"), iri("employees"), lit("54604")});
+  g.Add({iri("Google"), iri("HQ"), iri("MountainView")});
+  g.Add({iri("Google"), iri("revenue"), lit("37905")});
+  g.Add({iri("IBM"), iri("industry"), lit("Software")});
+  g.Add({iri("IBM"), iri("industry"), lit("Hardware")});
+  g.Add({iri("IBM"), iri("industry"), lit("Services")});
+  g.Add({iri("IBM"), iri("employees"), lit("433362")});
+  g.Add({iri("IBM"), iri("HQ"), iri("Armonk")});
+  g.Add({iri("IBM"), iri("revenue"), lit("106916")});
+
+  auto store = store::RdfStore::Load(std::move(g));
+  if (!store.ok()) {
+    std::cerr << store.status().ToString() << "\n";
+    return 1;
+  }
+  // Coloring at work: 13 predicates fit in a handful of columns (the paper
+  // needed 5 colors for this data — Figure 4).
+  std::printf("predicate columns after coloring: DPH k=%u, RPH k=%u\n\n",
+              (*store)->schema().config().k_direct,
+              (*store)->schema().config().k_reverse);
+
+  // Figure 6(a): people who founded or sit on the board of a software
+  // company, the products it develops, its revenue, and optionally its
+  // employee count.
+  const std::string q = R"(
+    PREFIX : <http://dbp/>
+    SELECT * WHERE {
+      ?x :home "Palo Alto" .
+      { ?x :founder ?y } UNION { ?x :board ?y }
+      ?y :industry "Software" .
+      ?z :developer ?y .
+      ?y :revenue ?n .
+      OPTIONAL { ?y :employees ?m }
+    })";
+  auto result = (*store)->Query(q);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("running-example results:\n%s\n", result->ToString().c_str());
+
+  std::printf("optimized SQL (Figure 13 shape — note the UNNEST flip for "
+              "the OR star and\nthe LEFT OUTER JOINs for DS lists and the "
+              "OPTIONAL):\n%s\n\n",
+              (*store)->TranslateToSql(q).ValueOr("<error>").c_str());
+
+  // The same query under the bottom-up (sub-optimal) flow: same answers,
+  // different — worse — join order.
+  store::QueryOptions naive;
+  naive.flow = store::FlowMode::kParseOrder;
+  auto naive_rows = (*store)->QueryWith(q, naive);
+  std::printf("bottom-up flow returns the same %zu rows via:\n%s\n",
+              naive_rows.ok() ? naive_rows->size() : 0,
+              (*store)->TranslateWith(q, naive).ValueOr("<error>").c_str());
+  return 0;
+}

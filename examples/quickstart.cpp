@@ -1,0 +1,82 @@
+/// \file quickstart.cpp
+/// Five-minute tour of the public API: parse N-Triples, load a DB2RDF
+/// store, run SPARQL, inspect the generated SQL, insert incrementally.
+///
+///   ./examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "rdf/ntriples.h"
+#include "store/rdf_store.h"
+
+int main() {
+  using namespace rdfrel;  // NOLINT
+
+  // 1. Parse some RDF (N-Triples exchange syntax).
+  const char* kData = R"(
+<http://ex/CharlesFlint> <http://ex/born>    "1850" .
+<http://ex/CharlesFlint> <http://ex/founder> <http://ex/IBM> .
+<http://ex/LarryPage>    <http://ex/born>    "1973" .
+<http://ex/LarryPage>    <http://ex/founder> <http://ex/Google> .
+<http://ex/IBM>          <http://ex/industry> "Software" .
+<http://ex/IBM>          <http://ex/industry> "Hardware" .
+<http://ex/Google>       <http://ex/industry> "Software" .
+)";
+  auto triples = rdf::ParseNTriplesString(kData);
+  if (!triples.ok()) {
+    std::cerr << "parse failed: " << triples.status().ToString() << "\n";
+    return 1;
+  }
+  rdf::Graph graph;
+  for (const auto& t : *triples) graph.Add(t);
+  std::printf("loaded %llu triples\n",
+              static_cast<unsigned long long>(graph.size()));
+
+  // 2. Build the store: shreds the graph into the DPH/DS/RPH/RS layout with
+  //    graph-coloring predicate assignment, builds indexes and statistics.
+  auto store = store::RdfStore::Load(std::move(graph));
+  if (!store.ok()) {
+    std::cerr << store.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("DPH rows: %llu (k=%u columns), spills: %llu\n",
+              static_cast<unsigned long long>((*store)->load_stats().dph_rows),
+              (*store)->schema().config().k_direct,
+              static_cast<unsigned long long>(
+                  (*store)->load_stats().dph_spill_rows));
+
+  // 3. Ask SPARQL. The hybrid optimizer picks the data flow, merges star
+  //    accesses, and emits SQL over the entity layout.
+  const std::string query =
+      "PREFIX : <http://ex/> "
+      "SELECT ?person ?company WHERE { "
+      "  ?person :born ?year . "
+      "  ?person :founder ?company . "
+      "  ?company :industry \"Software\" }";
+  auto result = (*store)->Query(query);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("\nfounders of software companies:\n%s\n",
+              result->ToString().c_str());
+
+  // 4. Peek at the generated SQL (one CTE per plan node; the two ?person
+  //    triples collapse into a single DPH star access).
+  std::printf("generated SQL:\n%s\n\n",
+              (*store)->TranslateToSql(query).ValueOr("<error>").c_str());
+
+  // 5. Incremental insert: visible to the next query immediately.
+  auto st = (*store)->Insert({rdf::Term::Iri("http://ex/ElonMusk"),
+                              rdf::Term::Iri("http://ex/founder"),
+                              rdf::Term::Iri("http://ex/Tesla")});
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  auto all = (*store)->Query(
+      "PREFIX : <http://ex/> SELECT ?p ?c WHERE { ?p :founder ?c }");
+  std::printf("after insert, all founders:\n%s", all->ToString().c_str());
+  return 0;
+}

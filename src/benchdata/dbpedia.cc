@@ -1,0 +1,130 @@
+#include "benchdata/dbpedia.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace rdfrel::benchdata {
+
+namespace {
+constexpr const char* kNs = "http://dbp/";
+constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+}  // namespace
+
+Workload MakeDbpedia(uint64_t num_entities, uint64_t num_predicates,
+                     uint64_t seed) {
+  Workload w;
+  w.name = "dbpedia";
+  Random rng(seed);
+  auto R = [](const std::string& s) {
+    return rdf::Term::Iri(std::string(kNs) + s);
+  };
+
+  // A curated core vocabulary (always present, used by the queries) plus a
+  // long Zipf tail of rare predicates.
+  const std::vector<std::string> kCore = {
+      "label",    "abstract",  "birthPlace", "deathPlace", "birthDate",
+      "starring", "director",  "author",     "genre",      "country",
+      "capital",  "population", "area",      "leader",     "spouse",
+      "occupation", "almaMater", "award",    "team",       "location",
+  };
+  std::vector<rdf::Term> preds;
+  for (const auto& p : kCore) preds.push_back(R(p));
+  for (uint64_t p = kCore.size(); p < num_predicates; ++p) {
+    preds.push_back(R("prop" + std::to_string(p)));
+  }
+  ZipfSampler pred_zipf(preds.size(), 1.1);
+
+  const std::vector<std::string> kTypes = {
+      "Person", "Film",  "City",    "Country", "Company",
+      "Band",   "Album", "Athlete", "Building", "Species"};
+
+  // Popular objects reused across subjects give the power-law in-degree.
+  const uint64_t kSharedObjects = std::max<uint64_t>(num_entities / 4, 16);
+  ZipfSampler obj_zipf(kSharedObjects, 1.05);
+
+  for (uint64_t e = 0; e < num_entities; ++e) {
+    rdf::Term subject = R("Entity" + std::to_string(e));
+    const std::string& type = kTypes[e % kTypes.size()];
+    w.graph.Add({subject, rdf::Term::Iri(kRdfType), R(type)});
+    w.graph.Add({subject, R("label"),
+                 rdf::Term::Literal("Entity " + std::to_string(e))});
+
+    // Power-law out-degree with mean ~14 (paper §2.3): Pareto-ish tail
+    // 2 + 4.4 * u^-0.6, capped at 60.
+    double u = 0.001 + rng.NextDouble();
+    uint64_t degree =
+        2 + static_cast<uint64_t>(4.4 * std::pow(u, -0.6));
+    degree = std::min<uint64_t>(degree, 60);
+    for (uint64_t d = 0; d < degree; ++d) {
+      const rdf::Term& pred = preds[pred_zipf.Sample(rng)];
+      if (rng.Bernoulli(0.5)) {
+        w.graph.Add({subject, pred,
+                     R("Entity" + std::to_string(obj_zipf.Sample(rng)))});
+      } else {
+        w.graph.Add({subject, pred,
+                     rdf::Term::Literal("val" +
+                                        std::to_string(rng.Uniform(997)))});
+      }
+    }
+  }
+
+  const std::string P =
+      "PREFIX : <http://dbp/> "
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> ";
+  w.queries = {
+      // Template queries in the style of the DBpedia SPARQL benchmark:
+      // short lookups, stars, unions, optionals on popular predicates.
+      {"DQ1", P + "SELECT ?o WHERE { :Entity0 :label ?o }"},
+      {"DQ2", P + "SELECT ?p ?o WHERE { :Entity1 ?p ?o }"},
+      {"DQ3", P + "SELECT ?s WHERE { ?s rdf:type :Person } LIMIT 100"},
+      {"DQ4", P + "SELECT ?s ?l WHERE { ?s rdf:type :Film . ?s :label ?l }"},
+      {"DQ5", P + "SELECT ?s WHERE { ?s :birthPlace :Entity3 }"},
+      {"DQ6", P +
+                  "SELECT ?s ?b WHERE { ?s rdf:type :Person . ?s "
+                  ":birthPlace ?b }"},
+      {"DQ7", P +
+                  "SELECT ?s WHERE { { ?s :birthPlace :Entity2 } UNION { "
+                  "?s :deathPlace :Entity2 } }"},
+      {"DQ8", P +
+                  "SELECT ?s ?l ?a WHERE { ?s :label ?l OPTIONAL { ?s "
+                  ":abstract ?a } } LIMIT 200"},
+      {"DQ9", P +
+                  "SELECT ?f ?d WHERE { ?f rdf:type :Film . ?f :director "
+                  "?d }"},
+      {"DQ10", P +
+                   "SELECT ?f ?a WHERE { ?f :starring ?a . ?a :birthPlace "
+                   ":Entity1 }"},
+      {"DQ11", P + "SELECT ?s ?o WHERE { ?s :spouse ?o }"},
+      {"DQ12", P +
+                   "SELECT ?s WHERE { ?s rdf:type :City . ?s :population "
+                   "?p . FILTER (BOUND(?p)) }"},
+      {"DQ13", P +
+                   "SELECT ?p WHERE { :Entity5 ?p ?o } "},
+      {"DQ14", P +
+                   "SELECT ?s ?t WHERE { ?s :award ?a . ?s rdf:type ?t } "
+                   "LIMIT 100"},
+      {"DQ15", P +
+                   "SELECT DISTINCT ?g WHERE { ?s :genre ?g }"},
+      {"DQ16", P +
+                   "SELECT ?s WHERE { ?s :label ?l . FILTER (REGEX(?l, "
+                   "\"Entity 12\")) } LIMIT 50"},
+      {"DQ17", P +
+                   "SELECT ?a ?b WHERE { ?a :capital ?b . ?a rdf:type "
+                   ":Country }"},
+      {"DQ18", P +
+                   "SELECT ?s ?o1 ?o2 WHERE { ?s :team ?o1 . ?s "
+                   ":occupation ?o2 }"},
+      {"DQ19", P +
+                   "SELECT ?x ?y WHERE { ?x :location ?y OPTIONAL { ?y "
+                   ":label ?l } } LIMIT 100"},
+      {"DQ20", P +
+                   "SELECT ?s WHERE { { ?s rdf:type :Band } UNION { ?s "
+                   "rdf:type :Album } UNION { ?s rdf:type :Athlete } } "
+                   "LIMIT 300"},
+  };
+  return w;
+}
+
+}  // namespace rdfrel::benchdata

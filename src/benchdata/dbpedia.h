@@ -1,0 +1,24 @@
+#ifndef RDFREL_BENCHDATA_DBPEDIA_H_
+#define RDFREL_BENCHDATA_DBPEDIA_H_
+
+/// \file dbpedia.h
+/// A DBpedia-shaped workload [5,12]: a large Zipf-distributed predicate
+/// universe with power-law subject out-degrees (avg ~14) and object
+/// in-degrees (avg ~5), matching the skew characteristics the paper reports
+/// in §2.3, plus 20 template-derived queries (DQ1-DQ20).
+
+#include <cstdint>
+
+#include "benchdata/workload.h"
+
+namespace rdfrel::benchdata {
+
+/// \p num_entities scales the dataset (~14 triples per entity).
+/// \p num_predicates sizes the predicate universe (DBpedia has 53,976; use
+/// a few thousand at laptop scale).
+Workload MakeDbpedia(uint64_t num_entities, uint64_t num_predicates,
+                     uint64_t seed);
+
+}  // namespace rdfrel::benchdata
+
+#endif  // RDFREL_BENCHDATA_DBPEDIA_H_

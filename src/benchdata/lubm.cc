@@ -1,0 +1,214 @@
+#include "benchdata/lubm.h"
+
+#include "util/random.h"
+
+namespace rdfrel::benchdata {
+
+namespace {
+
+constexpr const char* kNs = "http://lubm/";
+constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+struct Builder {
+  rdf::Graph& g;
+  Random& rng;
+
+  rdf::Term R(const std::string& local) {
+    return rdf::Term::Iri(std::string(kNs) + local);
+  }
+  void Add(const rdf::Term& s, const std::string& p, const rdf::Term& o) {
+    g.Add({s, rdf::Term::Iri(std::string(kNs) + p), o});
+  }
+  void Type(const rdf::Term& s, const std::string& type) {
+    g.Add({s, rdf::Term::Iri(kRdfType), R(type)});
+  }
+  void Lit(const rdf::Term& s, const std::string& p, const std::string& v) {
+    g.Add({s, rdf::Term::Iri(std::string(kNs) + p),
+           rdf::Term::Literal(v)});
+  }
+};
+
+}  // namespace
+
+Workload MakeLubm(uint64_t universities, uint64_t seed) {
+  Workload w;
+  w.name = "lubm";
+  Random rng(seed);
+  Builder b{w.graph, rng};
+
+  constexpr int kDeptsPerUniv = 5;
+  constexpr int kFullProfs = 3, kAssocProfs = 3, kAssistProfs = 4;
+  constexpr int kUndergrads = 30, kGrads = 10;
+  constexpr int kCourses = 10, kGradCourses = 4;
+
+  for (uint64_t u = 0; u < universities; ++u) {
+    rdf::Term univ = b.R("University" + std::to_string(u));
+    b.Type(univ, "University");
+    b.Lit(univ, "name", "University " + std::to_string(u));
+
+    for (int d = 0; d < kDeptsPerUniv; ++d) {
+      std::string dep_id = std::to_string(u) + "_" + std::to_string(d);
+      rdf::Term dept = b.R("Department" + dep_id);
+      b.Type(dept, "Department");
+      b.Add(dept, "subOrganizationOf", univ);
+      b.Lit(dept, "name", "Department " + dep_id);
+
+      // Professors.
+      std::vector<rdf::Term> professors;
+      std::vector<rdf::Term> courses;
+      for (int c = 0; c < kCourses; ++c) {
+        rdf::Term course = b.R("Course" + dep_id + "_" + std::to_string(c));
+        b.Type(course, c < kGradCourses ? "GraduateCourse" : "Course");
+        b.Lit(course, "name", "Course " + std::to_string(c));
+        courses.push_back(course);
+      }
+      auto make_prof = [&](const std::string& type, int idx) {
+        rdf::Term prof =
+            b.R(type + dep_id + "_" + std::to_string(idx));
+        b.Type(prof, type);
+        b.Add(prof, "worksFor", dept);
+        b.Lit(prof, "name", type + " " + std::to_string(idx));
+        b.Lit(prof, "emailAddress",
+              type + dep_id + "_" + std::to_string(idx) + "@lubm.edu");
+        b.Lit(prof, "telephone", "555-" + std::to_string(rng.Uniform(9999)));
+        b.Lit(prof, "researchInterest",
+              "Research" + std::to_string(rng.Uniform(20)));
+        // Degrees from random universities (possibly this one).
+        b.Add(prof, "undergraduateDegreeFrom",
+              b.R("University" + std::to_string(rng.Uniform(universities))));
+        b.Add(prof, "doctoralDegreeFrom",
+              b.R("University" + std::to_string(rng.Uniform(universities))));
+        // Each professor teaches 2 courses.
+        for (int t = 0; t < 2; ++t) {
+          b.Add(prof, "teacherOf", courses[rng.Uniform(courses.size())]);
+        }
+        // Publications.
+        for (int pb = 0; pb < 2; ++pb) {
+          rdf::Term pub = b.R("Publication" + dep_id + "_" + type +
+                              std::to_string(idx) + "_" +
+                              std::to_string(pb));
+          b.Type(pub, "Publication");
+          b.Add(pub, "publicationAuthor", prof);
+          b.Lit(pub, "name", "Pub " + std::to_string(pb));
+        }
+        professors.push_back(prof);
+        return prof;
+      };
+      for (int i = 0; i < kFullProfs; ++i) make_prof("FullProfessor", i);
+      for (int i = 0; i < kAssocProfs; ++i) {
+        make_prof("AssociateProfessor", i);
+      }
+      for (int i = 0; i < kAssistProfs; ++i) {
+        make_prof("AssistantProfessor", i);
+      }
+      // Head of department: the first full professor.
+      b.Add(professors[0], "headOf", dept);
+
+      // Students.
+      for (int s = 0; s < kUndergrads; ++s) {
+        rdf::Term stu =
+            b.R("UndergraduateStudent" + dep_id + "_" + std::to_string(s));
+        b.Type(stu, "UndergraduateStudent");
+        b.Add(stu, "memberOf", dept);
+        b.Lit(stu, "name", "Undergrad " + std::to_string(s));
+        b.Lit(stu, "emailAddress",
+              "ug" + dep_id + "_" + std::to_string(s) + "@lubm.edu");
+        for (int c = 0; c < 2; ++c) {
+          b.Add(stu, "takesCourse", courses[rng.Uniform(courses.size())]);
+        }
+      }
+      for (int s = 0; s < kGrads; ++s) {
+        rdf::Term stu =
+            b.R("GraduateStudent" + dep_id + "_" + std::to_string(s));
+        b.Type(stu, "GraduateStudent");
+        b.Add(stu, "memberOf", dept);
+        b.Lit(stu, "name", "Grad " + std::to_string(s));
+        b.Lit(stu, "emailAddress",
+              "g" + dep_id + "_" + std::to_string(s) + "@lubm.edu");
+        b.Add(stu, "undergraduateDegreeFrom",
+              b.R("University" + std::to_string(rng.Uniform(universities))));
+        b.Add(stu, "advisor", professors[rng.Uniform(professors.size())]);
+        for (int c = 0; c < 3; ++c) {
+          b.Add(stu, "takesCourse", courses[rng.Uniform(courses.size())]);
+        }
+      }
+    }
+  }
+
+  const std::string P =
+      "PREFIX : <http://lubm/> "
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> ";
+  auto student_union = [](const std::string& var,
+                          const std::string& body) {
+    // "?x rdf:type Student" expanded per §4.1.
+    return "{ { " + var + " rdf:type :UndergraduateStudent " + body +
+           " } UNION { " + var + " rdf:type :GraduateStudent " + body +
+           " } }";
+  };
+  auto professor_union = [](const std::string& var,
+                            const std::string& body) {
+    return "{ { " + var + " rdf:type :FullProfessor " + body +
+           " } UNION { " + var + " rdf:type :AssociateProfessor " + body +
+           " } UNION { " + var + " rdf:type :AssistantProfessor " + body +
+           " } }";
+  };
+
+  w.queries = {
+      // LQ1: grad students taking a specific course (selective).
+      {"LQ1", P +
+                  "SELECT ?x WHERE { ?x rdf:type :GraduateStudent . ?x "
+                  ":takesCourse :Course0_0_1 }"},
+      // LQ2: the triangle — grad students with a degree from the university
+      // their department belongs to.
+      {"LQ2", P +
+                  "SELECT ?x ?y ?z WHERE { ?x rdf:type :GraduateStudent . "
+                  "?x :memberOf ?z . ?z :subOrganizationOf ?y . ?x "
+                  ":undergraduateDegreeFrom ?y . ?y rdf:type :University . "
+                  "?z rdf:type :Department }"},
+      // LQ3: publications of a specific professor.
+      {"LQ3", P +
+                  "SELECT ?x WHERE { ?x rdf:type :Publication . ?x "
+                  ":publicationAuthor :FullProfessor0_0_0 }"},
+      // LQ4: professors working for a specific department with contact info
+      // (type expanded).
+      {"LQ4", P + "SELECT ?x ?n ?e ?t WHERE " +
+                  professor_union("?x",
+                                  ". ?x :worksFor :Department0_0 . ?x :name "
+                                  "?n . ?x :emailAddress ?e . ?x :telephone "
+                                  "?t")},
+      // LQ5: persons member of a specific department (students).
+      {"LQ5", P + "SELECT ?x WHERE " +
+                  student_union("?x", ". ?x :memberOf :Department0_0")},
+      // LQ6: all students (huge union).
+      {"LQ6", P + "SELECT ?x WHERE " + student_union("?x", "")},
+      // LQ7: students taking a course taught by a specific professor.
+      {"LQ7", P + "SELECT ?x ?y WHERE " +
+                  student_union("?x",
+                                ". ?x :takesCourse ?y . :FullProfessor0_0_0 "
+                                ":teacherOf ?y")},
+      // LQ8: students in departments of a specific university, with email.
+      {"LQ8", P + "SELECT ?x ?y ?e WHERE " +
+                  student_union("?x",
+                                ". ?x :memberOf ?y . ?y :subOrganizationOf "
+                                ":University0 . ?x :emailAddress ?e")},
+      // LQ9: advisor-teaches-course-taken triangle.
+      {"LQ9", P + "SELECT ?x ?y ?z WHERE " +
+                  student_union("?x",
+                                ". ?x :advisor ?y . ?y :teacherOf ?z . ?x "
+                                ":takesCourse ?z")},
+      // LQ10: students taking a specific graduate course.
+      {"LQ10", P + "SELECT ?x WHERE " +
+                   student_union("?x", ". ?x :takesCourse :Course0_0_0")},
+      // LQ13: people with a degree from a specific university (reverse).
+      {"LQ13", P +
+                   "SELECT ?x WHERE { ?x :undergraduateDegreeFrom "
+                   ":University0 }"},
+      // LQ14: all undergraduate students (large scan).
+      {"LQ14", P +
+                   "SELECT ?x WHERE { ?x rdf:type :UndergraduateStudent }"},
+  };
+  return w;
+}
+
+}  // namespace rdfrel::benchdata

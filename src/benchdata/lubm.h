@@ -1,0 +1,21 @@
+#ifndef RDFREL_BENCHDATA_LUBM_H_
+#define RDFREL_BENCHDATA_LUBM_H_
+
+/// \file lubm.h
+/// A LUBM-shaped workload [7]: the university/department/professor/student
+/// schema with its characteristic low out-degree (~6) and the 12 benchmark
+/// queries the paper evaluates (LQ1-LQ10, LQ13, LQ14), with OWL type
+/// inference pre-expanded into UNIONs exactly as the paper describes (§4.1).
+
+#include <cstdint>
+
+#include "benchdata/workload.h"
+
+namespace rdfrel::benchdata {
+
+/// \p universities scales the dataset (~6.5k triples per university).
+Workload MakeLubm(uint64_t universities, uint64_t seed);
+
+}  // namespace rdfrel::benchdata
+
+#endif  // RDFREL_BENCHDATA_LUBM_H_

@@ -1,0 +1,92 @@
+#include "benchdata/micro.h"
+
+#include "util/random.h"
+
+namespace rdfrel::benchdata {
+
+namespace {
+
+constexpr const char* kNs = "http://micro/";
+
+rdf::Term P(const std::string& name) {
+  return rdf::Term::Iri(std::string(kNs) + name);
+}
+
+}  // namespace
+
+Workload MakeMicro(uint64_t num_subjects, uint64_t seed) {
+  Workload w;
+  w.name = "micro";
+  Random rng(seed);
+
+  // Table 1: predicate set -> relative frequency. Values per MV predicate: 3.
+  struct SubjectClass {
+    std::vector<const char*> svs;
+    std::vector<const char*> mvs;
+    double freq;
+  };
+  const SubjectClass kClasses[] = {
+      {{"SV1", "SV2", "SV3", "SV4"}, {"MV1", "MV2", "MV3", "MV4"}, 0.01},
+      {{"SV1", "SV2", "SV3"}, {"MV1", "MV2", "MV3"}, 0.24},
+      {{"SV1", "SV3", "SV4"}, {"MV1", "MV3", "MV4"}, 0.25},
+      {{"SV2", "SV3", "SV4"}, {"MV2", "MV3", "MV4"}, 0.25},
+      {{"SV1", "SV2", "SV4"}, {"MV1", "MV2", "MV4"}, 0.24},
+      {{"SV5", "SV6", "SV7", "SV8"}, {}, 0.01},
+  };
+
+  // Shared low-selectivity value pools: individual predicates match many
+  // subjects; only the full star is selective (the Table 1/2 design).
+  const uint64_t kValuePool = 50;
+  uint64_t sid = 0;
+  for (const auto& cls : kClasses) {
+    uint64_t count =
+        static_cast<uint64_t>(cls.freq * static_cast<double>(num_subjects));
+    for (uint64_t i = 0; i < count; ++i, ++sid) {
+      rdf::Term subject =
+          rdf::Term::Iri(std::string(kNs) + "s" + std::to_string(sid));
+      for (const char* sv : cls.svs) {
+        w.graph.Add({subject, P(sv),
+                     rdf::Term::Literal(std::string(sv) + "-v" +
+                                        std::to_string(rng.Uniform(
+                                            kValuePool)))});
+      }
+      for (const char* mv : cls.mvs) {
+        // Values are distinct within a subject (multi-value lists are
+        // sets) but drawn from shared pools across subjects.
+        uint64_t base = rng.Uniform(kValuePool);
+        for (int v = 0; v < 3; ++v) {
+          w.graph.Add({subject, P(mv),
+                       rdf::Term::Literal(std::string(mv) + "-v" +
+                                          std::to_string(base + v))});
+        }
+      }
+    }
+  }
+
+  // Table 2 star queries.
+  auto star = [](const std::vector<const char*>& preds) {
+    std::string q = "PREFIX : <http://micro/> SELECT ?s WHERE { ";
+    int i = 0;
+    for (const char* p : preds) {
+      q += "?s :" + std::string(p) + " ?o" + std::to_string(++i) + " . ";
+    }
+    q += "}";
+    return q;
+  };
+  w.queries = {
+      {"Q1", star({"SV1", "SV2", "SV3", "SV4"})},
+      {"Q2", star({"MV1", "MV2", "MV3", "MV4"})},
+      {"Q3", star({"SV1", "MV1", "MV2", "MV3", "MV4"})},
+      {"Q4", star({"SV1", "SV2", "MV1", "MV2", "MV3", "MV4"})},
+      {"Q5", star({"SV1", "SV2", "SV3", "MV1", "MV2", "MV3", "MV4"})},
+      {"Q6",
+       star({"SV1", "SV2", "SV3", "SV4", "MV1", "MV2", "MV3", "MV4"})},
+      {"Q7", star({"SV5"})},
+      {"Q8", star({"SV5", "SV6"})},
+      {"Q9", star({"SV5", "SV6", "SV7"})},
+      {"Q10", star({"SV5", "SV6", "SV7", "SV8"})},
+  };
+  return w;
+}
+
+}  // namespace rdfrel::benchdata

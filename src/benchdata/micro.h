@@ -1,0 +1,24 @@
+#ifndef RDFREL_BENCHDATA_MICRO_H_
+#define RDFREL_BENCHDATA_MICRO_H_
+
+/// \file micro.h
+/// The paper's §2.1 micro-benchmark (Tables 1-2, Figure 3): six subject
+/// classes over single-valued predicates SV1..SV8 and multi-valued
+/// predicates MV1..MV4, with the Table 1 frequency mix, plus the ten star
+/// queries of Table 2.
+
+#include <cstdint>
+
+#include "benchdata/workload.h"
+
+namespace rdfrel::benchdata {
+
+/// Generates the micro-benchmark. \p num_subjects scales the data (the
+/// paper's instance had 1M triples from ~80k subjects; 10k subjects gives
+/// ~125k triples). \p seed controls value choice only — the class mix is
+/// deterministic.
+Workload MakeMicro(uint64_t num_subjects, uint64_t seed);
+
+}  // namespace rdfrel::benchdata
+
+#endif  // RDFREL_BENCHDATA_MICRO_H_

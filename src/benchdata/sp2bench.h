@@ -1,0 +1,23 @@
+#ifndef RDFREL_BENCHDATA_SP2BENCH_H_
+#define RDFREL_BENCHDATA_SP2BENCH_H_
+
+/// \file sp2bench.h
+/// An SP2Bench-shaped workload [15]: DBLP-like bibliographic data
+/// (journals, articles, proceedings, inproceedings, authors) and 17
+/// queries (SQ1-SQ17) mirroring the benchmark's shapes — deep joins,
+/// FILTERs, OPTIONALs, DISTINCT, ORDER BY, and the deliberately explosive
+/// cross-product query (SQ4).
+
+#include <cstdint>
+
+#include "benchdata/workload.h"
+
+namespace rdfrel::benchdata {
+
+/// \p years scales the dataset (one journal volume + articles per year,
+/// ~1.3k triples per year).
+Workload MakeSp2Bench(uint64_t years, uint64_t seed);
+
+}  // namespace rdfrel::benchdata
+
+#endif  // RDFREL_BENCHDATA_SP2BENCH_H_

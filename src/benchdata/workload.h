@@ -1,0 +1,29 @@
+#ifndef RDFREL_BENCHDATA_WORKLOAD_H_
+#define RDFREL_BENCHDATA_WORKLOAD_H_
+
+/// \file workload.h
+/// Common shape of the benchmark workloads: a synthetic dataset plus a
+/// named query mix. Each generator reproduces the *structure* of one of the
+/// paper's evaluation datasets (see DESIGN.md's substitution table).
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfrel::benchdata {
+
+struct NamedQuery {
+  std::string id;      ///< e.g. "LQ6", "Q1", "PQ10"
+  std::string sparql;
+};
+
+struct Workload {
+  std::string name;
+  rdf::Graph graph;
+  std::vector<NamedQuery> queries;
+};
+
+}  // namespace rdfrel::benchdata
+
+#endif  // RDFREL_BENCHDATA_WORKLOAD_H_

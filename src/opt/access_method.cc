@@ -1,0 +1,41 @@
+#include "opt/access_method.h"
+
+namespace rdfrel::opt {
+
+const char* AccessMethodToString(AccessMethod m) {
+  switch (m) {
+    case AccessMethod::kScan: return "sc";
+    case AccessMethod::kAcs: return "acs";
+    case AccessMethod::kAco: return "aco";
+  }
+  return "?";
+}
+
+bool MethodApplicable(const sparql::TriplePattern& t, AccessMethod m) {
+  (void)t;
+  (void)m;
+  return true;
+}
+
+std::vector<std::string> ProducedVars(const sparql::TriplePattern& t,
+                                      AccessMethod m) {
+  (void)m;
+  return t.Variables();
+}
+
+std::vector<std::string> RequiredVars(const sparql::TriplePattern& t,
+                                      AccessMethod m) {
+  switch (m) {
+    case AccessMethod::kScan:
+      return {};
+    case AccessMethod::kAcs:
+      if (t.subject.is_var) return {t.subject.var};
+      return {};
+    case AccessMethod::kAco:
+      if (t.object.is_var) return {t.object.var};
+      return {};
+  }
+  return {};
+}
+
+}  // namespace rdfrel::opt

@@ -1,0 +1,42 @@
+#ifndef RDFREL_OPT_ACCESS_METHOD_H_
+#define RDFREL_OPT_ACCESS_METHOD_H_
+
+/// \file access_method.h
+/// Access methods M (paper §3.1, input 3) for the DB2RDF layout: full scan
+/// (sc), access-by-subject (acs: DPH entry lookup), access-by-object (aco:
+/// RPH entry lookup). Plus the produced/required-variable functions of
+/// Definitions 3.2-3.3.
+
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace rdfrel::opt {
+
+enum class AccessMethod {
+  kScan,  ///< sc — full relation scan
+  kAcs,   ///< access by subject (DPH)
+  kAco,   ///< access by object (RPH)
+};
+
+const char* AccessMethodToString(AccessMethod m);
+
+/// Whether \p m can evaluate \p t at all. acs on a literal subject is
+/// impossible only syntactically (subjects are never literals); all three
+/// methods apply to every pattern in this layout.
+bool MethodApplicable(const sparql::TriplePattern& t, AccessMethod m);
+
+/// P(t, m): variables bound after the lookup (Definition 3.2) — every
+/// variable of the triple (the lookup retrieves the full row).
+std::vector<std::string> ProducedVars(const sparql::TriplePattern& t,
+                                      AccessMethod m);
+
+/// R(t, m): variables that must already be bound (Definition 3.3) — the
+/// entry variable of the access method, when it is a variable.
+std::vector<std::string> RequiredVars(const sparql::TriplePattern& t,
+                                      AccessMethod m);
+
+}  // namespace rdfrel::opt
+
+#endif  // RDFREL_OPT_ACCESS_METHOD_H_

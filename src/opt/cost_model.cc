@@ -1,0 +1,41 @@
+#include "opt/cost_model.h"
+
+#include <algorithm>
+
+namespace rdfrel::opt {
+
+double CostModel::Tmc(const sparql::TriplePattern& t, AccessMethod m) const {
+  const double total = static_cast<double>(stats_->total_triples());
+  auto refine_by_predicate = [&](double base) {
+    // A constant predicate cannot match more triples than it has.
+    if (!t.predicate.is_var) {
+      uint64_t pid = dict_->Lookup(t.predicate.term);
+      double pcount = static_cast<double>(stats_->CountByPredicate(pid));
+      return std::min(base, pcount);
+    }
+    return base;
+  };
+  switch (m) {
+    case AccessMethod::kScan:
+      return total;
+    case AccessMethod::kAcs: {
+      if (!t.subject.is_var) {
+        uint64_t id = dict_->Lookup(t.subject.term);
+        if (id == 0) return 0.5;  // unknown constant: matches nothing
+        return refine_by_predicate(stats_->EstimateBySubject(id));
+      }
+      return refine_by_predicate(stats_->avg_triples_per_subject());
+    }
+    case AccessMethod::kAco: {
+      if (!t.object.is_var) {
+        uint64_t id = dict_->Lookup(t.object.term);
+        if (id == 0) return 0.5;
+        return refine_by_predicate(stats_->EstimateByObject(id));
+      }
+      return refine_by_predicate(stats_->avg_triples_per_object());
+    }
+  }
+  return total;
+}
+
+}  // namespace rdfrel::opt

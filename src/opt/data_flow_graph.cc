@@ -1,0 +1,148 @@
+#include "opt/data_flow_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rdfrel::opt {
+
+// ------------------------------------------------------------ QueryTreeIndex
+
+QueryTreeIndex::QueryTreeIndex(const sparql::Pattern& root) {
+  Walk(&root, nullptr, 0);
+}
+
+void QueryTreeIndex::Walk(const sparql::Pattern* node,
+                          const sparql::Pattern* parent, int depth) {
+  info_[node] = {node, parent, depth};
+  if (node->kind == sparql::PatternKind::kTriple) {
+    leaf_of_triple_[node->triple.id] = node;
+    if (node->triple.id > static_cast<int>(triples_.size())) {
+      triples_.resize(node->triple.id);
+    }
+    triples_[node->triple.id - 1] = &node->triple;
+    return;
+  }
+  for (const auto& c : node->children) Walk(c.get(), node, depth + 1);
+}
+
+const sparql::Pattern* QueryTreeIndex::Lca(int t1, int t2) const {
+  const sparql::Pattern* a = leaf_of_triple_.at(t1);
+  const sparql::Pattern* b = leaf_of_triple_.at(t2);
+  int da = info_.at(a).depth, db = info_.at(b).depth;
+  while (da > db) {
+    a = info_.at(a).parent;
+    --da;
+  }
+  while (db > da) {
+    b = info_.at(b).parent;
+    --db;
+  }
+  while (a != b) {
+    a = info_.at(a).parent;
+    b = info_.at(b).parent;
+  }
+  return a;
+}
+
+bool QueryTreeIndex::OrConnected(int t1, int t2) const {
+  if (t1 == t2) return false;
+  return Lca(t1, t2)->kind == sparql::PatternKind::kOr;
+}
+
+bool QueryTreeIndex::OptionalConnected(int t, int t_prime) const {
+  if (t == t_prime) return false;
+  const sparql::Pattern* lca = Lca(t, t_prime);
+  // Walk t' up to (not including) the LCA looking for an OPTIONAL.
+  const sparql::Pattern* n = leaf_of_triple_.at(t_prime);
+  while (n != lca) {
+    if (n->kind == sparql::PatternKind::kOptional) return true;
+    n = info_.at(n).parent;
+  }
+  return false;
+}
+
+const sparql::TriplePattern* QueryTreeIndex::Triple(int id) const {
+  return triples_.at(id - 1);
+}
+
+// ------------------------------------------------------------- DataFlowGraph
+
+std::string FlowNode::ToString() const {
+  if (is_root()) return "root";
+  return "(t" + std::to_string(triple_id) + "," +
+         AccessMethodToString(method) + ")";
+}
+
+DataFlowGraph DataFlowGraph::Build(const sparql::Query& query,
+                                   const CostModel& cost) {
+  DataFlowGraph g;
+  g.tree_ = std::make_shared<QueryTreeIndex>(*query.where);
+  g.nodes_.push_back(FlowNode{});  // root at index 0
+
+  static constexpr AccessMethod kMethods[] = {
+      AccessMethod::kAcs, AccessMethod::kAco, AccessMethod::kScan};
+  for (int t = 1; t <= g.tree_->num_triples(); ++t) {
+    const sparql::TriplePattern& tp = *g.tree_->Triple(t);
+    for (AccessMethod m : kMethods) {
+      if (!MethodApplicable(tp, m)) continue;
+      FlowNode node;
+      node.triple_id = t;
+      node.method = m;
+      node.cost = cost.Tmc(tp, m);
+      g.nodes_.push_back(node);
+    }
+  }
+
+  g.out_.resize(g.nodes_.size());
+  auto add_edge = [&](int from, int to, double w) {
+    g.out_[from].push_back(static_cast<int>(g.edges_.size()));
+    g.edges_.push_back(FlowEdge{from, to, w});
+  };
+
+  for (size_t j = 1; j < g.nodes_.size(); ++j) {
+    const FlowNode& target = g.nodes_[j];
+    const sparql::TriplePattern& tt = *g.tree_->Triple(target.triple_id);
+    std::vector<std::string> req = RequiredVars(tt, target.method);
+    if (req.empty()) {
+      // Root edge: the node is evaluable from scratch.
+      add_edge(0, static_cast<int>(j), target.cost);
+      continue;
+    }
+    std::unordered_set<std::string> req_set(req.begin(), req.end());
+    for (size_t i = 1; i < g.nodes_.size(); ++i) {
+      if (i == j) continue;
+      const FlowNode& source = g.nodes_[i];
+      if (source.triple_id == target.triple_id) continue;
+      // Guards: no flow between OR-alternatives; no flow out of an
+      // OPTIONAL into its mandatory context.
+      if (g.tree_->OrConnected(source.triple_id, target.triple_id)) continue;
+      if (g.tree_->OptionalConnected(target.triple_id, source.triple_id)) {
+        continue;
+      }
+      const sparql::TriplePattern& st = *g.tree_->Triple(source.triple_id);
+      std::vector<std::string> produced = ProducedVars(st, source.method);
+      bool covers = std::all_of(req.begin(), req.end(),
+                                [&](const std::string& v) {
+                                  return std::find(produced.begin(),
+                                                   produced.end(),
+                                                   v) != produced.end();
+                                });
+      if (covers) add_edge(static_cast<int>(i), static_cast<int>(j),
+                           target.cost);
+    }
+  }
+  return g;
+}
+
+std::string DataFlowGraph::ToString() const {
+  std::string out;
+  for (const auto& e : edges_) {
+    out += nodes_[e.from].ToString() + " -> " + nodes_[e.to].ToString() +
+           " [" + std::to_string(e.weight) + "]\n";
+  }
+  return out;
+}
+
+}  // namespace rdfrel::opt

@@ -1,0 +1,110 @@
+#ifndef RDFREL_OPT_DATA_FLOW_GRAPH_H_
+#define RDFREL_OPT_DATA_FLOW_GRAPH_H_
+
+/// \file data_flow_graph.h
+/// The sideways-information-passing data flow graph of paper §3.1.1
+/// (Definition 3.8): nodes are (triple pattern, access method) pairs; a
+/// directed edge (t,m) -> (t',m') means t's lookup binds every variable
+/// t'-with-m' requires, subject to the OR / OPTIONAL guards of Definitions
+/// 3.6-3.7. Edges are weighted with the target's TMC.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "opt/cost_model.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace rdfrel::opt {
+
+/// Index over a Query's pattern tree providing the ancestor helpers of
+/// Definitions 3.4-3.7: LCA, OR-connectedness, OPTIONAL-connectedness.
+class QueryTreeIndex {
+ public:
+  explicit QueryTreeIndex(const sparql::Pattern& root);
+
+  /// Least common ancestor pattern node of two triples (by triple id).
+  const sparql::Pattern* Lca(int t1, int t2) const;
+
+  /// ∪(t, t'): the triples' LCA is an OR pattern (Definition 3.6).
+  bool OrConnected(int t1, int t2) const;
+
+  /// ∩(t, t'): t' is guarded by an OPTIONAL with respect to t
+  /// (Definition 3.7) — some node on t''s path up to (not including) the
+  /// LCA is an OPTIONAL pattern.
+  bool OptionalConnected(int t, int t_prime) const;
+
+  /// The triple pattern with the given id.
+  const sparql::TriplePattern* Triple(int id) const;
+
+  /// The leaf pattern node holding triple \p id.
+  const sparql::Pattern* LeafOf(int id) const {
+    return leaf_of_triple_.at(id);
+  }
+  /// Parent of a pattern node (nullptr for the root).
+  const sparql::Pattern* ParentOf(const sparql::Pattern* node) const {
+    return info_.at(node).parent;
+  }
+
+  int num_triples() const { return static_cast<int>(triples_.size()); }
+
+ private:
+  struct NodeInfo {
+    const sparql::Pattern* node;
+    const sparql::Pattern* parent;
+    int depth;
+  };
+  void Walk(const sparql::Pattern* node, const sparql::Pattern* parent,
+            int depth);
+
+  std::map<const sparql::Pattern*, NodeInfo> info_;
+  std::map<int, const sparql::Pattern*> leaf_of_triple_;
+  std::vector<const sparql::TriplePattern*> triples_;  // by id-1
+};
+
+/// One node of the data flow graph.
+struct FlowNode {
+  int triple_id = 0;  ///< 0 == the artificial root
+  AccessMethod method = AccessMethod::kScan;
+  double cost = 0;    ///< TMC(t, m, S)
+
+  bool is_root() const { return triple_id == 0; }
+  std::string ToString() const;
+};
+
+/// A weighted directed edge, indexing into DataFlowGraph::nodes().
+struct FlowEdge {
+  int from = 0;
+  int to = 0;
+  double weight = 0;
+};
+
+/// The data flow graph (Definition 3.8) with the artificial root node at
+/// index 0.
+class DataFlowGraph {
+ public:
+  /// Builds the graph for \p query using \p cost for TMC weights.
+  static DataFlowGraph Build(const sparql::Query& query,
+                             const CostModel& cost);
+
+  const std::vector<FlowNode>& nodes() const { return nodes_; }
+  const std::vector<FlowEdge>& edges() const { return edges_; }
+  const QueryTreeIndex& tree() const { return *tree_; }
+
+  /// Outgoing edge indexes of a node.
+  const std::vector<int>& OutEdges(int node) const { return out_[node]; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FlowNode> nodes_;
+  std::vector<FlowEdge> edges_;
+  std::vector<std::vector<int>> out_;
+  std::shared_ptr<QueryTreeIndex> tree_;
+};
+
+}  // namespace rdfrel::opt
+
+#endif  // RDFREL_OPT_DATA_FLOW_GRAPH_H_

@@ -1,0 +1,63 @@
+#include "opt/statistics.h"
+
+#include <algorithm>
+
+namespace rdfrel::opt {
+
+Statistics Statistics::FromGraph(const rdf::Graph& graph, size_t top_k) {
+  Statistics s;
+  s.total_triples_ = graph.size();
+  std::unordered_map<uint64_t, uint64_t> by_subject;
+  std::unordered_map<uint64_t, uint64_t> by_object;
+  for (const auto& t : graph.triples()) {
+    by_subject[t.subject] += 1;
+    by_object[t.object] += 1;
+    s.predicate_counts_[t.predicate] += 1;
+  }
+  s.distinct_subjects_ = by_subject.size();
+  s.distinct_objects_ = by_object.size();
+  s.avg_per_subject_ =
+      by_subject.empty()
+          ? 0
+          : static_cast<double>(s.total_triples_) / by_subject.size();
+  s.avg_per_object_ =
+      by_object.empty()
+          ? 0
+          : static_cast<double>(s.total_triples_) / by_object.size();
+
+  auto take_top = [top_k](std::unordered_map<uint64_t, uint64_t>& all)
+      -> std::unordered_map<uint64_t, uint64_t> {
+    if (top_k == 0 || all.size() <= top_k) return std::move(all);
+    std::vector<std::pair<uint64_t, uint64_t>> items(all.begin(), all.end());
+    std::nth_element(items.begin(), items.begin() + top_k, items.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    items.resize(top_k);
+    return {items.begin(), items.end()};
+  };
+  s.top_subjects_ = take_top(by_subject);
+  s.top_objects_ = take_top(by_object);
+  return s;
+}
+
+double Statistics::EstimateBySubject(uint64_t id) const {
+  auto it = top_subjects_.find(id);
+  if (it != top_subjects_.end()) return static_cast<double>(it->second);
+  // Not in the top-k: bounded above by the smallest tracked count, but the
+  // average is the classic estimate and what the paper's example uses.
+  return avg_per_subject_;
+}
+
+double Statistics::EstimateByObject(uint64_t id) const {
+  auto it = top_objects_.find(id);
+  if (it != top_objects_.end()) return static_cast<double>(it->second);
+  return avg_per_object_;
+}
+
+uint64_t Statistics::CountByPredicate(uint64_t id) const {
+  auto it = predicate_counts_.find(id);
+  return it == predicate_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace rdfrel::opt

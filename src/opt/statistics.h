@@ -1,0 +1,53 @@
+#ifndef RDFREL_OPT_STATISTICS_H_
+#define RDFREL_OPT_STATISTICS_H_
+
+/// \file statistics.h
+/// Dataset statistics S for the optimizer (paper §3.1, input 2): total
+/// triples, average triples per subject/object, per-predicate counts, and
+/// exact counts for the top-k most frequent subjects/objects (the paper's
+/// "top-k URIs or literals in terms of number of triples they appear in").
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfrel::opt {
+
+class Statistics {
+ public:
+  Statistics() = default;
+
+  /// Gathers statistics over \p graph, keeping exact counts for the top
+  /// \p top_k subjects and objects (0 keeps every count — exact stats).
+  static Statistics FromGraph(const rdf::Graph& graph, size_t top_k = 1000);
+
+  uint64_t total_triples() const { return total_triples_; }
+  double avg_triples_per_subject() const { return avg_per_subject_; }
+  double avg_triples_per_object() const { return avg_per_object_; }
+  uint64_t distinct_subjects() const { return distinct_subjects_; }
+  uint64_t distinct_objects() const { return distinct_objects_; }
+
+  /// Estimated number of triples with subject \p id: exact when the id is a
+  /// tracked top-k subject, otherwise the average.
+  double EstimateBySubject(uint64_t id) const;
+  /// Estimated number of triples with object \p id.
+  double EstimateByObject(uint64_t id) const;
+  /// Exact triple count for predicate \p id (0 when unseen).
+  uint64_t CountByPredicate(uint64_t id) const;
+
+ private:
+  uint64_t total_triples_ = 0;
+  uint64_t distinct_subjects_ = 0;
+  uint64_t distinct_objects_ = 0;
+  double avg_per_subject_ = 0;
+  double avg_per_object_ = 0;
+  std::unordered_map<uint64_t, uint64_t> top_subjects_;
+  std::unordered_map<uint64_t, uint64_t> top_objects_;
+  std::unordered_map<uint64_t, uint64_t> predicate_counts_;
+};
+
+}  // namespace rdfrel::opt
+
+#endif  // RDFREL_OPT_STATISTICS_H_

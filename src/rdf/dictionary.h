@@ -1,0 +1,55 @@
+#ifndef RDFREL_RDF_DICTIONARY_H_
+#define RDFREL_RDF_DICTIONARY_H_
+
+/// \file dictionary.h
+/// Dictionary encoding: maps RDF terms to dense uint64 ids and back. All
+/// storage backends store ids; strings exist only at the boundary. This is
+/// the standard technique in RDF stores (RDF-3X, Jena TDB, and the DB2RDF
+/// implementation all dictionary-encode terms).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace rdfrel::rdf {
+
+/// Bidirectional term<->id map. Ids are dense, starting at 1 (0 is reserved
+/// as "no value" / NULL in storage layers). Not thread-safe; callers
+/// serialize loads.
+class Dictionary {
+ public:
+  Dictionary();
+
+  /// Id for \p term, inserting it if new.
+  uint64_t Encode(const Term& term);
+
+  /// Id for \p term if present, else 0.
+  uint64_t Lookup(const Term& term) const;
+
+  /// Term for an id produced by Encode.
+  Result<Term> Decode(uint64_t id) const;
+
+  /// Encodes all three components.
+  EncodedTriple EncodeTriple(const Triple& triple);
+
+  /// Decodes an EncodedTriple back to Terms.
+  Result<Triple> DecodeTriple(const EncodedTriple& et) const;
+
+  /// Number of distinct terms stored.
+  uint64_t size() const { return terms_.size(); }
+
+  /// Approximate bytes retained (for bench reporting).
+  size_t MemoryUsage() const;
+
+ private:
+  std::unordered_map<std::string, uint64_t> index_;  // DictionaryKey -> id
+  std::vector<Term> terms_;                          // id-1 -> term
+};
+
+}  // namespace rdfrel::rdf
+
+#endif  // RDFREL_RDF_DICTIONARY_H_

@@ -1,0 +1,191 @@
+#include "rdf/ntriples.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace rdfrel::rdf {
+
+namespace {
+
+/// Cursor over one line of N-Triples text.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view s) : s_(s) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void Advance() { ++pos_; }
+  size_t pos() const { return pos_; }
+
+  Result<std::string> ReadIri() {
+    // Assumes current char is '<'.
+    Advance();
+    std::string iri;
+    while (!AtEnd() && Peek() != '>') {
+      iri.push_back(Peek());
+      Advance();
+    }
+    if (AtEnd()) return Status::ParseError("unterminated IRI");
+    Advance();  // consume '>'
+    return iri;
+  }
+
+  Result<std::string> ReadQuoted() {
+    // Assumes current char is '"'. Handles \-escapes.
+    Advance();
+    std::string out;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '"') {
+        Advance();
+        return out;
+      }
+      if (c == '\\') {
+        Advance();
+        if (AtEnd()) return Status::ParseError("dangling escape");
+        char e = Peek();
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          default:
+            return Status::ParseError(std::string("bad escape \\") + e);
+        }
+        Advance();
+        continue;
+      }
+      out.push_back(c);
+      Advance();
+    }
+    return Status::ParseError("unterminated literal");
+  }
+
+  Result<std::string> ReadBlankLabel() {
+    // Assumes "_:" at cursor.
+    Advance();
+    if (AtEnd() || Peek() != ':') return Status::ParseError("bad blank node");
+    Advance();
+    std::string label;
+    while (!AtEnd() && Peek() != ' ' && Peek() != '\t' && Peek() != '.') {
+      label.push_back(Peek());
+      Advance();
+    }
+    if (label.empty()) return Status::ParseError("empty blank node label");
+    return label;
+  }
+
+  Result<Term> ReadTerm() {
+    SkipWs();
+    if (AtEnd()) return Status::ParseError("unexpected end of line");
+    char c = Peek();
+    if (c == '<') {
+      RDFREL_ASSIGN_OR_RETURN(std::string iri, ReadIri());
+      return Term::Iri(std::move(iri));
+    }
+    if (c == '_') {
+      RDFREL_ASSIGN_OR_RETURN(std::string label, ReadBlankLabel());
+      return Term::BlankNode(std::move(label));
+    }
+    if (c == '"') {
+      RDFREL_ASSIGN_OR_RETURN(std::string lex, ReadQuoted());
+      if (!AtEnd() && Peek() == '@') {
+        Advance();
+        std::string lang;
+        while (!AtEnd() && Peek() != ' ' && Peek() != '\t' && Peek() != '.') {
+          lang.push_back(Peek());
+          Advance();
+        }
+        return Term::LangLiteral(std::move(lex), std::move(lang));
+      }
+      if (!AtEnd() && Peek() == '^') {
+        Advance();
+        if (AtEnd() || Peek() != '^') {
+          return Status::ParseError("expected ^^ before datatype");
+        }
+        Advance();
+        if (AtEnd() || Peek() != '<') {
+          return Status::ParseError("expected <IRI> datatype");
+        }
+        RDFREL_ASSIGN_OR_RETURN(std::string dt, ReadIri());
+        return Term::TypedLiteral(std::move(lex), std::move(dt));
+      }
+      return Term::Literal(std::move(lex));
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in term");
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Triple> ParseNTriplesLine(std::string_view line) {
+  std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || trimmed[0] == '#') {
+    return Status::NotFound("blank or comment line");
+  }
+  LineCursor cur(trimmed);
+  Triple t;
+  RDFREL_ASSIGN_OR_RETURN(t.subject, cur.ReadTerm());
+  if (t.subject.is_literal()) {
+    return Status::ParseError("literal in subject position");
+  }
+  RDFREL_ASSIGN_OR_RETURN(t.predicate, cur.ReadTerm());
+  if (!t.predicate.is_iri()) {
+    return Status::ParseError("predicate must be an IRI");
+  }
+  RDFREL_ASSIGN_OR_RETURN(t.object, cur.ReadTerm());
+  cur.SkipWs();
+  if (cur.AtEnd() || cur.Peek() != '.') {
+    return Status::ParseError("missing terminating '.'");
+  }
+  return t;
+}
+
+Status ParseNTriples(std::istream& in,
+                     const std::function<Status(Triple)>& sink) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    Result<Triple> r = ParseNTriplesLine(line);
+    if (!r.ok()) {
+      if (r.status().IsNotFound()) continue;  // blank/comment
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                r.status().message());
+    }
+    RDFREL_RETURN_NOT_OK(sink(std::move(r).value()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Triple>> ParseNTriplesString(std::string_view doc) {
+  std::istringstream in{std::string(doc)};
+  std::vector<Triple> out;
+  Status st = ParseNTriples(in, [&](Triple t) {
+    out.push_back(std::move(t));
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Status WriteNTriples(const std::vector<Triple>& triples, std::ostream& out) {
+  for (const auto& t : triples) {
+    out << t.ToNTriples() << "\n";
+    if (!out) return Status::ExecutionError("write failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace rdfrel::rdf

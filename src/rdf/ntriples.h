@@ -1,0 +1,37 @@
+#ifndef RDFREL_RDF_NTRIPLES_H_
+#define RDFREL_RDF_NTRIPLES_H_
+
+/// \file ntriples.h
+/// A line-oriented N-Triples parser and writer. N-Triples is the exchange
+/// syntax used for all dataset loading in this repo.
+
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace rdfrel::rdf {
+
+/// Parses one N-Triples line (one triple terminated by '.'). Blank lines and
+/// '#' comment lines yield kNotFound (caller skips those).
+Result<Triple> ParseNTriplesLine(std::string_view line);
+
+/// Parses a whole N-Triples document, invoking \p sink per triple. Stops and
+/// returns ParseError (with line number) on the first malformed line.
+Status ParseNTriples(std::istream& in,
+                     const std::function<Status(Triple)>& sink);
+
+/// Convenience: parse an in-memory document into a vector.
+Result<std::vector<Triple>> ParseNTriplesString(std::string_view doc);
+
+/// Writes triples in canonical N-Triples, one per line.
+Status WriteNTriples(const std::vector<Triple>& triples, std::ostream& out);
+
+}  // namespace rdfrel::rdf
+
+#endif  // RDFREL_RDF_NTRIPLES_H_

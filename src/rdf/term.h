@@ -1,0 +1,99 @@
+#ifndef RDFREL_RDF_TERM_H_
+#define RDFREL_RDF_TERM_H_
+
+/// \file term.h
+/// RDF terms (IRIs, literals, blank nodes) and triples, per RDF 1.0 [14].
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace rdfrel::rdf {
+
+/// Kind of an RDF term.
+enum class TermKind : uint8_t {
+  kIri = 0,     ///< e.g. <http://dbpedia.org/resource/IBM>
+  kLiteral,     ///< e.g. "1850", "Palo Alto"@en, "4.1"^^xsd:decimal
+  kBlankNode,   ///< e.g. _:b42
+};
+
+/// An RDF term. Value type; literals carry optional language tag or datatype
+/// IRI (mutually exclusive, per the RDF spec).
+class Term {
+ public:
+  Term() : kind_(TermKind::kIri) {}
+
+  /// Factory for an IRI term. \p iri is the IRI *without* angle brackets.
+  static Term Iri(std::string iri);
+  /// Factory for a plain literal.
+  static Term Literal(std::string lexical);
+  /// Factory for a language-tagged literal ("chat"@en).
+  static Term LangLiteral(std::string lexical, std::string lang);
+  /// Factory for a typed literal ("1"^^<http://...#integer>).
+  static Term TypedLiteral(std::string lexical, std::string datatype_iri);
+  /// Factory for a blank node; \p label without the "_:" prefix.
+  static Term BlankNode(std::string label);
+
+  TermKind kind() const { return kind_; }
+  bool is_iri() const { return kind_ == TermKind::kIri; }
+  bool is_literal() const { return kind_ == TermKind::kLiteral; }
+  bool is_blank() const { return kind_ == TermKind::kBlankNode; }
+
+  /// IRI string, literal lexical form, or blank node label.
+  const std::string& lexical() const { return lexical_; }
+  /// Language tag (empty when none).
+  const std::string& language() const { return language_; }
+  /// Datatype IRI (empty when none).
+  const std::string& datatype() const { return datatype_; }
+
+  /// Canonical N-Triples serialization of this term.
+  std::string ToNTriples() const;
+
+  /// A canonical single-string key for dictionary encoding. Distinct terms
+  /// always map to distinct keys.
+  std::string DictionaryKey() const;
+
+  bool operator==(const Term& other) const;
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  /// Total order (kind, lexical, language, datatype) for deterministic sorts.
+  bool operator<(const Term& other) const;
+
+ private:
+  TermKind kind_;
+  std::string lexical_;
+  std::string language_;
+  std::string datatype_;
+};
+
+/// A subject-predicate-object triple of Terms.
+struct Triple {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  bool operator==(const Triple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+
+  /// N-Triples line (without trailing newline).
+  std::string ToNTriples() const;
+};
+
+/// A triple with dictionary-encoded components (see Dictionary).
+struct EncodedTriple {
+  uint64_t subject = 0;
+  uint64_t predicate = 0;
+  uint64_t object = 0;
+
+  bool operator==(const EncodedTriple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+};
+
+}  // namespace rdfrel::rdf
+
+#endif  // RDFREL_RDF_TERM_H_

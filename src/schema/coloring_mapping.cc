@@ -1,0 +1,71 @@
+#include "schema/coloring_mapping.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rdfrel::schema {
+
+ColoringResult ColorInterferenceGraph(const InterferenceGraph& g,
+                                      uint32_t max_colors) {
+  ColoringResult result;
+  std::vector<uint64_t> nodes = g.Nodes();
+  // Welsh-Powell: color high-degree nodes first; break ties toward frequent
+  // predicates (puntees should be rare predicates), then by id for
+  // determinism.
+  std::sort(nodes.begin(), nodes.end(), [&](uint64_t a, uint64_t b) {
+    size_t da = g.Degree(a), db = g.Degree(b);
+    if (da != db) return da > db;
+    uint64_t fa = g.Frequency(a), fb = g.Frequency(b);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  });
+
+  uint64_t covered_occurrences = 0;
+  uint64_t total_occurrences = 0;
+  std::vector<bool> used;
+  for (uint64_t node : nodes) {
+    total_occurrences += g.Frequency(node);
+    // Smallest color not used by an already-colored neighbor.
+    used.assign(std::max<size_t>(used.size(), result.colors_used + 1), false);
+    std::fill(used.begin(), used.end(), false);
+    for (uint64_t nbr : g.Neighbors(node)) {
+      auto it = result.assignment.find(nbr);
+      if (it != result.assignment.end() && it->second < used.size()) {
+        used[it->second] = true;
+      }
+    }
+    uint32_t color = 0;
+    while (color < used.size() && used[color]) ++color;
+    if (max_colors != 0 && color >= max_colors) {
+      result.punted.insert(node);
+      continue;
+    }
+    result.assignment.emplace(node, color);
+    result.colors_used = std::max(result.colors_used, color + 1);
+    covered_occurrences += g.Frequency(node);
+  }
+  result.coverage = total_occurrences == 0
+                        ? 1.0
+                        : static_cast<double>(covered_occurrences) /
+                              static_cast<double>(total_occurrences);
+  return result;
+}
+
+ColoringMapping::ColoringMapping(ColoringResult result,
+                                 uint32_t total_columns,
+                                 uint32_t fallback_functions, uint64_t seed)
+    : result_(std::move(result)),
+      total_columns_(total_columns),
+      fallback_(total_columns, fallback_functions, seed) {
+  RDFREL_CHECK(total_columns_ >= result_.colors_used);
+}
+
+std::vector<uint32_t> ColoringMapping::Columns(
+    const PredicateRef& pred) const {
+  auto it = result_.assignment.find(pred.id);
+  if (it != result_.assignment.end()) return {it->second};
+  return fallback_.Columns(pred);
+}
+
+}  // namespace rdfrel::schema

@@ -1,0 +1,69 @@
+#ifndef RDFREL_SCHEMA_COLORING_MAPPING_H_
+#define RDFREL_SCHEMA_COLORING_MAPPING_H_
+
+/// \file coloring_mapping.h
+/// Graph-coloring predicate mapping (paper §2.2 "Graph Coloring"). Greedy
+/// coloring of the interference graph assigns each predicate exactly one
+/// column. When the dataset is not colorable within the column budget, a
+/// subset P of predicates is punted to a hash fallback — the composition
+/// c_{D ⊗ P} ⊕ h of the paper.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "schema/hash_mapping.h"
+#include "schema/interference_graph.h"
+#include "schema/predicate_mapping.h"
+#include "util/status.h"
+
+namespace rdfrel::schema {
+
+/// Outcome of coloring an interference graph.
+struct ColoringResult {
+  /// Colored predicate -> column.
+  std::unordered_map<uint64_t, uint32_t> assignment;
+  /// Predicates that could not be colored within the budget (set P).
+  std::unordered_set<uint64_t> punted;
+  /// Number of distinct colors used by `assignment`.
+  uint32_t colors_used = 0;
+  /// Fraction of predicate *occurrences* covered by the coloring (weighting
+  /// by InterferenceGraph frequency), in [0, 1]. This matches the paper's
+  /// "percent covered" in Table 4.
+  double coverage = 1.0;
+};
+
+/// Greedy (Welsh-Powell largest-degree-first) coloring with a color budget.
+/// Nodes whose neighbors exhaust the budget are punted. \p max_colors == 0
+/// means unbounded (pure minimal-ish coloring).
+ColoringResult ColorInterferenceGraph(const InterferenceGraph& g,
+                                      uint32_t max_colors);
+
+/// PredicateMapping backed by a ColoringResult, with a hash fallback for
+/// punted and unseen predicates. Colored predicates get exactly one
+/// candidate column; others get the fallback's candidates.
+class ColoringMapping final : public PredicateMapping {
+ public:
+  /// \p total_columns must be >= the colors used; fallback candidates are
+  /// produced in [0, total_columns).
+  ColoringMapping(ColoringResult result, uint32_t total_columns,
+                  uint32_t fallback_functions = 2, uint64_t seed = 0);
+
+  std::vector<uint32_t> Columns(const PredicateRef& pred) const override;
+  uint32_t num_columns() const override { return total_columns_; }
+
+  bool IsColored(uint64_t pred_id) const {
+    return result_.assignment.count(pred_id) > 0;
+  }
+  const ColoringResult& result() const { return result_; }
+
+ private:
+  ColoringResult result_;
+  uint32_t total_columns_;
+  HashMapping fallback_;
+};
+
+}  // namespace rdfrel::schema
+
+#endif  // RDFREL_SCHEMA_COLORING_MAPPING_H_

@@ -1,0 +1,128 @@
+#ifndef RDFREL_SCHEMA_DB2RDF_SCHEMA_H_
+#define RDFREL_SCHEMA_DB2RDF_SCHEMA_H_
+
+/// \file db2rdf_schema.h
+/// The entity-oriented DB2RDF relational layout (paper §2.1, Figure 1):
+///
+///   DPH(entry, spill, pred0, val0, ..., pred{k-1}, val{k-1})  one row
+///     per subject (plus spill rows); predicates hashed/colored to columns.
+///   DS(l_id, elm)  multi-valued object lists, keyed by negative lids.
+///   RPH / RS       the mirror image keyed by object.
+///
+/// All cells are dictionary ids (BIGINT). Multi-valued predicate cells hold
+/// a *negative* list id referencing DS/RS — disjoint from dictionary ids
+/// (which start at 1), so COALESCE(secondary.elm, val) is unambiguous.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "sql/database.h"
+#include "util/status.h"
+
+namespace rdfrel::schema {
+
+/// Layout parameters.
+struct Db2RdfConfig {
+  /// Number of (pred, val) column pairs in DPH.
+  uint32_t k_direct = 32;
+  /// Number of (pred, val) column pairs in RPH.
+  uint32_t k_reverse = 32;
+  /// Table-name prefix, so several stores can share a Database.
+  std::string prefix = "";
+  /// Create B+-tree indexes on DPH.entry / RPH.entry and hash indexes on
+  /// DS.l_id / RS.l_id (the paper indexes only the entry columns).
+  bool create_indexes = true;
+};
+
+/// Owns the four relations' names/handles inside a Database and the shared
+/// bookkeeping the translator needs (spilled & multi-valued predicate sets).
+class Db2RdfSchema {
+ public:
+  /// Creates the four tables (+indexes) in \p db.
+  static Result<std::unique_ptr<Db2RdfSchema>> Create(
+      sql::Database* db, const Db2RdfConfig& config);
+
+  const Db2RdfConfig& config() const { return config_; }
+
+  sql::Table* dph() { return dph_; }
+  sql::Table* ds() { return ds_; }
+  sql::Table* rph() { return rph_; }
+  sql::Table* rs() { return rs_; }
+  const sql::Table* dph() const { return dph_; }
+  const sql::Table* ds() const { return ds_; }
+  const sql::Table* rph() const { return rph_; }
+  const sql::Table* rs() const { return rs_; }
+
+  std::string dph_name() const { return config_.prefix + "dph"; }
+  std::string ds_name() const { return config_.prefix + "ds"; }
+  std::string rph_name() const { return config_.prefix + "rph"; }
+  std::string rs_name() const { return config_.prefix + "rs"; }
+
+  /// Column names within DPH/RPH.
+  static std::string PredColumn(uint32_t i) {
+    return "pred" + std::to_string(i);
+  }
+  static std::string ValColumn(uint32_t i) {
+    return "val" + std::to_string(i);
+  }
+
+  /// Column *indexes* within the DPH/RPH schema (entry=0, spill=1, then
+  /// pred/val pairs).
+  static constexpr int kEntrySlot = 0;
+  static constexpr int kSpillSlot = 1;
+  static int PredSlot(uint32_t i) { return 2 + 2 * static_cast<int>(i); }
+  static int ValSlot(uint32_t i) { return 3 + 2 * static_cast<int>(i); }
+
+  /// Allocates a fresh multi-value list id (negative, process-unique within
+  /// this schema instance).
+  int64_t AllocateLid() { return next_lid_--; }
+  /// True when \p v is a list id (refers to DS/RS).
+  static bool IsLid(int64_t v) { return v < 0; }
+
+  /// Predicates involved in spills (stored on a row other than an entity's
+  /// first row), per direction. The translator consults these to decide
+  /// which star-query merges are safe (paper §3.2.1).
+  std::unordered_set<uint64_t>& spilled_direct() { return spilled_direct_; }
+  std::unordered_set<uint64_t>& spilled_reverse() { return spilled_reverse_; }
+  const std::unordered_set<uint64_t>& spilled_direct() const {
+    return spilled_direct_;
+  }
+  const std::unordered_set<uint64_t>& spilled_reverse() const {
+    return spilled_reverse_;
+  }
+
+  /// Predicates that are multi-valued somewhere, per direction. Determines
+  /// whether generated SQL must outer-join the secondary table.
+  std::unordered_set<uint64_t>& multivalued_direct() {
+    return multivalued_direct_;
+  }
+  std::unordered_set<uint64_t>& multivalued_reverse() {
+    return multivalued_reverse_;
+  }
+  const std::unordered_set<uint64_t>& multivalued_direct() const {
+    return multivalued_direct_;
+  }
+  const std::unordered_set<uint64_t>& multivalued_reverse() const {
+    return multivalued_reverse_;
+  }
+
+ private:
+  Db2RdfSchema() = default;
+
+  Db2RdfConfig config_;
+  sql::Table* dph_ = nullptr;
+  sql::Table* ds_ = nullptr;
+  sql::Table* rph_ = nullptr;
+  sql::Table* rs_ = nullptr;
+  int64_t next_lid_ = -1;
+  std::unordered_set<uint64_t> spilled_direct_;
+  std::unordered_set<uint64_t> spilled_reverse_;
+  std::unordered_set<uint64_t> multivalued_direct_;
+  std::unordered_set<uint64_t> multivalued_reverse_;
+};
+
+}  // namespace rdfrel::schema
+
+#endif  // RDFREL_SCHEMA_DB2RDF_SCHEMA_H_

@@ -1,0 +1,30 @@
+#include "schema/hash_mapping.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rdfrel::schema {
+
+HashMapping::HashMapping(uint32_t num_columns, uint32_t num_functions,
+                         uint64_t seed)
+    : num_columns_(num_columns) {
+  RDFREL_CHECK(num_columns > 0);
+  RDFREL_CHECK(num_functions >= 1);
+  fns_.reserve(num_functions);
+  for (uint32_t i = 0; i < num_functions; ++i) {
+    fns_.emplace_back(seed * 0x9e3779b97f4a7c15ull + i + 1);
+  }
+}
+
+std::vector<uint32_t> HashMapping::Columns(const PredicateRef& pred) const {
+  std::vector<uint32_t> out;
+  out.reserve(fns_.size());
+  for (const auto& h : fns_) {
+    uint32_t c = h.Bucket(pred.iri, num_columns_);
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace rdfrel::schema

@@ -1,0 +1,35 @@
+#ifndef RDFREL_SCHEMA_HASH_MAPPING_H_
+#define RDFREL_SCHEMA_HASH_MAPPING_H_
+
+/// \file hash_mapping.h
+/// Hash-based predicate mapping (paper §2.2 "Hashing"): h^n_m composes n
+/// independent hash functions over the predicate IRI string, each reduced to
+/// [0, m). Used when no data sample is available, and as the fallback for
+/// predicates not covered by coloring.
+
+#include <vector>
+
+#include "schema/predicate_mapping.h"
+#include "util/hash.h"
+
+namespace rdfrel::schema {
+
+class HashMapping final : public PredicateMapping {
+ public:
+  /// \p num_columns is m; \p num_functions is n (>= 1); \p seed
+  /// differentiates independent mapping families (e.g. direct vs reverse).
+  HashMapping(uint32_t num_columns, uint32_t num_functions,
+              uint64_t seed = 0);
+
+  std::vector<uint32_t> Columns(const PredicateRef& pred) const override;
+  uint32_t num_columns() const override { return num_columns_; }
+  uint32_t num_functions() const { return static_cast<uint32_t>(fns_.size()); }
+
+ private:
+  uint32_t num_columns_;
+  std::vector<SeededHash> fns_;
+};
+
+}  // namespace rdfrel::schema
+
+#endif  // RDFREL_SCHEMA_HASH_MAPPING_H_

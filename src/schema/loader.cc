@@ -1,0 +1,402 @@
+#include "schema/loader.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rdfrel::schema {
+
+using sql::Row;
+using sql::Value;
+
+/// Per-direction shredding context: DPH/DS with the direct mapping, or
+/// RPH/RS with the reverse mapping.
+struct Loader::Direction {
+  sql::Table* primary;
+  sql::Table* secondary;
+  const PredicateMapping* mapping;
+  std::unordered_set<uint64_t>* spilled;
+  std::unordered_set<uint64_t>* multivalued;
+  uint32_t k;
+  uint64_t* rows_counter;
+  uint64_t* spill_rows_counter;
+  uint64_t* secondary_counter;
+};
+
+namespace {
+
+/// One entity's predicate -> values, insertion-ordered, values deduplicated.
+struct EntityPredicates {
+  std::vector<uint64_t> order;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> values;
+
+  void Add(uint64_t pred, uint64_t value) {
+    auto [it, inserted] = values.try_emplace(pred);
+    if (inserted) order.push_back(pred);
+    auto& vs = it->second;
+    if (std::find(vs.begin(), vs.end(), value) == vs.end()) {
+      vs.push_back(value);
+    }
+  }
+};
+
+}  // namespace
+
+Loader::Loader(Db2RdfSchema* schema,
+               std::shared_ptr<const PredicateMapping> direct_mapping,
+               std::shared_ptr<const PredicateMapping> reverse_mapping)
+    : schema_(schema),
+      direct_(std::move(direct_mapping)),
+      reverse_(std::move(reverse_mapping)) {
+  RDFREL_CHECK(direct_->num_columns() <= schema_->config().k_direct);
+  RDFREL_CHECK(reverse_->num_columns() <= schema_->config().k_reverse);
+}
+
+namespace {
+
+/// Places (pred, val) into the first free candidate column across `rows`,
+/// appending a new row image when every candidate in every row is taken.
+/// Returns the row index used.
+size_t PlaceIntoRows(std::vector<Row>* rows, uint32_t k, uint64_t entity,
+                     uint64_t pred, int64_t val,
+                     const std::vector<uint32_t>& candidates) {
+  for (size_t ri = 0; ri < rows->size(); ++ri) {
+    Row& row = (*rows)[ri];
+    for (uint32_t c : candidates) {
+      int ps = Db2RdfSchema::PredSlot(c);
+      if (row[ps].is_null()) {
+        row[ps] = Value::Int(static_cast<int64_t>(pred));
+        row[Db2RdfSchema::ValSlot(c)] = Value::Int(val);
+        return ri;
+      }
+    }
+  }
+  // Spill: new row image.
+  Row row(2 + 2 * static_cast<size_t>(k));  // all NULL
+  row[Db2RdfSchema::kEntrySlot] = Value::Int(static_cast<int64_t>(entity));
+  row[Db2RdfSchema::kSpillSlot] = Value::Int(0);  // fixed up by caller
+  uint32_t c = candidates.front();
+  row[Db2RdfSchema::PredSlot(c)] = Value::Int(static_cast<int64_t>(pred));
+  row[Db2RdfSchema::ValSlot(c)] = Value::Int(val);
+  rows->push_back(std::move(row));
+  return rows->size() - 1;
+}
+
+}  // namespace
+
+Result<LoadStats> Loader::BulkLoad(const rdf::Graph& graph) {
+  LoadStats batch;
+  batch.triples = graph.size();
+
+  Direction dirs[2] = {
+      {schema_->dph(), schema_->ds(), direct_.get(),
+       &schema_->spilled_direct(), &schema_->multivalued_direct(),
+       schema_->config().k_direct, &batch.dph_rows, &batch.dph_spill_rows,
+       &batch.ds_rows},
+      {schema_->rph(), schema_->rs(), reverse_.get(),
+       &schema_->spilled_reverse(), &schema_->multivalued_reverse(),
+       schema_->config().k_reverse, &batch.rph_rows, &batch.rph_spill_rows,
+       &batch.rs_rows},
+  };
+
+  for (int d = 0; d < 2; ++d) {
+    Direction& dir = dirs[d];
+    auto groups = d == 0 ? graph.GroupBySubject() : graph.GroupByObject();
+    const auto& triples = graph.triples();
+    for (const auto& [entity, idxs] : groups) {
+      EntityPredicates ep;
+      for (size_t i : idxs) {
+        const auto& t = triples[i];
+        ep.Add(t.predicate, d == 0 ? t.object : t.subject);
+      }
+      // Assemble row images.
+      std::vector<Row> rows;
+      rows.emplace_back(2 + 2 * static_cast<size_t>(dir.k));
+      rows[0][Db2RdfSchema::kEntrySlot] =
+          Value::Int(static_cast<int64_t>(entity));
+      rows[0][Db2RdfSchema::kSpillSlot] = Value::Int(0);
+
+      for (uint64_t pred : ep.order) {
+        const auto& objs = ep.values.at(pred);
+        int64_t val;
+        if (objs.size() == 1) {
+          val = static_cast<int64_t>(objs[0]);
+        } else {
+          val = schema_->AllocateLid();
+          dir.multivalued->insert(pred);
+          for (uint64_t o : objs) {
+            RDFREL_RETURN_NOT_OK(
+                dir.secondary
+                    ->Insert({Value::Int(val),
+                              Value::Int(static_cast<int64_t>(o))})
+                    .status());
+            ++*dir.secondary_counter;
+          }
+        }
+        RDFREL_ASSIGN_OR_RETURN(rdf::Term pred_term,
+                                graph.dictionary().Decode(pred));
+        std::vector<uint32_t> candidates =
+            dir.mapping->Columns({pred, pred_term.lexical()});
+        size_t ri = PlaceIntoRows(&rows, dir.k, entity, pred, val,
+                                  candidates);
+        if (ri > 0) dir.spilled->insert(pred);
+      }
+
+      bool spilled = rows.size() > 1;
+      for (auto& row : rows) {
+        if (spilled) row[Db2RdfSchema::kSpillSlot] = Value::Int(1);
+        RDFREL_RETURN_NOT_OK(dir.primary->Insert(row).status());
+        ++*dir.rows_counter;
+      }
+      if (spilled) *dir.spill_rows_counter += rows.size() - 1;
+    }
+  }
+
+  stats_ += batch;
+  return batch;
+}
+
+Status Loader::InsertTriple(const rdf::Dictionary& dict,
+                            const rdf::EncodedTriple& triple) {
+  LoadStats batch;
+  batch.triples = 1;
+
+  Direction dirs[2] = {
+      {schema_->dph(), schema_->ds(), direct_.get(),
+       &schema_->spilled_direct(), &schema_->multivalued_direct(),
+       schema_->config().k_direct, &batch.dph_rows, &batch.dph_spill_rows,
+       &batch.ds_rows},
+      {schema_->rph(), schema_->rs(), reverse_.get(),
+       &schema_->spilled_reverse(), &schema_->multivalued_reverse(),
+       schema_->config().k_reverse, &batch.rph_rows, &batch.rph_spill_rows,
+       &batch.rs_rows},
+  };
+
+  for (int d = 0; d < 2; ++d) {
+    Direction& dir = dirs[d];
+    uint64_t entity = d == 0 ? triple.subject : triple.object;
+    uint64_t value = d == 0 ? triple.object : triple.subject;
+    uint64_t pred = triple.predicate;
+
+    RDFREL_ASSIGN_OR_RETURN(rdf::Term pred_term, dict.Decode(pred));
+    std::vector<uint32_t> candidates =
+        dir.mapping->Columns({pred, pred_term.lexical()});
+
+    const sql::IndexInfo* idx = dir.primary->FindIndexOn("entry");
+    std::vector<sql::RowId> rids;
+    if (idx != nullptr) {
+      rids = idx->Lookup(Value::Int(static_cast<int64_t>(entity)));
+    } else {
+      // Fall back to a scan (index-less configurations).
+      RDFREL_RETURN_NOT_OK(dir.primary->Scan(
+          [&](sql::RowId rid, const Row& row) {
+            if (!row[Db2RdfSchema::kEntrySlot].is_null() &&
+                row[Db2RdfSchema::kEntrySlot].AsInt() ==
+                    static_cast<int64_t>(entity)) {
+              rids.push_back(rid);
+            }
+            return Status::OK();
+          }));
+    }
+    std::sort(rids.begin(), rids.end());
+
+    // 1. If the predicate already exists in a candidate column, extend it.
+    bool handled = false;
+    for (sql::RowId rid : rids) {
+      RDFREL_ASSIGN_OR_RETURN(Row row, dir.primary->Get(rid));
+      for (uint32_t c : candidates) {
+        int ps = Db2RdfSchema::PredSlot(c);
+        int vs = Db2RdfSchema::ValSlot(c);
+        if (row[ps].is_null() ||
+            row[ps].AsInt() != static_cast<int64_t>(pred)) {
+          continue;
+        }
+        int64_t existing = row[vs].AsInt();
+        if (Db2RdfSchema::IsLid(existing)) {
+          // Already multi-valued: append to the list (dedup).
+          bool present = false;
+          const sql::IndexInfo* sidx = dir.secondary->FindIndexOn("l_id");
+          if (sidx != nullptr) {
+            for (sql::RowId srid : sidx->Lookup(Value::Int(existing))) {
+              RDFREL_ASSIGN_OR_RETURN(Row srow, dir.secondary->Get(srid));
+              if (srow[1].AsInt() == static_cast<int64_t>(value)) {
+                present = true;
+                break;
+              }
+            }
+          }
+          if (!present) {
+            RDFREL_RETURN_NOT_OK(
+                dir.secondary
+                    ->Insert({Value::Int(existing),
+                              Value::Int(static_cast<int64_t>(value))})
+                    .status());
+            ++*dir.secondary_counter;
+          }
+        } else if (existing == static_cast<int64_t>(value)) {
+          // Duplicate triple; nothing to do.
+        } else {
+          // Convert single value to a list.
+          int64_t lid = schema_->AllocateLid();
+          dir.multivalued->insert(pred);
+          RDFREL_RETURN_NOT_OK(
+              dir.secondary
+                  ->Insert({Value::Int(lid), Value::Int(existing)})
+                  .status());
+          RDFREL_RETURN_NOT_OK(
+              dir.secondary
+                  ->Insert({Value::Int(lid),
+                            Value::Int(static_cast<int64_t>(value))})
+                  .status());
+          *dir.secondary_counter += 2;
+          row[vs] = Value::Int(lid);
+          RDFREL_RETURN_NOT_OK(dir.primary->Update(rid, row).status());
+        }
+        handled = true;
+        break;
+      }
+      if (handled) break;
+    }
+    if (handled) continue;
+
+    // 2. Place into a free candidate column of an existing row.
+    for (size_t i = 0; i < rids.size() && !handled; ++i) {
+      RDFREL_ASSIGN_OR_RETURN(Row row, dir.primary->Get(rids[i]));
+      for (uint32_t c : candidates) {
+        int ps = Db2RdfSchema::PredSlot(c);
+        if (!row[ps].is_null()) continue;
+        row[ps] = Value::Int(static_cast<int64_t>(pred));
+        row[Db2RdfSchema::ValSlot(c)] =
+            Value::Int(static_cast<int64_t>(value));
+        RDFREL_RETURN_NOT_OK(dir.primary->Update(rids[i], row).status());
+        if (i > 0) dir.spilled->insert(pred);
+        handled = true;
+        break;
+      }
+    }
+    if (handled) continue;
+
+    // 3. New row (first row for the entity, or a spill row).
+    bool is_spill = !rids.empty();
+    Row row(2 + 2 * static_cast<size_t>(dir.k));
+    row[Db2RdfSchema::kEntrySlot] =
+        Value::Int(static_cast<int64_t>(entity));
+    row[Db2RdfSchema::kSpillSlot] = Value::Int(is_spill ? 1 : 0);
+    uint32_t c = candidates.front();
+    row[Db2RdfSchema::PredSlot(c)] = Value::Int(static_cast<int64_t>(pred));
+    row[Db2RdfSchema::ValSlot(c)] =
+        Value::Int(static_cast<int64_t>(value));
+    RDFREL_RETURN_NOT_OK(dir.primary->Insert(row).status());
+    if (is_spill) {
+      dir.spilled->insert(pred);
+      ++*dir.spill_rows_counter;
+      // Flip the spill flag on the entity's earlier rows.
+      for (sql::RowId rid : rids) {
+        RDFREL_ASSIGN_OR_RETURN(Row prev, dir.primary->Get(rid));
+        if (prev[Db2RdfSchema::kSpillSlot].is_null() ||
+            prev[Db2RdfSchema::kSpillSlot].AsInt() == 0) {
+          prev[Db2RdfSchema::kSpillSlot] = Value::Int(1);
+          RDFREL_RETURN_NOT_OK(dir.primary->Update(rid, prev).status());
+        }
+      }
+    }
+    ++*dir.rows_counter;
+  }
+
+  stats_ += batch;
+  return Status::OK();
+}
+
+Status Loader::DeleteTriple(const rdf::Dictionary& dict,
+                            const rdf::EncodedTriple& triple) {
+  Direction dirs[2] = {
+      {schema_->dph(), schema_->ds(), direct_.get(),
+       &schema_->spilled_direct(), &schema_->multivalued_direct(),
+       schema_->config().k_direct, nullptr, nullptr, nullptr},
+      {schema_->rph(), schema_->rs(), reverse_.get(),
+       &schema_->spilled_reverse(), &schema_->multivalued_reverse(),
+       schema_->config().k_reverse, nullptr, nullptr, nullptr},
+  };
+
+  for (int d = 0; d < 2; ++d) {
+    Direction& dir = dirs[d];
+    uint64_t entity = d == 0 ? triple.subject : triple.object;
+    uint64_t value = d == 0 ? triple.object : triple.subject;
+    uint64_t pred = triple.predicate;
+
+    RDFREL_ASSIGN_OR_RETURN(rdf::Term pred_term, dict.Decode(pred));
+    std::vector<uint32_t> candidates =
+        dir.mapping->Columns({pred, pred_term.lexical()});
+
+    const sql::IndexInfo* idx = dir.primary->FindIndexOn("entry");
+    if (idx == nullptr) {
+      return Status::Unsupported("delete requires the entry index");
+    }
+    std::vector<sql::RowId> rids =
+        idx->Lookup(Value::Int(static_cast<int64_t>(entity)));
+    std::sort(rids.begin(), rids.end());
+
+    bool removed = false;
+    for (sql::RowId rid : rids) {
+      RDFREL_ASSIGN_OR_RETURN(Row row, dir.primary->Get(rid));
+      for (uint32_t c : candidates) {
+        int ps = Db2RdfSchema::PredSlot(c);
+        int vs = Db2RdfSchema::ValSlot(c);
+        if (row[ps].is_null() ||
+            row[ps].AsInt() != static_cast<int64_t>(pred)) {
+          continue;
+        }
+        int64_t stored = row[vs].AsInt();
+        if (Db2RdfSchema::IsLid(stored)) {
+          // Remove the element from the secondary list.
+          const sql::IndexInfo* sidx = dir.secondary->FindIndexOn("l_id");
+          if (sidx == nullptr) {
+            return Status::Unsupported("delete requires the l_id index");
+          }
+          for (sql::RowId srid : sidx->Lookup(Value::Int(stored))) {
+            RDFREL_ASSIGN_OR_RETURN(Row srow, dir.secondary->Get(srid));
+            if (srow[1].AsInt() == static_cast<int64_t>(value)) {
+              RDFREL_RETURN_NOT_OK(dir.secondary->Delete(srid));
+              removed = true;
+              break;
+            }
+          }
+          if (removed &&
+              sidx->Lookup(Value::Int(stored)).empty()) {
+            // Last list element gone: clear the cell too.
+            row[ps] = Value::Null();
+            row[vs] = Value::Null();
+            RDFREL_RETURN_NOT_OK(dir.primary->Update(rid, row).status());
+          }
+        } else if (stored == static_cast<int64_t>(value)) {
+          row[ps] = Value::Null();
+          row[vs] = Value::Null();
+          RDFREL_RETURN_NOT_OK(dir.primary->Update(rid, row).status());
+          removed = true;
+        }
+        if (removed) break;
+      }
+      if (removed) {
+        // Drop the row entirely when no predicate remains on it.
+        RDFREL_ASSIGN_OR_RETURN(Row after, dir.primary->Get(rid));
+        bool empty = true;
+        for (uint32_t c = 0; c < dir.k && empty; ++c) {
+          if (!after[Db2RdfSchema::PredSlot(c)].is_null()) empty = false;
+        }
+        if (empty) {
+          RDFREL_RETURN_NOT_OK(dir.primary->Delete(rid));
+        }
+        break;
+      }
+    }
+    if (!removed) {
+      return Status::NotFound("triple not present");
+    }
+  }
+  if (stats_.triples > 0) stats_.triples -= 1;
+  return Status::OK();
+}
+
+}  // namespace rdfrel::schema

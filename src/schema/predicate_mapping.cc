@@ -1,0 +1,28 @@
+#include "schema/predicate_mapping.h"
+
+#include <algorithm>
+
+namespace rdfrel::schema {
+
+ComposedMapping::ComposedMapping(
+    std::vector<std::shared_ptr<const PredicateMapping>> parts)
+    : parts_(std::move(parts)), num_columns_(0) {
+  for (const auto& p : parts_) {
+    num_columns_ = std::max(num_columns_, p->num_columns());
+  }
+}
+
+std::vector<uint32_t> ComposedMapping::Columns(
+    const PredicateRef& pred) const {
+  std::vector<uint32_t> out;
+  for (const auto& p : parts_) {
+    for (uint32_t c : p->Columns(pred)) {
+      if (std::find(out.begin(), out.end(), c) == out.end()) {
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rdfrel::schema

@@ -1,0 +1,57 @@
+#ifndef RDFREL_SCHEMA_PREDICATE_MAPPING_H_
+#define RDFREL_SCHEMA_PREDICATE_MAPPING_H_
+
+/// \file predicate_mapping.h
+/// Predicate-to-column assignment (paper §2.2, Definitions 2.1-2.2).
+///
+/// A PredicateMapping maps a predicate to the sequence of columns it may
+/// occupy in the DPH/RPH relations. A single-function mapping returns one
+/// column; a *composition* f1 ⊕ f2 ⊕ ... ⊕ fn returns several candidates in
+/// priority order — insertion uses the first free candidate, and reads must
+/// check all of them.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfrel::schema {
+
+/// Identity of a predicate at mapping time: its dictionary id plus the IRI
+/// string (hash functions work on the string, per Definition 2.1).
+struct PredicateRef {
+  uint64_t id = 0;
+  std::string_view iri;
+};
+
+/// Interface: predicate -> candidate column numbers in [0, num_columns).
+class PredicateMapping {
+ public:
+  virtual ~PredicateMapping() = default;
+
+  /// Candidate columns in priority order; non-empty; deduplicated.
+  virtual std::vector<uint32_t> Columns(const PredicateRef& pred) const = 0;
+
+  /// Range m of this mapping (columns are < num_columns()).
+  virtual uint32_t num_columns() const = 0;
+};
+
+/// Composition per Definition 2.2: concatenates the candidate lists of the
+/// component mappings (first mapping's candidates first), deduplicated.
+class ComposedMapping final : public PredicateMapping {
+ public:
+  explicit ComposedMapping(
+      std::vector<std::shared_ptr<const PredicateMapping>> parts);
+
+  std::vector<uint32_t> Columns(const PredicateRef& pred) const override;
+  uint32_t num_columns() const override { return num_columns_; }
+
+ private:
+  std::vector<std::shared_ptr<const PredicateMapping>> parts_;
+  uint32_t num_columns_;
+};
+
+}  // namespace rdfrel::schema
+
+#endif  // RDFREL_SCHEMA_PREDICATE_MAPPING_H_

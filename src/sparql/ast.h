@@ -1,0 +1,183 @@
+#ifndef RDFREL_SPARQL_AST_H_
+#define RDFREL_SPARQL_AST_H_
+
+/// \file ast.h
+/// Abstract syntax for the SPARQL 1.0 subset: basic graph patterns composed
+/// with AND (group), UNION, OPTIONAL, plus FILTER, SELECT [DISTINCT],
+/// ORDER BY, LIMIT/OFFSET. This matches the pattern taxonomy of the paper's
+/// §3.1.2 (SIMPLE / AND / OR / OPTIONAL patterns).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfrel::sparql {
+
+/// A triple-pattern component: a variable or an RDF term.
+struct TermOrVar {
+  bool is_var = false;
+  std::string var;     ///< variable name without '?', when is_var
+  rdf::Term term;      ///< when !is_var
+
+  static TermOrVar Var(std::string name) {
+    TermOrVar t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static TermOrVar Of(rdf::Term term) {
+    TermOrVar t;
+    t.term = std::move(term);
+    return t;
+  }
+
+  std::string ToString() const {
+    return is_var ? "?" + var : term.ToNTriples();
+  }
+};
+
+/// Property-path modifier on a triple's predicate (SPARQL 1.1 subset).
+/// Sequences (p/q), alternatives (p|q) and inverses (^p) are rewritten into
+/// plain patterns by the parser; only transitive closure survives to
+/// evaluation.
+enum class PathMod {
+  kNone,
+  kPlus,  ///< p+ : one or more
+  kStar,  ///< p* : zero or more (reflexive over the predicate's nodes)
+};
+
+/// One triple pattern. `id` is the 1-based position in parse order (the
+/// paper's t1, t2, ...), used by the optimizer and in plan dumps.
+struct TriplePattern {
+  TermOrVar subject;
+  TermOrVar predicate;
+  TermOrVar object;
+  int id = 0;
+  PathMod path_mod = PathMod::kNone;
+
+  /// Variables mentioned, in S,P,O order without duplicates.
+  std::vector<std::string> Variables() const;
+
+  std::string ToString() const {
+    return subject.ToString() + " " + predicate.ToString() + " " +
+           object.ToString();
+  }
+};
+
+// ------------------------------------------------------------------ Filters
+
+enum class FilterOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kBound,   ///< BOUND(?x)
+  kRegex,   ///< REGEX(?x, "pattern") — substring match in this subset
+  kVar,     ///< bare variable operand
+  kTerm,    ///< RDF term operand
+};
+
+struct FilterExpr;
+using FilterExprPtr = std::unique_ptr<FilterExpr>;
+
+/// A FILTER expression node.
+struct FilterExpr {
+  FilterOp op;
+  FilterExprPtr lhs;   // kAnd/kOr/comparisons; kNot uses lhs only
+  FilterExprPtr rhs;
+  std::string var;     // kVar / kBound
+  rdf::Term term;      // kTerm
+  std::string pattern; // kRegex
+
+  std::string ToString() const;
+};
+
+// ----------------------------------------------------------------- Patterns
+
+enum class PatternKind {
+  kTriple,    ///< leaf: one triple pattern
+  kAnd,       ///< group { A B C }
+  kOr,        ///< A UNION B
+  kOptional,  ///< OPTIONAL { A }
+};
+
+struct Pattern;
+using PatternPtr = std::unique_ptr<Pattern>;
+
+/// A node of the query pattern tree (the paper's Figure 7 parse tree).
+struct Pattern {
+  PatternKind kind;
+  TriplePattern triple;               ///< kTriple
+  std::vector<PatternPtr> children;   ///< kAnd/kOr; kOptional has exactly 1
+  std::vector<FilterExprPtr> filters; ///< FILTERs attached to a kAnd group
+
+  /// All triple patterns in this subtree, parse order.
+  void CollectTriples(std::vector<const TriplePattern*>* out) const;
+  /// All variable names in this subtree.
+  void CollectVariables(std::vector<std::string>* out) const;
+
+  std::string ToString(int indent = 0) const;
+};
+
+PatternPtr MakeTriplePattern(TriplePattern t);
+PatternPtr MakeGroup(std::vector<PatternPtr> children);
+
+// -------------------------------------------------------------------- Query
+
+struct OrderCond {
+  std::string var;
+  bool descending = false;
+};
+
+/// SPARQL 1.1 aggregate functions.
+enum class AggKind { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+/// One SELECT-clause item: a plain variable, or an aggregate
+/// `(AGG([DISTINCT] ?v | *) AS ?alias)`.
+struct Projection {
+  std::string var;      ///< source variable; empty for COUNT(*)
+  AggKind agg = AggKind::kNone;
+  bool distinct = false;
+  std::string alias;    ///< output name for aggregates
+  bool star = false;    ///< COUNT(*)
+
+  /// The output variable name (var, or alias for aggregates).
+  const std::string& OutputName() const {
+    return agg == AggKind::kNone ? var : alias;
+  }
+};
+
+/// A parsed SELECT query.
+struct Query {
+  bool distinct = false;
+  /// Projection; empty means '*' (all variables in pattern order).
+  std::vector<std::string> select_vars;
+  /// Full projection including aggregates (parallels select_vars for plain
+  /// queries; authoritative when HasAggregates()).
+  std::vector<Projection> projection;
+  /// GROUP BY variables (aggregate queries only).
+  std::vector<std::string> group_by;
+  PatternPtr where;  ///< root pattern (a kAnd group)
+  std::vector<OrderCond> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  /// Number of triple patterns in the query.
+  int num_triples = 0;
+
+  bool HasAggregates() const {
+    for (const auto& pr : projection) {
+      if (pr.agg != AggKind::kNone) return true;
+    }
+    return false;
+  }
+
+  /// Projection resolved against the pattern (expands '*'); for aggregate
+  /// queries, the output names in SELECT order.
+  std::vector<std::string> EffectiveSelectVars() const;
+};
+
+}  // namespace rdfrel::sparql
+
+#endif  // RDFREL_SPARQL_AST_H_

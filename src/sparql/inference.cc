@@ -1,0 +1,102 @@
+#include "sparql/inference.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace rdfrel::sparql {
+
+namespace {
+constexpr const char* kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+}  // namespace
+
+void TypeHierarchy::AddSubclass(const std::string& sub_iri,
+                                const std::string& super_iri) {
+  if (sub_iri == super_iri) return;
+  direct_subs_[super_iri].insert(sub_iri);
+  direct_subs_[sub_iri];  // ensure node exists
+}
+
+std::vector<std::string> TypeHierarchy::ExpandClass(
+    const std::string& iri) const {
+  std::vector<std::string> out = {iri};
+  std::set<std::string> seen = {iri};
+  // BFS over direct subclasses; deterministic because sets are ordered.
+  for (size_t i = 0; i < out.size(); ++i) {
+    auto it = direct_subs_.find(out[i]);
+    if (it == direct_subs_.end()) continue;
+    for (const auto& sub : it->second) {
+      if (seen.insert(sub).second) out.push_back(sub);
+    }
+  }
+  return out;
+}
+
+bool TypeHierarchy::HasSubclasses(const std::string& iri) const {
+  return ExpandClass(iri).size() > 1;
+}
+
+namespace {
+
+/// Recursively rewrites type triples under \p node; counts expansions.
+void ExpandPattern(const TypeHierarchy& h, Pattern* node, int* expanded) {
+  if (node->kind == PatternKind::kTriple) return;  // handled by the parent
+  for (auto& child : node->children) {
+    if (child->kind != PatternKind::kTriple) {
+      ExpandPattern(h, child.get(), expanded);
+      continue;
+    }
+    const TriplePattern& t = child->triple;
+    if (t.predicate.is_var || !t.predicate.term.is_iri() ||
+        t.predicate.term.lexical() != kRdfType) {
+      continue;
+    }
+    if (t.object.is_var || !t.object.term.is_iri()) continue;
+    std::vector<std::string> classes =
+        h.ExpandClass(t.object.term.lexical());
+    if (classes.size() <= 1) continue;
+
+    // Build { t(C) } UNION { t(C1) } UNION ...
+    auto orp = std::make_unique<Pattern>();
+    orp->kind = PatternKind::kOr;
+    for (const auto& cls : classes) {
+      TriplePattern tp = t;  // same subject/predicate, new class object
+      tp.object = TermOrVar::Of(rdf::Term::Iri(cls));
+      orp->children.push_back(MakeTriplePattern(std::move(tp)));
+    }
+    child = std::move(orp);
+    ++*expanded;
+  }
+}
+
+/// Renumbers triple ids in parse order after rewriting.
+void Renumber(Pattern* node, int* next) {
+  if (node->kind == PatternKind::kTriple) {
+    node->triple.id = (*next)++;
+    return;
+  }
+  for (auto& c : node->children) Renumber(c.get(), next);
+}
+
+}  // namespace
+
+Result<int> ExpandTypeQuery(const TypeHierarchy& hierarchy, Query* query) {
+  if (query->where == nullptr) {
+    return Status::InvalidArgument("query has no pattern");
+  }
+  int expanded = 0;
+  // The root itself may be a bare type triple.
+  if (query->where->kind == PatternKind::kTriple) {
+    auto group = std::make_unique<Pattern>();
+    group->kind = PatternKind::kAnd;
+    group->children.push_back(std::move(query->where));
+    query->where = std::move(group);
+  }
+  ExpandPattern(hierarchy, query->where.get(), &expanded);
+  int next = 1;
+  Renumber(query->where.get(), &next);
+  query->num_triples = next - 1;
+  return expanded;
+}
+
+}  // namespace rdfrel::sparql

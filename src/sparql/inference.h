@@ -1,0 +1,52 @@
+#ifndef RDFREL_SPARQL_INFERENCE_H_
+#define RDFREL_SPARQL_INFERENCE_H_
+
+/// \file inference.h
+/// Subclass-inference query expansion (paper §4.1): systems without OWL
+/// inference can still answer type queries by rewriting `?x rdf:type C`
+/// into a UNION over C and its subclasses — exactly the manual expansion
+/// the paper applied to the LUBM workload ("?x rdf:type Student" becomes
+/// "... Student UNION ... GraduateStudent"). This module automates it from
+/// a set of rdfs:subClassOf axioms.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace rdfrel::sparql {
+
+/// A transitively-closed subclass hierarchy.
+class TypeHierarchy {
+ public:
+  TypeHierarchy() = default;
+
+  /// Declares `sub rdfs:subClassOf super` (IRIs). Cycles are tolerated
+  /// (members of a cycle become mutual subclasses).
+  void AddSubclass(const std::string& sub_iri, const std::string& super_iri);
+
+  /// The class plus all (transitive) subclasses, deterministic order.
+  std::vector<std::string> ExpandClass(const std::string& iri) const;
+
+  /// True if \p iri has at least one proper subclass.
+  bool HasSubclasses(const std::string& iri) const;
+
+  size_t num_classes() const { return direct_subs_.size(); }
+
+ private:
+  std::map<std::string, std::set<std::string>> direct_subs_;
+};
+
+/// Rewrites \p query in place: every triple pattern `?x rdf:type <C>` (or
+/// with a constant subject) whose class C has subclasses becomes a UNION of
+/// one pattern per class in ExpandClass(C). Triple ids are renumbered.
+/// Returns the number of expanded patterns.
+Result<int> ExpandTypeQuery(const TypeHierarchy& hierarchy, Query* query);
+
+}  // namespace rdfrel::sparql
+
+#endif  // RDFREL_SPARQL_INFERENCE_H_

@@ -1,0 +1,40 @@
+#ifndef RDFREL_SPARQL_LEXER_H_
+#define RDFREL_SPARQL_LEXER_H_
+
+/// \file lexer.h
+/// Tokenizer for the SPARQL subset.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdfrel::sparql {
+
+enum class TokenKind {
+  kKeywordOrName,  ///< SELECT / OPTIONAL / prefix-less local name / 'a'
+  kVar,            ///< ?x or $x (text is the bare name)
+  kIri,            ///< <...> (text without brackets)
+  kPname,          ///< prefix:local (text as written)
+  kString,         ///< "..." (unescaped text)
+  kLangTag,        ///< @en (text without '@')
+  kInteger,
+  kDecimal,
+  kSymbol,         ///< punctuation/operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+};
+
+/// Tokenizes \p sparql. Comments: '#' to end of line. Multi-char symbols:
+/// ^^, &&, ||, !=, <=, >=.
+Result<std::vector<Token>> LexSparql(std::string_view sparql);
+
+}  // namespace rdfrel::sparql
+
+#endif  // RDFREL_SPARQL_LEXER_H_

@@ -1,0 +1,22 @@
+#ifndef RDFREL_SPARQL_PARSER_H_
+#define RDFREL_SPARQL_PARSER_H_
+
+/// \file parser.h
+/// Recursive-descent SPARQL parser. Subset: PREFIX prologue, SELECT
+/// [DISTINCT] (vars | *), group graph patterns with '.'-separated triple
+/// blocks (';' predicate lists, ',' object lists, 'a' for rdf:type), nested
+/// groups, UNION, OPTIONAL, FILTER, ORDER BY [ASC|DESC], LIMIT, OFFSET.
+
+#include <string_view>
+
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace rdfrel::sparql {
+
+/// Parses a SELECT query.
+Result<Query> ParseQuery(std::string_view sparql);
+
+}  // namespace rdfrel::sparql
+
+#endif  // RDFREL_SPARQL_PARSER_H_

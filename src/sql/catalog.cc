@@ -1,0 +1,138 @@
+#include "sql/catalog.h"
+
+#include "util/string_util.h"
+
+namespace rdfrel::sql {
+
+Table::Table(std::string name, Schema schema, size_t page_size)
+    : name_(std::move(name)), storage_(std::move(schema), page_size) {}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::string& column_name, IndexKind kind) {
+  if (FindIndexByName(index_name) != nullptr) {
+    return Status::AlreadyExists("index " + index_name);
+  }
+  int col = schema().FindColumn(column_name);
+  if (col < 0) {
+    return Status::NotFound("column " + column_name + " in table " + name_);
+  }
+  auto idx = std::make_unique<IndexInfo>();
+  idx->name = index_name;
+  idx->column = col;
+  idx->kind = kind;
+  if (kind == IndexKind::kBTree) {
+    idx->btree = std::make_unique<BPlusTree>();
+  } else {
+    idx->hash = std::make_unique<HashIndex>();
+  }
+  IndexInfo* raw = idx.get();
+  // Backfill from existing rows.
+  RDFREL_RETURN_NOT_OK(storage_.Scan([&](RowId rid, const Row& row) {
+    IndexInsert(raw, row, rid);
+    return Status::OK();
+  }));
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+const IndexInfo* Table::FindIndexOn(const std::string& column_name) const {
+  int col = schema().FindColumn(column_name);
+  if (col < 0) return nullptr;
+  for (const auto& idx : indexes_) {
+    if (idx->column == col) return idx.get();
+  }
+  return nullptr;
+}
+
+const IndexInfo* Table::FindIndexByName(const std::string& index_name) const {
+  for (const auto& idx : indexes_) {
+    if (EqualsIgnoreCaseAscii(idx->name, index_name)) return idx.get();
+  }
+  return nullptr;
+}
+
+void Table::IndexInsert(IndexInfo* idx, const Row& row, RowId rid) {
+  const Value& key = row[idx->column];
+  if (key.is_null()) return;  // NULLs are not indexed
+  if (idx->kind == IndexKind::kBTree) {
+    idx->btree->Insert(key, rid);
+  } else {
+    idx->hash->Insert(key, rid);
+  }
+}
+
+void Table::IndexRemove(IndexInfo* idx, const Row& row, RowId rid) {
+  const Value& key = row[idx->column];
+  if (key.is_null()) return;
+  if (idx->kind == IndexKind::kBTree) {
+    idx->btree->Remove(key, rid);
+  } else {
+    idx->hash->Remove(key, rid);
+  }
+}
+
+Result<RowId> Table::Insert(const Row& row) {
+  RDFREL_ASSIGN_OR_RETURN(RowId rid, storage_.Insert(row));
+  for (auto& idx : indexes_) IndexInsert(idx.get(), row, rid);
+  return rid;
+}
+
+Result<Row> Table::Get(RowId rid) const { return storage_.Get(rid); }
+
+Result<RowId> Table::Update(RowId rid, const Row& new_row) {
+  RDFREL_ASSIGN_OR_RETURN(Row old_row, storage_.Get(rid));
+  RDFREL_ASSIGN_OR_RETURN(RowId new_rid, storage_.Update(rid, new_row));
+  for (auto& idx : indexes_) {
+    IndexRemove(idx.get(), old_row, rid);
+    IndexInsert(idx.get(), new_row, new_rid);
+  }
+  return new_rid;
+}
+
+Status Table::Delete(RowId rid) {
+  RDFREL_ASSIGN_OR_RETURN(Row old_row, storage_.Get(rid));
+  RDFREL_RETURN_NOT_OK(storage_.Delete(rid));
+  for (auto& idx : indexes_) IndexRemove(idx.get(), old_row, rid);
+  return Status::OK();
+}
+
+Status Table::Scan(
+    const std::function<Status(RowId, const Row&)>& fn) const {
+  return storage_.Scan(fn);
+}
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
+                                    size_t page_size) {
+  std::string key = ToLowerAscii(name);
+  if (tables_.count(key)) return Status::AlreadyExists("table " + name);
+  auto table = std::make_unique<Table>(name, std::move(schema), page_size);
+  Table* raw = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLowerAscii(name));
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLowerAscii(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLowerAscii(name));
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, t] : tables_) names.push_back(t->name());
+  return names;
+}
+
+}  // namespace rdfrel::sql

@@ -1,0 +1,98 @@
+#ifndef RDFREL_SQL_CATALOG_H_
+#define RDFREL_SQL_CATALOG_H_
+
+/// \file catalog.h
+/// The catalog: named tables, each owning storage plus secondary indexes
+/// that are kept consistent through the Table mutation API.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/btree.h"
+#include "sql/hash_index.h"
+#include "sql/table_storage.h"
+#include "util/status.h"
+
+namespace rdfrel::sql {
+
+enum class IndexKind { kBTree, kHash };
+
+/// A secondary index on one column of a table.
+struct IndexInfo {
+  std::string name;
+  int column = -1;
+  IndexKind kind = IndexKind::kBTree;
+  std::unique_ptr<BPlusTree> btree;
+  std::unique_ptr<HashIndex> hash;
+
+  /// RowIds matching \p key through whichever structure backs this index.
+  std::vector<RowId> Lookup(const Value& key) const {
+    return kind == IndexKind::kBTree ? btree->Lookup(key)
+                                     : hash->Lookup(key);
+  }
+};
+
+/// A table with index-maintaining mutations. Use this (not raw
+/// TableStorage) everywhere above the storage layer.
+class Table {
+ public:
+  Table(std::string name, Schema schema,
+        size_t page_size = Page::kDefaultSize);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return storage_.schema(); }
+  const TableStorage& storage() const { return storage_; }
+  uint64_t row_count() const { return storage_.row_count(); }
+
+  /// Builds an index over existing rows; errors on duplicate name or
+  /// unknown column.
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& column_name, IndexKind kind);
+
+  /// Index over \p column_name, or nullptr.
+  const IndexInfo* FindIndexOn(const std::string& column_name) const;
+  const IndexInfo* FindIndexByName(const std::string& index_name) const;
+  const std::vector<std::unique_ptr<IndexInfo>>& indexes() const {
+    return indexes_;
+  }
+
+  Result<RowId> Insert(const Row& row);
+  Result<Row> Get(RowId rid) const;
+  Result<RowId> Update(RowId rid, const Row& new_row);
+  Status Delete(RowId rid);
+  Status Scan(const std::function<Status(RowId, const Row&)>& fn) const;
+
+ private:
+  void IndexInsert(IndexInfo* idx, const Row& row, RowId rid);
+  void IndexRemove(IndexInfo* idx, const Row& row, RowId rid);
+
+  std::string name_;
+  TableStorage storage_;
+  std::vector<std::unique_ptr<IndexInfo>> indexes_;
+};
+
+/// Named-table registry.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Creates a table; AlreadyExists on duplicate (case-insensitive) name.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             size_t page_size = Page::kDefaultSize);
+
+  /// Table by name, or NotFound.
+  Result<Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-case name
+};
+
+}  // namespace rdfrel::sql
+
+#endif  // RDFREL_SQL_CATALOG_H_

@@ -1,0 +1,111 @@
+#include "sql/database.h"
+
+#include "sql/parser.h"
+
+namespace rdfrel::sql {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += " | ";
+    out += columns[i];
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i) out += " | ";
+      out += rows[r][i].ToString();
+    }
+    out += "\n";
+  }
+  if (rows.size() > max_rows) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+Result<QueryResult> Database::Execute(std::string_view sql) {
+  RDFREL_ASSIGN_OR_RETURN(ast::Statement stmt, ParseSql(sql));
+  switch (stmt.kind) {
+    case ast::StatementKind::kSelect:
+      return QueryAst(*stmt.select);
+    case ast::StatementKind::kCreateTable:
+      RDFREL_RETURN_NOT_OK(ExecCreateTable(*stmt.create_table));
+      return QueryResult{};
+    case ast::StatementKind::kCreateIndex:
+      RDFREL_RETURN_NOT_OK(ExecCreateIndex(*stmt.create_index));
+      return QueryResult{};
+    case ast::StatementKind::kInsert:
+      RDFREL_RETURN_NOT_OK(ExecInsert(*stmt.insert));
+      return QueryResult{};
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Database::Query(std::string_view sql) {
+  RDFREL_ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  return QueryAst(*stmt);
+}
+
+Result<QueryResult> Database::QueryAst(const ast::SelectStmt& stmt) {
+  RDFREL_ASSIGN_OR_RETURN(auto mat, RunSelect(catalog_, stmt));
+  QueryResult qr;
+  qr.columns = mat->scope.Names();
+  qr.rows = std::move(mat->rows);
+  return qr;
+}
+
+Status Database::ExecCreateTable(const ast::CreateTableStmt& ct) {
+  RDFREL_ASSIGN_OR_RETURN(Table * t,
+                          catalog_.CreateTable(ct.table_name,
+                                               Schema(ct.columns)));
+  (void)t;
+  return Status::OK();
+}
+
+Status Database::ExecCreateIndex(const ast::CreateIndexStmt& ci) {
+  RDFREL_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(ci.table_name));
+  return t->CreateIndex(ci.index_name, ci.column_name,
+                        ci.hash ? IndexKind::kHash : IndexKind::kBTree);
+}
+
+Status Database::ExecInsert(const ast::InsertStmt& ins) {
+  RDFREL_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(ins.table_name));
+  const Schema& schema = t->schema();
+  // Column position mapping.
+  std::vector<int> positions;
+  if (ins.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      positions.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& name : ins.columns) {
+      int idx = schema.FindColumn(name);
+      if (idx < 0) return Status::NotFound("column " + name);
+      positions.push_back(idx);
+    }
+  }
+  Scope empty_scope;
+  Row no_row;
+  for (const auto& exprs : ins.rows) {
+    if (exprs.size() != positions.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row row(schema.num_columns());  // defaults to NULL
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      RDFREL_ASSIGN_OR_RETURN(BoundExprPtr b,
+                              BindExpr(*exprs[i], empty_scope));
+      RDFREL_ASSIGN_OR_RETURN(Value v, b->Evaluate(no_row));
+      // Widen ints into double columns at the boundary.
+      if (schema.column(positions[i]).type == ValueType::kDouble &&
+          v.is_int()) {
+        v = Value::Real(static_cast<double>(v.AsInt()));
+      }
+      row[positions[i]] = std::move(v);
+    }
+    RDFREL_RETURN_NOT_OK(t->Insert(row).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace rdfrel::sql

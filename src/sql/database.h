@@ -1,0 +1,55 @@
+#ifndef RDFREL_SQL_DATABASE_H_
+#define RDFREL_SQL_DATABASE_H_
+
+/// \file database.h
+/// Top-level facade of the embedded relational engine: owns a Catalog and
+/// executes SQL text (DDL, INSERT, SELECT).
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/catalog.h"
+#include "sql/planner.h"
+#include "util/status.h"
+
+namespace rdfrel::sql {
+
+/// Result of a SELECT: ordered column names plus rows.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  /// Pretty-printed table (tests/examples).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// An embedded relational database instance.
+class Database {
+ public:
+  Database() = default;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Executes any supported statement. DDL/INSERT return an empty result.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  /// Executes a SELECT (text).
+  Result<QueryResult> Query(std::string_view sql);
+
+  /// Executes a parsed SELECT.
+  Result<QueryResult> QueryAst(const ast::SelectStmt& stmt);
+
+ private:
+  Status ExecCreateTable(const ast::CreateTableStmt& ct);
+  Status ExecCreateIndex(const ast::CreateIndexStmt& ci);
+  Status ExecInsert(const ast::InsertStmt& ins);
+
+  Catalog catalog_;
+};
+
+}  // namespace rdfrel::sql
+
+#endif  // RDFREL_SQL_DATABASE_H_

@@ -1,0 +1,648 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+
+namespace rdfrel::sql {
+
+namespace {
+Scope TableScope(const Table* table, const std::string& alias) {
+  Scope s;
+  for (const auto& col : table->schema().columns()) {
+    s.Add(alias, col.name);
+  }
+  return s;
+}
+}  // namespace
+
+// ------------------------------------------------------------- SeqScanOp
+
+SeqScanOp::SeqScanOp(const Table* table, const std::string& alias)
+    : table_(table) {
+  scope_ = TableScope(table, alias);
+}
+
+Status SeqScanOp::Open() {
+  page_ = 0;
+  slot_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(Row* out) {
+  const HeapFile& heap = table_->storage().heap();
+  while (page_ < heap.num_pages()) {
+    const Page& pg = heap.page(page_);
+    while (slot_ < pg.num_slots()) {
+      uint32_t s = slot_++;
+      if (!pg.IsLive(s)) continue;
+      RDFREL_ASSIGN_OR_RETURN(std::string_view bytes, pg.Get(s));
+      RDFREL_ASSIGN_OR_RETURN(*out, DeserializeRow(table_->schema(), bytes));
+      return true;
+    }
+    ++page_;
+    slot_ = 0;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ IndexScanOp
+
+IndexScanOp::IndexScanOp(const Table* table, const std::string& alias,
+                         const IndexInfo* index, Value key)
+    : table_(table), index_(index), key_(std::move(key)) {
+  scope_ = TableScope(table, alias);
+}
+
+Status IndexScanOp::Open() {
+  rids_ = index_->Lookup(key_);
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> IndexScanOp::Next(Row* out) {
+  if (pos_ >= rids_.size()) return false;
+  RDFREL_ASSIGN_OR_RETURN(*out, table_->Get(rids_[pos_++]));
+  return true;
+}
+
+// ----------------------------------------------------- MaterializedScanOp
+
+MaterializedScanOp::MaterializedScanOp(
+    std::shared_ptr<const Materialized> mat, const std::string& alias)
+    : mat_(std::move(mat)) {
+  for (size_t i = 0; i < mat_->scope.size(); ++i) {
+    scope_.Add(alias, mat_->scope.column(i).second);
+  }
+}
+
+Status MaterializedScanOp::Open() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> MaterializedScanOp::Next(Row* out) {
+  if (pos_ >= mat_->rows.size()) return false;
+  *out = mat_->rows[pos_++];
+  return true;
+}
+
+// --------------------------------------------------------------- FilterOp
+
+FilterOp::FilterOp(OperatorPtr child, BoundExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  scope_ = child_->scope();
+}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Result<bool> FilterOp::Next(Row* out) {
+  while (true) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    RDFREL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *out));
+    if (pass) return true;
+  }
+}
+
+// -------------------------------------------------------------- ProjectOp
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<BoundExprPtr> exprs,
+                     Scope out)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  scope_ = std::move(out);
+}
+
+Status ProjectOp::Open() { return child_->Open(); }
+
+Result<bool> ProjectOp::Next(Row* out) {
+  Row in;
+  RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+  if (!has) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const auto& e : exprs_) {
+    RDFREL_ASSIGN_OR_RETURN(Value v, e->Evaluate(in));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- HashJoinOp
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::vector<BoundExprPtr> left_keys,
+                       std::vector<BoundExprPtr> right_keys, bool left_outer,
+                       BoundExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      left_outer_(left_outer),
+      residual_(std::move(residual)) {
+  scope_ = left_->scope();
+  scope_.Append(right_->scope());
+  right_width_ = right_->scope().size();
+}
+
+Status HashJoinOp::Open() {
+  RDFREL_RETURN_NOT_OK(left_->Open());
+  RDFREL_RETURN_NOT_OK(right_->Open());
+  build_.clear();
+  Row row;
+  while (true) {
+    auto has = right_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+    std::vector<Value> key;
+    key.reserve(right_keys_.size());
+    bool null_key = false;
+    for (const auto& k : right_keys_) {
+      auto v = k->Evaluate(row);
+      if (!v.ok()) return v.status();
+      if (v->is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(std::move(*v));
+    }
+    if (null_key) continue;  // NULL keys never join
+    build_[std::move(key)].push_back(row);
+  }
+  left_valid_ = false;
+  matches_ = nullptr;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::NextLeft() {
+  RDFREL_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+  if (!has) {
+    left_valid_ = false;
+    return false;
+  }
+  left_valid_ = true;
+  emitted_for_left_ = false;
+  match_pos_ = 0;
+  matches_ = nullptr;
+  std::vector<Value> key;
+  key.reserve(left_keys_.size());
+  bool null_key = false;
+  for (const auto& k : left_keys_) {
+    RDFREL_ASSIGN_OR_RETURN(Value v, k->Evaluate(left_row_));
+    if (v.is_null()) {
+      null_key = true;
+      break;
+    }
+    key.push_back(std::move(v));
+  }
+  if (!null_key) {
+    auto it = build_.find(key);
+    if (it != build_.end()) matches_ = &it->second;
+  }
+  return true;
+}
+
+Result<bool> HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (!left_valid_) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, NextLeft());
+      if (!has) return false;
+    }
+    while (matches_ != nullptr && match_pos_ < matches_->size()) {
+      const Row& rrow = (*matches_)[match_pos_++];
+      *out = left_row_;
+      out->insert(out->end(), rrow.begin(), rrow.end());
+      if (residual_) {
+        RDFREL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, *out));
+        if (!pass) continue;
+      }
+      emitted_for_left_ = true;
+      return true;
+    }
+    // Exhausted matches for this left row.
+    if (left_outer_ && !emitted_for_left_) {
+      *out = left_row_;
+      out->insert(out->end(), right_width_, Value::Null());
+      left_valid_ = false;
+      return true;
+    }
+    left_valid_ = false;
+  }
+}
+
+// ---------------------------------------------------------- IndexNLJoinOp
+
+IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table* inner,
+                             const std::string& inner_alias,
+                             const IndexInfo* index, BoundExprPtr outer_key,
+                             bool left_outer, BoundExprPtr residual)
+    : outer_(std::move(outer)),
+      inner_(inner),
+      index_(index),
+      outer_key_(std::move(outer_key)),
+      left_outer_(left_outer),
+      residual_(std::move(residual)) {
+  scope_ = outer_->scope();
+  scope_.Append(TableScope(inner, inner_alias));
+}
+
+Status IndexNLJoinOp::Open() {
+  RDFREL_RETURN_NOT_OK(outer_->Open());
+  outer_valid_ = false;
+  return Status::OK();
+}
+
+Result<bool> IndexNLJoinOp::Next(Row* out) {
+  const size_t inner_width = inner_->schema().num_columns();
+  while (true) {
+    if (!outer_valid_) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, outer_->Next(&outer_row_));
+      if (!has) return false;
+      outer_valid_ = true;
+      emitted_for_outer_ = false;
+      rid_pos_ = 0;
+      RDFREL_ASSIGN_OR_RETURN(Value key, outer_key_->Evaluate(outer_row_));
+      rids_ = key.is_null() ? std::vector<RowId>{} : index_->Lookup(key);
+    }
+    while (rid_pos_ < rids_.size()) {
+      RowId rid = rids_[rid_pos_++];
+      RDFREL_ASSIGN_OR_RETURN(Row inner_row, inner_->Get(rid));
+      *out = outer_row_;
+      out->insert(out->end(), inner_row.begin(), inner_row.end());
+      if (residual_) {
+        RDFREL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, *out));
+        if (!pass) continue;
+      }
+      emitted_for_outer_ = true;
+      return true;
+    }
+    if (left_outer_ && !emitted_for_outer_) {
+      *out = outer_row_;
+      out->insert(out->end(), inner_width, Value::Null());
+      outer_valid_ = false;
+      return true;
+    }
+    outer_valid_ = false;
+  }
+}
+
+// -------------------------------------------------------- NestedLoopJoinOp
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   bool left_outer, BoundExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_outer_(left_outer),
+      residual_(std::move(residual)) {
+  scope_ = left_->scope();
+  scope_.Append(right_->scope());
+  right_width_ = right_->scope().size();
+}
+
+Status NestedLoopJoinOp::Open() {
+  RDFREL_RETURN_NOT_OK(left_->Open());
+  RDFREL_RETURN_NOT_OK(right_->Open());
+  right_rows_.clear();
+  Row row;
+  while (true) {
+    auto has = right_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+    right_rows_.push_back(row);
+  }
+  left_valid_ = false;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOp::Next(Row* out) {
+  while (true) {
+    if (!left_valid_) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      if (!has) return false;
+      left_valid_ = true;
+      emitted_for_left_ = false;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& rrow = right_rows_[right_pos_++];
+      *out = left_row_;
+      out->insert(out->end(), rrow.begin(), rrow.end());
+      if (residual_) {
+        RDFREL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, *out));
+        if (!pass) continue;
+      }
+      emitted_for_left_ = true;
+      return true;
+    }
+    if (left_outer_ && !emitted_for_left_) {
+      *out = left_row_;
+      out->insert(out->end(), right_width_, Value::Null());
+      left_valid_ = false;
+      return true;
+    }
+    left_valid_ = false;
+  }
+}
+
+// ---------------------------------------------------------------- UnnestOp
+
+UnnestOp::UnnestOp(OperatorPtr child, std::vector<BoundExprPtr> args,
+                   const std::string& alias, const std::string& column)
+    : child_(std::move(child)), args_(std::move(args)) {
+  scope_ = child_->scope();
+  scope_.Add(alias, column);
+}
+
+Status UnnestOp::Open() {
+  valid_ = false;
+  return child_->Open();
+}
+
+Result<bool> UnnestOp::Next(Row* out) {
+  while (true) {
+    if (!valid_) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(&current_));
+      if (!has) return false;
+      valid_ = true;
+      arg_pos_ = 0;
+    }
+    if (arg_pos_ < args_.size()) {
+      RDFREL_ASSIGN_OR_RETURN(Value v, args_[arg_pos_++]->Evaluate(current_));
+      *out = current_;
+      out->push_back(std::move(v));
+      return true;
+    }
+    valid_ = false;
+  }
+}
+
+// -------------------------------------------------------------- UnionAllOp
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {
+  scope_ = children_.front()->scope();
+}
+
+Status UnionAllOp::Open() {
+  for (auto& c : children_) RDFREL_RETURN_NOT_OK(c->Open());
+  current_ = 0;
+  return Status::OK();
+}
+
+Result<bool> UnionAllOp::Next(Row* out) {
+  while (current_ < children_.size()) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, children_[current_]->Next(out));
+    if (has) return true;
+    ++current_;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- DistinctOp
+
+DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {
+  scope_ = child_->scope();
+}
+
+Status DistinctOp::Open() {
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctOp::Next(Row* out) {
+  while (true) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    if (seen_.insert(*out).second) return true;
+  }
+}
+
+// ------------------------------------------------------------------ SortOp
+
+SortOp::SortOp(OperatorPtr child, std::vector<BoundExprPtr> keys,
+               std::vector<bool> descending)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      descending_(std::move(descending)) {
+  scope_ = child_->scope();
+}
+
+Status SortOp::Open() {
+  RDFREL_RETURN_NOT_OK(child_->Open());
+  rows_.clear();
+  pos_ = 0;
+  Row row;
+  while (true) {
+    auto has = child_->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+    rows_.push_back(row);
+  }
+  // Precompute sort keys per row to keep the comparator exception-free.
+  std::vector<std::vector<Value>> sort_keys(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    sort_keys[i].reserve(keys_.size());
+    for (const auto& k : keys_) {
+      auto v = k->Evaluate(rows_[i]);
+      if (!v.ok()) return v.status();
+      sort_keys[i].push_back(std::move(*v));
+    }
+  }
+  std::vector<size_t> order(rows_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      int c = sort_keys[a][k].Compare(sort_keys[b][k]);
+      if (c != 0) return descending_[k] ? c > 0 : c < 0;
+    }
+    return false;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (size_t i : order) sorted.push_back(std::move(rows_[i]));
+  rows_ = std::move(sorted);
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+// ------------------------------------------------------------- AggregateOp
+
+AggregateOp::AggregateOp(OperatorPtr child, std::vector<BoundExprPtr> keys,
+                         std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      keys_(std::move(keys)),
+      aggs_(std::move(aggs)) {
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    scope_.Add("agg", "k" + std::to_string(i));
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    scope_.Add("agg", "a" + std::to_string(i));
+  }
+}
+
+Status AggregateOp::Accumulate(const Row& in,
+                               std::vector<AggState>* states) {
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& spec = aggs_[i];
+    AggState& st = (*states)[i];
+    Value v;
+    if (spec.input != nullptr) {
+      RDFREL_ASSIGN_OR_RETURN(v, spec.input->Evaluate(in));
+      if (v.is_null()) continue;  // aggregates skip NULL inputs
+    } else {
+      v = Value::Int(1);  // COUNT(*)
+    }
+    if (spec.distinct && spec.input != nullptr) {
+      if (!st.seen.insert(v).second) continue;
+    }
+    st.count += 1;
+    switch (spec.func) {
+      case ast::AggFunc::kCount:
+        break;
+      case ast::AggFunc::kSum:
+      case ast::AggFunc::kAvg:
+        if (v.is_string()) {
+          return Status::ExecutionError("SUM/AVG over string values");
+        }
+        if (v.is_int() && st.int_only) {
+          st.isum += v.AsInt();
+        } else {
+          if (st.int_only) {
+            st.dsum = static_cast<double>(st.isum);
+            st.int_only = false;
+          }
+          st.dsum += v.NumericValue();
+        }
+        break;
+      case ast::AggFunc::kMin:
+      case ast::AggFunc::kMax:
+        if (!st.has_value) {
+          st.min_value = v;
+          st.max_value = v;
+        } else {
+          if (v.Compare(st.min_value) < 0) st.min_value = v;
+          if (v.Compare(st.max_value) > 0) st.max_value = v;
+        }
+        break;
+      case ast::AggFunc::kNone:
+        return Status::Internal("kNone aggregate in AggregateOp");
+    }
+    st.has_value = true;
+  }
+  return Status::OK();
+}
+
+Value AggregateOp::Finalize(const AggSpec& spec, const AggState& st) const {
+  switch (spec.func) {
+    case ast::AggFunc::kCount:
+      return Value::Int(st.count);
+    case ast::AggFunc::kSum:
+      if (!st.has_value) return Value::Null();
+      return st.int_only ? Value::Int(st.isum) : Value::Real(st.dsum);
+    case ast::AggFunc::kAvg: {
+      if (!st.has_value) return Value::Null();
+      double total = st.int_only ? static_cast<double>(st.isum) : st.dsum;
+      return Value::Real(total / static_cast<double>(st.count));
+    }
+    case ast::AggFunc::kMin:
+      return st.has_value ? st.min_value : Value::Null();
+    case ast::AggFunc::kMax:
+      return st.has_value ? st.max_value : Value::Null();
+    case ast::AggFunc::kNone:
+      break;
+  }
+  return Value::Null();
+}
+
+Status AggregateOp::Open() {
+  RDFREL_RETURN_NOT_OK(child_->Open());
+  results_.clear();
+  pos_ = 0;
+  std::unordered_map<std::vector<Value>, std::vector<AggState>,
+                     ValueVectorHasher>
+      groups;
+  std::vector<std::vector<Value>> group_order;
+  Row in;
+  while (true) {
+    auto has = child_->Next(&in);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+    std::vector<Value> key;
+    key.reserve(keys_.size());
+    for (const auto& k : keys_) {
+      auto v = k->Evaluate(in);
+      if (!v.ok()) return v.status();
+      key.push_back(std::move(*v));
+    }
+    auto [it, inserted] =
+        groups.try_emplace(key, std::vector<AggState>(aggs_.size()));
+    if (inserted) group_order.push_back(key);
+    RDFREL_RETURN_NOT_OK(Accumulate(in, &it->second));
+  }
+  // SQL global aggregates produce one row over empty input.
+  if (keys_.empty() && groups.empty()) {
+    groups.try_emplace(std::vector<Value>{},
+                       std::vector<AggState>(aggs_.size()));
+    group_order.push_back({});
+  }
+  for (const auto& key : group_order) {
+    const auto& states = groups.at(key);
+    Row row = key;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      row.push_back(Finalize(aggs_[i], states[i]));
+    }
+    results_.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Result<bool> AggregateOp::Next(Row* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  return true;
+}
+
+// ----------------------------------------------------------------- LimitOp
+
+LimitOp::LimitOp(OperatorPtr child, std::optional<int64_t> limit,
+                 std::optional<int64_t> offset)
+    : child_(std::move(child)), limit_(limit), offset_(offset) {
+  scope_ = child_->scope();
+}
+
+Status LimitOp::Open() {
+  skipped_ = 0;
+  emitted_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitOp::Next(Row* out) {
+  if (limit_.has_value() && emitted_ >= *limit_) return false;
+  while (true) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    if (offset_.has_value() && skipped_ < *offset_) {
+      ++skipped_;
+      continue;
+    }
+    ++emitted_;
+    return true;
+  }
+}
+
+Result<std::vector<Row>> CollectRows(Operator* op) {
+  RDFREL_RETURN_NOT_OK(op->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, op->Next(&row));
+    if (!has) break;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace rdfrel::sql

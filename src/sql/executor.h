@@ -1,0 +1,313 @@
+#ifndef RDFREL_SQL_EXECUTOR_H_
+#define RDFREL_SQL_EXECUTOR_H_
+
+/// \file executor.h
+/// Pull-based physical operators (Volcano-style Open/Next). The planner
+/// assembles these into a tree; Database drives the root to completion.
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/expression.h"
+#include "sql/row.h"
+#include "util/status.h"
+
+namespace rdfrel::sql {
+
+/// A materialized intermediate result (CTE or derived table), shared between
+/// the planner's execution of the CTE and later scans of it.
+struct Materialized {
+  Scope scope;             ///< qualifier = the materialized name
+  std::vector<Row> rows;
+};
+
+/// Base class for physical operators.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares (or re-prepares) the operator for a full scan of its output.
+  virtual Status Open() = 0;
+  /// Produces the next row into \p out; returns false at end of stream.
+  virtual Result<bool> Next(Row* out) = 0;
+
+  const Scope& scope() const { return scope_; }
+
+ protected:
+  Scope scope_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Full-table scan.
+class SeqScanOp final : public Operator {
+ public:
+  SeqScanOp(const Table* table, const std::string& alias);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  const Table* table_;
+  size_t page_ = 0;
+  uint32_t slot_ = 0;
+};
+
+/// Point index lookup: emits rows whose indexed column equals a constant.
+class IndexScanOp final : public Operator {
+ public:
+  IndexScanOp(const Table* table, const std::string& alias,
+              const IndexInfo* index, Value key);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  const Table* table_;
+  const IndexInfo* index_;
+  Value key_;
+  std::vector<RowId> rids_;
+  size_t pos_ = 0;
+};
+
+/// Scans a materialized result (CTE / derived table) under a new alias.
+class MaterializedScanOp final : public Operator {
+ public:
+  MaterializedScanOp(std::shared_ptr<const Materialized> mat,
+                     const std::string& alias);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  std::shared_ptr<const Materialized> mat_;
+  size_t pos_ = 0;
+};
+
+/// WHERE filter.
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, BoundExprPtr predicate);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  BoundExprPtr predicate_;
+};
+
+/// Projection: computes output expressions, renames scope.
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<BoundExprPtr> exprs, Scope out);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<BoundExprPtr> exprs_;
+};
+
+/// Hash join: builds on the right child, probes with the left. Inner or
+/// left-outer. Residual predicate (if any) evaluated on the concatenated
+/// row before a match counts.
+class HashJoinOp final : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right,
+             std::vector<BoundExprPtr> left_keys,
+             std::vector<BoundExprPtr> right_keys, bool left_outer,
+             BoundExprPtr residual);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  Result<bool> NextLeft();
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<BoundExprPtr> left_keys_;
+  std::vector<BoundExprPtr> right_keys_;
+  bool left_outer_;
+  BoundExprPtr residual_;
+
+  std::unordered_map<std::vector<Value>, std::vector<Row>, ValueVectorHasher>
+      build_;
+  size_t right_width_ = 0;
+  Row left_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool left_valid_ = false;
+  bool emitted_for_left_ = false;
+};
+
+/// Index nested-loop join: for each outer row, probes the inner table's
+/// index with a key computed from the outer row. Inner or left-outer.
+class IndexNLJoinOp final : public Operator {
+ public:
+  IndexNLJoinOp(OperatorPtr outer, const Table* inner,
+                const std::string& inner_alias, const IndexInfo* index,
+                BoundExprPtr outer_key, bool left_outer,
+                BoundExprPtr residual);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr outer_;
+  const Table* inner_;
+  const IndexInfo* index_;
+  BoundExprPtr outer_key_;
+  bool left_outer_;
+  BoundExprPtr residual_;  ///< bound against concatenated scope
+
+  Row outer_row_;
+  std::vector<RowId> rids_;
+  size_t rid_pos_ = 0;
+  bool outer_valid_ = false;
+  bool emitted_for_outer_ = false;
+};
+
+/// Cross nested-loop join (inner side materialized), with optional residual
+/// predicate and left-outer support. Fallback when no equi-key exists.
+class NestedLoopJoinOp final : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, bool left_outer,
+                   BoundExprPtr residual);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  bool left_outer_;
+  BoundExprPtr residual_;
+
+  std::vector<Row> right_rows_;
+  size_t right_width_ = 0;
+  Row left_row_;
+  size_t right_pos_ = 0;
+  bool left_valid_ = false;
+  bool emitted_for_left_ = false;
+};
+
+/// UNNEST(e1, ..., en) AS a(c): lateral operator emitting, per input row,
+/// one output row per argument with the argument's value appended as column
+/// a.c. Implements the paper's multi-column "flip" (Fig. 13's TABLE(...)).
+class UnnestOp final : public Operator {
+ public:
+  UnnestOp(OperatorPtr child, std::vector<BoundExprPtr> args,
+           const std::string& alias, const std::string& column);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<BoundExprPtr> args_;
+  Row current_;
+  size_t arg_pos_ = 0;
+  bool valid_ = false;
+};
+
+/// Concatenation of children (UNION ALL). Children must agree on arity;
+/// output scope is the first child's.
+class UnionAllOp final : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> children);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+/// Hash-based duplicate elimination.
+class DistinctOp final : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::unordered_set<std::vector<Value>, ValueVectorHasher> seen_;
+};
+
+/// Full sort (materializing). Key i uses keys_[i], descending per flag.
+class SortOp final : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<BoundExprPtr> keys,
+         std::vector<bool> descending);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<BoundExprPtr> keys_;
+  std::vector<bool> descending_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Hash aggregation (GROUP BY keys + aggregate functions). Output columns
+/// are the keys in order, then one column per aggregate; a ProjectOp above
+/// restores the SELECT-list order. With no keys, exactly one row is
+/// produced even over empty input (SQL global-aggregate semantics).
+class AggregateOp final : public Operator {
+ public:
+  struct AggSpec {
+    ast::AggFunc func = ast::AggFunc::kCount;
+    BoundExprPtr input;  ///< null == COUNT(*)
+    bool distinct = false;
+  };
+
+  AggregateOp(OperatorPtr child, std::vector<BoundExprPtr> keys,
+              std::vector<AggSpec> aggs);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    int64_t isum = 0;
+    double dsum = 0;
+    bool int_only = true;
+    bool has_value = false;
+    Value min_value;
+    Value max_value;
+    std::unordered_set<Value, ValueHasher> seen;  // DISTINCT inputs
+  };
+
+  Status Accumulate(const Row& in, std::vector<AggState>* states);
+  Value Finalize(const AggSpec& spec, const AggState& st) const;
+
+  OperatorPtr child_;
+  std::vector<BoundExprPtr> keys_;
+  std::vector<AggSpec> aggs_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// LIMIT/OFFSET.
+class LimitOp final : public Operator {
+ public:
+  LimitOp(OperatorPtr child, std::optional<int64_t> limit,
+          std::optional<int64_t> offset);
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+ private:
+  OperatorPtr child_;
+  std::optional<int64_t> limit_;
+  std::optional<int64_t> offset_;
+  int64_t skipped_ = 0;
+  int64_t emitted_ = 0;
+};
+
+/// Runs \p op to completion, collecting rows.
+Result<std::vector<Row>> CollectRows(Operator* op);
+
+}  // namespace rdfrel::sql
+
+#endif  // RDFREL_SQL_EXECUTOR_H_

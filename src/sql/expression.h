@@ -1,0 +1,86 @@
+#ifndef RDFREL_SQL_EXPRESSION_H_
+#define RDFREL_SQL_EXPRESSION_H_
+
+/// \file expression.h
+/// Name resolution (Scope) and bound, executable expression trees with SQL
+/// three-valued logic.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/row.h"
+#include "util/status.h"
+
+namespace rdfrel::sql {
+
+/// The column namespace of a row flowing through the executor: an ordered
+/// list of (qualifier, column-name) pairs, both lower-cased. Qualifiers are
+/// table aliases; the same qualifier appears once per column of its table.
+class Scope {
+ public:
+  Scope() = default;
+
+  /// Appends a column; returns its slot.
+  int Add(std::string qualifier, std::string name);
+
+  /// Appends every column of \p other (used when concatenating join sides).
+  void Append(const Scope& other);
+
+  /// Resolves [qualifier.]name to a slot. Errors: NotFound, or
+  /// InvalidArgument("ambiguous") when an unqualified name matches several
+  /// columns.
+  Result<int> Resolve(std::string_view qualifier, std::string_view name) const;
+
+  size_t size() const { return cols_.size(); }
+  const std::pair<std::string, std::string>& column(size_t i) const {
+    return cols_[i];
+  }
+
+  /// Output column names (unqualified), for QueryResult headers.
+  std::vector<std::string> Names() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> cols_;
+};
+
+/// A bound (slot-resolved) expression ready for evaluation.
+class BoundExpr {
+ public:
+  virtual ~BoundExpr() = default;
+  /// Evaluates against one row (which must match the Scope this expression
+  /// was bound under).
+  virtual Result<Value> Evaluate(const Row& row) const = 0;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+/// Binds \p expr against \p scope, resolving all column references.
+Result<BoundExprPtr> BindExpr(const ast::Expr& expr, const Scope& scope);
+
+/// A bound expression reading row slot \p slot directly (planner helper for
+/// hidden sort columns and projection trims).
+BoundExprPtr MakeSlotRef(int slot);
+
+/// SQL truthiness: NULL -> nullopt, numeric -> (v != 0). Strings are not
+/// valid predicates (ExecutionError).
+Result<std::optional<bool>> ValueTruth(const Value& v);
+
+/// Convenience: evaluates a bound predicate and applies WHERE semantics
+/// (NULL counts as false).
+Result<bool> EvalPredicate(const BoundExpr& expr, const Row& row);
+
+/// Collects the AND-conjuncts of an (unbound) expression tree.
+void CollectConjuncts(const ast::Expr& expr,
+                      std::vector<const ast::Expr*>* out);
+
+/// True if every column reference in \p expr resolves in \p scope.
+bool ExprCoveredByScope(const ast::Expr& expr, const Scope& scope);
+
+}  // namespace rdfrel::sql
+
+#endif  // RDFREL_SQL_EXPRESSION_H_

@@ -1,0 +1,85 @@
+#include "sql/heap_file.h"
+
+#include <algorithm>
+
+namespace rdfrel::sql {
+
+HeapFile::HeapFile(size_t page_size) : page_size_(page_size) {}
+
+Result<RowId> HeapFile::Insert(std::string_view cell) {
+  // Fast path: the most recently opened page.
+  while (!open_pages_.empty()) {
+    uint32_t pid = open_pages_.back();
+    Page& page = *pages_[pid];
+    if (page.Fits(cell.size())) {
+      RDFREL_ASSIGN_OR_RETURN(uint32_t slot, page.Insert(cell));
+      return RowId{pid, slot};
+    }
+    open_pages_.pop_back();  // page is effectively full for this cell size
+  }
+  auto page = std::make_unique<Page>(page_size_);
+  if (!page->Fits(cell.size())) {
+    return Status::CapacityExceeded(
+        "cell of " + std::to_string(cell.size()) +
+        " bytes exceeds page capacity " + std::to_string(page_size_));
+  }
+  RDFREL_ASSIGN_OR_RETURN(uint32_t slot, page->Insert(cell));
+  pages_.push_back(std::move(page));
+  uint32_t pid = static_cast<uint32_t>(pages_.size() - 1);
+  open_pages_.push_back(pid);
+  return RowId{pid, slot};
+}
+
+Result<std::string_view> HeapFile::Get(RowId rid) const {
+  if (rid.page >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(rid.page));
+  }
+  return pages_[rid.page]->Get(rid.slot);
+}
+
+Status HeapFile::Delete(RowId rid) {
+  if (rid.page >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(rid.page));
+  }
+  return pages_[rid.page]->Delete(rid.slot);
+}
+
+Result<RowId> HeapFile::Update(RowId rid, std::string_view cell) {
+  if (rid.page >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(rid.page));
+  }
+  Status st = pages_[rid.page]->Update(rid.slot, cell);
+  if (st.ok()) return rid;
+  if (!st.IsCapacityExceeded()) return st;
+  // Relocate: tombstone the old slot, insert elsewhere.
+  RDFREL_RETURN_NOT_OK(pages_[rid.page]->Delete(rid.slot));
+  return Insert(cell);
+}
+
+Status HeapFile::Scan(
+    const std::function<Status(RowId, std::string_view)>& fn) const {
+  for (uint32_t p = 0; p < pages_.size(); ++p) {
+    const Page& page = *pages_[p];
+    for (uint32_t s = 0; s < page.num_slots(); ++s) {
+      if (!page.IsLive(s)) continue;
+      auto cell = page.Get(s);
+      if (!cell.ok()) return cell.status();
+      RDFREL_RETURN_NOT_OK(fn(RowId{p, s}, *cell));
+    }
+  }
+  return Status::OK();
+}
+
+size_t HeapFile::AllocatedBytes() const {
+  size_t total = 0;
+  for (const auto& p : pages_) total += p->Capacity();
+  return total;
+}
+
+size_t HeapFile::LiveBytes() const {
+  size_t total = 0;
+  for (const auto& p : pages_) total += p->LiveBytes();
+  return total;
+}
+
+}  // namespace rdfrel::sql

@@ -1,0 +1,56 @@
+#ifndef RDFREL_SQL_HEAP_FILE_H_
+#define RDFREL_SQL_HEAP_FILE_H_
+
+/// \file heap_file.h
+/// An append-friendly collection of slotted pages addressed by RowId.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sql/page.h"
+#include "util/status.h"
+
+namespace rdfrel::sql {
+
+/// A growable sequence of Pages. Insertion fills the most recent page first,
+/// then earlier pages with room, then allocates.
+class HeapFile {
+ public:
+  explicit HeapFile(size_t page_size = Page::kDefaultSize);
+
+  /// Inserts \p cell, returning its RowId. Fails with CapacityExceeded only
+  /// when the cell exceeds a whole empty page.
+  Result<RowId> Insert(std::string_view cell);
+
+  Result<std::string_view> Get(RowId rid) const;
+  Status Delete(RowId rid);
+
+  /// Updates in place when possible; otherwise relocates and returns the new
+  /// RowId (the old slot is tombstoned). The returned RowId equals \p rid
+  /// when no move happened.
+  Result<RowId> Update(RowId rid, std::string_view cell);
+
+  /// Iterates all live cells in RowId order. The callback may return a
+  /// non-OK status to abort iteration.
+  Status Scan(
+      const std::function<Status(RowId, std::string_view)>& fn) const;
+
+  size_t num_pages() const { return pages_.size(); }
+  /// Page by index (for cursor-style scans).
+  const Page& page(size_t i) const { return *pages_[i]; }
+  /// Total bytes allocated in pages.
+  size_t AllocatedBytes() const;
+  /// Bytes of live row payload.
+  size_t LiveBytes() const;
+
+ private:
+  size_t page_size_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  // Pages believed to have free room, checked before allocating new ones.
+  std::vector<uint32_t> open_pages_;
+};
+
+}  // namespace rdfrel::sql
+
+#endif  // RDFREL_SQL_HEAP_FILE_H_

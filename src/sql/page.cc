@@ -1,0 +1,94 @@
+#include "sql/page.h"
+
+#include <cstring>
+
+namespace rdfrel::sql {
+
+namespace {
+// In-memory slot entries live in the slots_ vector; we still account for
+// their would-be on-page footprint so capacity math matches a real page.
+constexpr size_t kSlotFootprint = 8;
+constexpr size_t kHeaderFootprint = 16;
+}  // namespace
+
+Page::Page(size_t size) : data_(size, '\0'), free_end_(size) {}
+
+bool Page::Fits(size_t size) const {
+  size_t used_front = kHeaderFootprint + slots_.size() * kSlotFootprint;
+  size_t free = free_end_ > used_front ? free_end_ - used_front : 0;
+  return size + kSlotFootprint <= free;
+}
+
+Result<uint32_t> Page::Insert(std::string_view cell) {
+  if (!Fits(cell.size())) {
+    return Status::CapacityExceeded("cell of " + std::to_string(cell.size()) +
+                                    " bytes does not fit page");
+  }
+  free_end_ -= cell.size();
+  std::memcpy(data_.data() + free_end_, cell.data(), cell.size());
+  slots_.push_back(Slot{static_cast<uint32_t>(free_end_),
+                        static_cast<uint32_t>(cell.size())});
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+bool Page::IsLive(uint32_t slot) const {
+  return slot < slots_.size() && slots_[slot].offset != 0;
+}
+
+Result<std::string_view> Page::Get(uint32_t slot) const {
+  if (slot >= slots_.size()) {
+    return Status::OutOfRange("slot " + std::to_string(slot));
+  }
+  const Slot& s = slots_[slot];
+  if (s.offset == 0) return Status::NotFound("slot is deleted");
+  return std::string_view(data_).substr(s.offset, s.length);
+}
+
+Status Page::Delete(uint32_t slot) {
+  if (slot >= slots_.size()) {
+    return Status::OutOfRange("slot " + std::to_string(slot));
+  }
+  Slot& s = slots_[slot];
+  if (s.offset == 0) return Status::NotFound("slot already deleted");
+  dead_bytes_ += s.length;
+  s.offset = 0;
+  s.length = 0;
+  return Status::OK();
+}
+
+Status Page::Update(uint32_t slot, std::string_view cell) {
+  if (slot >= slots_.size()) {
+    return Status::OutOfRange("slot " + std::to_string(slot));
+  }
+  Slot& s = slots_[slot];
+  if (s.offset == 0) return Status::NotFound("slot is deleted");
+  if (cell.size() <= s.length) {
+    // Shrink in place; the tail of the old cell becomes dead space.
+    std::memcpy(data_.data() + s.offset, cell.data(), cell.size());
+    dead_bytes_ += s.length - cell.size();
+    s.length = static_cast<uint32_t>(cell.size());
+    return Status::OK();
+  }
+  // Try to place the grown cell in remaining free space on this page.
+  size_t used_front = kHeaderFootprint + slots_.size() * kSlotFootprint;
+  size_t free = free_end_ > used_front ? free_end_ - used_front : 0;
+  if (cell.size() <= free) {
+    dead_bytes_ += s.length;
+    free_end_ -= cell.size();
+    std::memcpy(data_.data() + free_end_, cell.data(), cell.size());
+    s.offset = static_cast<uint32_t>(free_end_);
+    s.length = static_cast<uint32_t>(cell.size());
+    return Status::OK();
+  }
+  return Status::CapacityExceeded("updated cell does not fit page");
+}
+
+size_t Page::LiveBytes() const {
+  size_t live = 0;
+  for (const auto& s : slots_) {
+    if (s.offset != 0) live += s.length;
+  }
+  return live;
+}
+
+}  // namespace rdfrel::sql

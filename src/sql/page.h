@@ -1,0 +1,92 @@
+#ifndef RDFREL_SQL_PAGE_H_
+#define RDFREL_SQL_PAGE_H_
+
+/// \file page.h
+/// A slotted page: slot directory grows forward from the header, cell bytes
+/// grow backward from the page end. The classic heap-page layout (see e.g.
+/// the RocksDB/Postgres lineage); in-memory here, but the layout is what a
+/// disk-backed engine would persist.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdfrel::sql {
+
+/// Physical location of a row: page number within a heap file plus slot
+/// index within the page.
+struct RowId {
+  uint32_t page = 0;
+  uint32_t slot = 0;
+
+  bool operator==(const RowId& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  bool operator<(const RowId& other) const {
+    return page != other.page ? page < other.page : slot < other.slot;
+  }
+  std::string ToString() const {
+    return "(" + std::to_string(page) + "," + std::to_string(slot) + ")";
+  }
+};
+
+struct RowIdHasher {
+  size_t operator()(const RowId& r) const {
+    return (static_cast<size_t>(r.page) << 20) ^ r.slot;
+  }
+};
+
+/// A fixed-capacity slotted page holding variable-length cells.
+class Page {
+ public:
+  static constexpr size_t kDefaultSize = 32 * 1024;
+
+  explicit Page(size_t size = kDefaultSize);
+
+  /// Inserts a cell; returns its slot index, or CapacityExceeded when the
+  /// cell (plus a slot entry) does not fit in the remaining free space.
+  Result<uint32_t> Insert(std::string_view cell);
+
+  /// Cell bytes for a live slot.
+  Result<std::string_view> Get(uint32_t slot) const;
+
+  /// Tombstones a slot. Idempotent-safe: deleting a dead slot is an error.
+  Status Delete(uint32_t slot);
+
+  /// Replaces a cell in place when the new bytes fit the slot's current cell
+  /// region or the page free space; returns Status::CapacityExceeded when the
+  /// caller must relocate the row to another page.
+  Status Update(uint32_t slot, std::string_view cell);
+
+  /// True when a cell of \p size would fit (including slot overhead).
+  bool Fits(size_t size) const;
+
+  uint32_t num_slots() const { return static_cast<uint32_t>(slots_.size()); }
+  bool IsLive(uint32_t slot) const;
+
+  /// Bytes of live cell payload (excludes slots/header/dead space).
+  size_t LiveBytes() const;
+  /// Total page capacity.
+  size_t Capacity() const { return data_.size(); }
+  /// Bytes lost to deleted/relocated cells (until a compaction would reclaim).
+  size_t DeadBytes() const { return dead_bytes_; }
+
+ private:
+  struct Slot {
+    uint32_t offset = 0;  // 0 == tombstone
+    uint32_t length = 0;
+  };
+
+  std::string data_;
+  std::vector<Slot> slots_;
+  size_t free_end_;        // cells occupy [free_end_, data_.size())
+  size_t dead_bytes_ = 0;  // fragmentation accounting
+};
+
+}  // namespace rdfrel::sql
+
+#endif  // RDFREL_SQL_PAGE_H_

@@ -1,0 +1,136 @@
+#include "sql/row.h"
+
+#include <cstring>
+
+namespace rdfrel::sql {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetU32(std::string_view& in, uint32_t* v) {
+  if (in.size() < 4) return false;
+  std::memcpy(v, in.data(), 4);
+  in.remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view& in, uint64_t* v) {
+  if (in.size() < 8) return false;
+  std::memcpy(v, in.data(), 8);
+  in.remove_prefix(8);
+  return true;
+}
+
+}  // namespace
+
+Status SerializeRow(const Schema& schema, const Row& row, std::string* out) {
+  RDFREL_RETURN_NOT_OK(schema.ValidateRow(row));
+  size_t n = row.size();
+  // Null bitmap: bit i set => column i is non-null.
+  size_t bitmap_bytes = (n + 7) / 8;
+  size_t bitmap_start = out->size();
+  out->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    (*out)[bitmap_start + i / 8] |= static_cast<char>(1u << (i % 8));
+    switch (schema.column(i).type) {
+      case ValueType::kInt64:
+        PutU64(out, static_cast<uint64_t>(v.AsInt()));
+        break;
+      case ValueType::kDouble: {
+        double d = v.NumericValue();
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        PutU64(out, bits);
+        break;
+      }
+      case ValueType::kString:
+        PutU32(out, static_cast<uint32_t>(v.AsString().size()));
+        out->append(v.AsString());
+        break;
+      case ValueType::kNull:
+        return Status::Internal("schema column declared NULL type");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Row> DeserializeRow(const Schema& schema, std::string_view bytes) {
+  size_t n = schema.num_columns();
+  size_t bitmap_bytes = (n + 7) / 8;
+  if (bytes.size() < bitmap_bytes) {
+    return Status::Internal("row bytes shorter than null bitmap");
+  }
+  std::string_view bitmap = bytes.substr(0, bitmap_bytes);
+  std::string_view in = bytes.substr(bitmap_bytes);
+  Row row(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool present = (bitmap[i / 8] >> (i % 8)) & 1;
+    if (!present) continue;  // stays NULL
+    switch (schema.column(i).type) {
+      case ValueType::kInt64: {
+        uint64_t v;
+        if (!GetU64(in, &v)) return Status::Internal("truncated int column");
+        row[i] = Value::Int(static_cast<int64_t>(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits;
+        if (!GetU64(in, &bits)) {
+          return Status::Internal("truncated double column");
+        }
+        double d;
+        std::memcpy(&d, &bits, 8);
+        row[i] = Value::Real(d);
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len;
+        if (!GetU32(in, &len) || in.size() < len) {
+          return Status::Internal("truncated string column");
+        }
+        row[i] = Value::Str(std::string(in.substr(0, len)));
+        in.remove_prefix(len);
+        break;
+      }
+      case ValueType::kNull:
+        return Status::Internal("schema column declared NULL type");
+    }
+  }
+  return row;
+}
+
+size_t SerializedRowSize(const Schema& schema, const Row& row) {
+  size_t n = row.size();
+  size_t size = (n + 7) / 8;
+  for (size_t i = 0; i < n && i < schema.num_columns(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (schema.column(i).type) {
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        size += 8;
+        break;
+      case ValueType::kString:
+        size += 4 + v.AsString().size();
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+  return size;
+}
+
+}  // namespace rdfrel::sql

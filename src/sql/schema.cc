@@ -1,0 +1,52 @@
+#include "sql/schema.h"
+
+#include "util/string_util.h"
+
+namespace rdfrel::sql {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (auto& c : columns_) c.name = ToLowerAscii(c.name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_.emplace(columns_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::FindColumn(std::string_view name) const {
+  auto it = by_name_.find(ToLowerAscii(name));
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    ValueType want = columns_[i].type;
+    ValueType got = v.type();
+    bool ok = (got == want) ||
+              (want == ValueType::kDouble && got == ValueType::kInt64);
+    if (!ok) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          ValueTypeToString(want) + ", got " + ValueTypeToString(got));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace rdfrel::sql

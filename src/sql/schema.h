@@ -1,0 +1,52 @@
+#ifndef RDFREL_SQL_SCHEMA_H_
+#define RDFREL_SQL_SCHEMA_H_
+
+/// \file schema.h
+/// Table schemas: ordered, named, typed columns. All columns are nullable
+/// (the DB2RDF layout is NULL-heavy by design; see paper §2.3).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/value.h"
+#include "util/status.h"
+
+namespace rdfrel::sql {
+
+/// One column definition.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// An ordered list of columns with O(1) name lookup. Column names are
+/// case-insensitive (stored lower-case), matching common SQL behaviour.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of a column by (case-insensitive) name, or -1.
+  int FindColumn(std::string_view name) const;
+
+  /// Checks \p row arity and type-compatibility (NULL allowed anywhere;
+  /// ints accepted into double columns).
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+  /// Human-readable "name TYPE, ..." list.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace rdfrel::sql
+
+#endif  // RDFREL_SQL_SCHEMA_H_

@@ -1,0 +1,41 @@
+#include "sql/table_storage.h"
+
+namespace rdfrel::sql {
+
+TableStorage::TableStorage(Schema schema, size_t page_size)
+    : schema_(std::move(schema)), heap_(page_size) {}
+
+Result<RowId> TableStorage::Insert(const Row& row) {
+  std::string bytes;
+  RDFREL_RETURN_NOT_OK(SerializeRow(schema_, row, &bytes));
+  RDFREL_ASSIGN_OR_RETURN(RowId rid, heap_.Insert(bytes));
+  ++row_count_;
+  return rid;
+}
+
+Result<Row> TableStorage::Get(RowId rid) const {
+  RDFREL_ASSIGN_OR_RETURN(std::string_view bytes, heap_.Get(rid));
+  return DeserializeRow(schema_, bytes);
+}
+
+Result<RowId> TableStorage::Update(RowId rid, const Row& row) {
+  std::string bytes;
+  RDFREL_RETURN_NOT_OK(SerializeRow(schema_, row, &bytes));
+  return heap_.Update(rid, bytes);
+}
+
+Status TableStorage::Delete(RowId rid) {
+  RDFREL_RETURN_NOT_OK(heap_.Delete(rid));
+  --row_count_;
+  return Status::OK();
+}
+
+Status TableStorage::Scan(
+    const std::function<Status(RowId, const Row&)>& fn) const {
+  return heap_.Scan([&](RowId rid, std::string_view bytes) -> Status {
+    RDFREL_ASSIGN_OR_RETURN(Row row, DeserializeRow(schema_, bytes));
+    return fn(rid, row);
+  });
+}
+
+}  // namespace rdfrel::sql

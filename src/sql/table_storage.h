@@ -1,0 +1,52 @@
+#ifndef RDFREL_SQL_TABLE_STORAGE_H_
+#define RDFREL_SQL_TABLE_STORAGE_H_
+
+/// \file table_storage.h
+/// A table: schema + heap file of serialized rows.
+
+#include <functional>
+#include <string>
+
+#include "sql/heap_file.h"
+#include "sql/row.h"
+#include "sql/schema.h"
+#include "util/status.h"
+
+namespace rdfrel::sql {
+
+/// Row storage for one table. Index maintenance lives a level up (in
+/// Catalog::Table) so storage stays mechanism-only.
+class TableStorage {
+ public:
+  explicit TableStorage(Schema schema,
+                        size_t page_size = Page::kDefaultSize);
+
+  const Schema& schema() const { return schema_; }
+
+  Result<RowId> Insert(const Row& row);
+  Result<Row> Get(RowId rid) const;
+  /// Updates a row; may relocate (returns the possibly-new RowId).
+  Result<RowId> Update(RowId rid, const Row& row);
+  Status Delete(RowId rid);
+
+  /// Visits all live rows.
+  Status Scan(const std::function<Status(RowId, const Row&)>& fn) const;
+
+  uint64_t row_count() const { return row_count_; }
+  /// Underlying heap (cursor-style page access for the executor).
+  const HeapFile& heap() const { return heap_; }
+  /// Bytes allocated in pages (what "size on disk" would be).
+  size_t AllocatedBytes() const { return heap_.AllocatedBytes(); }
+  /// Bytes of live serialized rows.
+  size_t LiveBytes() const { return heap_.LiveBytes(); }
+  size_t num_pages() const { return heap_.num_pages(); }
+
+ private:
+  Schema schema_;
+  HeapFile heap_;
+  uint64_t row_count_ = 0;
+};
+
+}  // namespace rdfrel::sql
+
+#endif  // RDFREL_SQL_TABLE_STORAGE_H_

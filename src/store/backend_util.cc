@@ -1,0 +1,112 @@
+#include "store/backend_util.h"
+
+#include "opt/cost_model.h"
+#include "opt/data_flow_graph.h"
+#include <sstream>
+
+#include "opt/flow_tree.h"
+
+namespace rdfrel::store {
+
+Result<opt::ExecNodePtr> OptimizeForBackend(const sparql::Query& query,
+                                            const opt::Statistics& stats,
+                                            const rdf::Dictionary& dict) {
+  opt::CostModel cost(&stats, &dict);
+  opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
+  opt::FlowTree flow = opt::GreedyFlowTree(dfg);
+  return opt::BuildExecTree(query, flow, /*late_fusing=*/true);
+}
+
+
+namespace {
+
+/// Converts one SQL output value to an RDF term. Aggregate columns hold
+/// numbers, not dictionary ids.
+Result<std::optional<rdf::Term>> DecodeCell(const sql::Value& v,
+                                            sparql::AggKind agg,
+                                            const rdf::Dictionary& dict) {
+  if (v.is_null()) return std::optional<rdf::Term>();
+  if (agg != sparql::AggKind::kNone) {
+    if (v.is_int()) {
+      return std::optional<rdf::Term>(rdf::Term::TypedLiteral(
+          std::to_string(v.AsInt()),
+          "http://www.w3.org/2001/XMLSchema#integer"));
+    }
+    if (v.is_double()) {
+      std::ostringstream os;
+      os << v.AsDouble();
+      return std::optional<rdf::Term>(rdf::Term::TypedLiteral(
+          os.str(), "http://www.w3.org/2001/XMLSchema#decimal"));
+    }
+  }
+  RDFREL_ASSIGN_OR_RETURN(rdf::Term term,
+                          dict.Decode(static_cast<uint64_t>(v.AsInt())));
+  return std::optional<rdf::Term>(std::move(term));
+}
+
+/// Per-output-column aggregate kinds for decoding.
+std::vector<sparql::AggKind> ColumnAggKinds(const sparql::Query& query,
+                                            size_t num_cols) {
+  std::vector<sparql::AggKind> kinds(num_cols, sparql::AggKind::kNone);
+  if (query.HasAggregates()) {
+    for (size_t i = 0; i < query.projection.size() && i < num_cols; ++i) {
+      kinds[i] = query.projection[i].agg;
+    }
+  }
+  return kinds;
+}
+
+}  // namespace
+
+Result<ResultSet> ExecuteDecodedSql(
+    sql::Database* db, const std::string& sql, const sparql::Query& query,
+    const rdf::Dictionary& dict,
+    const std::vector<const sparql::FilterExpr*>& post_filters) {
+  RDFREL_ASSIGN_OR_RETURN(sql::QueryResult qr, db->Query(sql));
+  ResultSet rs;
+  rs.vars = query.EffectiveSelectVars();
+  std::vector<sparql::AggKind> kinds = ColumnAggKinds(query, rs.vars.size());
+  rs.rows.reserve(qr.rows.size());
+  for (const auto& row : qr.rows) {
+    Binding binding;
+    binding.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      RDFREL_ASSIGN_OR_RETURN(
+          auto cell,
+          DecodeCell(row[i], i < kinds.size() ? kinds[i]
+                                              : sparql::AggKind::kNone,
+                     dict));
+      binding.push_back(std::move(cell));
+    }
+    rs.rows.push_back(std::move(binding));
+  }
+  RDFREL_RETURN_NOT_OK(ApplyPostFilters(post_filters, &rs));
+  return rs;
+}
+
+Status BuildLexTable(sql::Database* db, const rdf::Dictionary& dict,
+                     const std::string& table) {
+  RDFREL_ASSIGN_OR_RETURN(
+      sql::Table * lex,
+      db->catalog().CreateTable(
+          table, sql::Schema({{"id", sql::ValueType::kInt64},
+                              {"num", sql::ValueType::kDouble}})));
+  for (uint64_t id = 1; id <= dict.size(); ++id) {
+    auto term = dict.Decode(id);
+    if (!term.ok() || !term->is_literal()) continue;
+    try {
+      size_t pos = 0;
+      double num = std::stod(term->lexical(), &pos);
+      if (pos != term->lexical().size()) continue;
+      RDFREL_RETURN_NOT_OK(
+          lex->Insert({sql::Value::Int(static_cast<int64_t>(id)),
+                       sql::Value::Real(num)})
+              .status());
+    } catch (...) {
+      continue;
+    }
+  }
+  return lex->CreateIndex(table + "_id", "id", sql::IndexKind::kHash);
+}
+
+}  // namespace rdfrel::store

@@ -1,0 +1,40 @@
+#ifndef RDFREL_STORE_BACKEND_UTIL_H_
+#define RDFREL_STORE_BACKEND_UTIL_H_
+
+/// \file backend_util.h
+/// Shared pipeline pieces for the baseline backends: optimize a query into
+/// an (unmerged) execution tree, and execute+decode generated SQL.
+
+#include <string>
+
+#include "opt/exec_tree.h"
+#include "opt/statistics.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "sql/database.h"
+#include "store/result_set.h"
+#include "util/status.h"
+
+namespace rdfrel::store {
+
+/// Parse-independent optimization for baselines: greedy flow + late-fused
+/// execution tree. No star merging (baseline layouts have no wide rows).
+Result<opt::ExecNodePtr> OptimizeForBackend(const sparql::Query& query,
+                                            const opt::Statistics& stats,
+                                            const rdf::Dictionary& dict);
+
+/// Runs \p sql on \p db, decodes ids through \p dict into a ResultSet with
+/// the query's projection variables, then applies \p post_filters.
+Result<ResultSet> ExecuteDecodedSql(
+    sql::Database* db, const std::string& sql, const sparql::Query& query,
+    const rdf::Dictionary& dict,
+    const std::vector<const sparql::FilterExpr*>& post_filters);
+
+/// Builds the `(id, num)` lex side table named \p table for every numeric
+/// literal in \p dict.
+Status BuildLexTable(sql::Database* db, const rdf::Dictionary& dict,
+                     const std::string& table);
+
+}  // namespace rdfrel::store
+
+#endif  // RDFREL_STORE_BACKEND_UTIL_H_

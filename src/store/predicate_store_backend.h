@@ -1,0 +1,61 @@
+#ifndef RDFREL_STORE_PREDICATE_STORE_BACKEND_H_
+#define RDFREL_STORE_PREDICATE_STORE_BACKEND_H_
+
+/// \file predicate_store_backend.h
+/// Baseline 2 (paper §2): the predicate-oriented (vertical-partitioning /
+/// C-store-style [2]) layout — one 2-column relation per predicate — with
+/// its own SPARQL-to-SQL translation (Figure 2d).
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "opt/statistics.h"
+#include "rdf/graph.h"
+#include "sql/database.h"
+#include "store/sparql_store.h"
+
+namespace rdfrel::store {
+
+struct PredicateStoreOptions {
+  bool index_entry = true;
+  bool index_value = true;
+  bool build_lex = true;
+  size_t stats_top_k = 1000;
+  /// Variable-predicate patterns expand to a UNION ALL over every predicate
+  /// table; beyond this many predicates the query is rejected (mirroring
+  /// the scalability pain the paper ascribes to this layout).
+  size_t max_union_predicates = 512;
+};
+
+class PredicateStoreBackend final : public SparqlStore {
+ public:
+  static Result<std::unique_ptr<PredicateStoreBackend>> Load(
+      rdf::Graph graph, const PredicateStoreOptions& options = {});
+
+  Result<ResultSet> Query(std::string_view sparql) override;
+  Result<std::string> TranslateToSql(std::string_view sparql) override;
+  std::string name() const override { return "Predicate-oriented"; }
+  const rdf::Dictionary& dictionary() const override { return dict_; }
+
+  sql::Database& database() { return db_; }
+  size_t num_predicate_tables() const { return tables_.size(); }
+
+ private:
+  PredicateStoreBackend() = default;
+
+  Result<std::string> TranslateImpl(
+      const sparql::Query& query,
+      std::vector<const sparql::FilterExpr*>* post_filters);
+
+  sql::Database db_;
+  rdf::Dictionary dict_;
+  opt::Statistics stats_;
+  std::string lex_table_;
+  std::unordered_map<uint64_t, std::string> tables_;  // pred id -> table
+  PredicateStoreOptions options_;
+};
+
+}  // namespace rdfrel::store
+
+#endif  // RDFREL_STORE_PREDICATE_STORE_BACKEND_H_

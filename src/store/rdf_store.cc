@@ -1,0 +1,427 @@
+#include "store/rdf_store.h"
+
+#include <cmath>
+
+#include "opt/cost_model.h"
+#include "opt/data_flow_graph.h"
+#include "opt/exec_tree.h"
+#include "opt/flow_tree.h"
+#include "opt/merge.h"
+#include "schema/hash_mapping.h"
+#include "sparql/parser.h"
+#include <sstream>
+#include <unordered_set>
+
+#include "translate/sql_builder.h"
+
+namespace rdfrel::store {
+
+namespace {
+
+/// Builds the predicate mapping for one direction: coloring (with hash
+/// fallback when over budget) or pure hashing.
+struct MappingChoice {
+  std::shared_ptr<const schema::PredicateMapping> mapping;
+  uint32_t columns;
+};
+
+MappingChoice BuildMapping(const rdf::Graph& graph, bool reverse,
+                           const RdfStoreOptions& opts) {
+  uint32_t fixed_k = reverse ? opts.k_reverse : opts.k_direct;
+  uint64_t seed = reverse ? 2 : 1;
+  if (!opts.use_coloring) {
+    uint32_t k = fixed_k != 0 ? fixed_k : 32;
+    return {std::make_shared<schema::HashMapping>(k, opts.hash_functions,
+                                                  seed),
+            k};
+  }
+  schema::InterferenceGraph ig =
+      reverse ? schema::InterferenceGraph::FromGraphByObject(graph)
+              : schema::InterferenceGraph::FromGraphBySubject(graph);
+  uint32_t budget = fixed_k != 0 ? fixed_k : opts.max_columns;
+  schema::ColoringResult r = schema::ColorInterferenceGraph(ig, budget);
+  uint32_t k = fixed_k != 0 ? fixed_k : std::max(r.colors_used, 1u);
+  return {std::make_shared<schema::ColoringMapping>(
+              std::move(r), k, opts.hash_functions, seed),
+          k};
+}
+
+/// True when the literal parses fully as a double.
+bool NumericLexical(const std::string& s, double* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RdfStore>> RdfStore::Load(
+    rdf::Graph graph, const RdfStoreOptions& options) {
+  auto store = std::unique_ptr<RdfStore>(new RdfStore());
+  store->stats_ = opt::Statistics::FromGraph(graph, options.stats_top_k);
+
+  MappingChoice direct = BuildMapping(graph, /*reverse=*/false, options);
+  MappingChoice rev = BuildMapping(graph, /*reverse=*/true, options);
+
+  schema::Db2RdfConfig cfg;
+  cfg.k_direct = direct.columns;
+  cfg.k_reverse = rev.columns;
+  cfg.prefix = options.prefix;
+  RDFREL_ASSIGN_OR_RETURN(store->schema_,
+                          schema::Db2RdfSchema::Create(&store->db_, cfg));
+  store->direct_ = direct.mapping;
+  store->reverse_ = rev.mapping;
+  store->loader_ = std::make_unique<schema::Loader>(
+      store->schema_.get(), store->direct_, store->reverse_);
+  RDFREL_ASSIGN_OR_RETURN(store->load_stats_,
+                          store->loader_->BulkLoad(graph));
+
+  if (options.build_lex) {
+    store->lex_table_ = options.prefix + "lex";
+    RDFREL_ASSIGN_OR_RETURN(
+        sql::Table * lex,
+        store->db_.catalog().CreateTable(
+            store->lex_table_,
+            sql::Schema({{"id", sql::ValueType::kInt64},
+                         {"num", sql::ValueType::kDouble}})));
+    const auto& dict = graph.dictionary();
+    for (uint64_t id = 1; id <= dict.size(); ++id) {
+      auto term = dict.Decode(id);
+      if (!term.ok() || !term->is_literal()) continue;
+      double num;
+      if (!NumericLexical(term->lexical(), &num)) continue;
+      RDFREL_RETURN_NOT_OK(
+          lex->Insert({sql::Value::Int(static_cast<int64_t>(id)),
+                       sql::Value::Real(num)})
+              .status());
+    }
+    RDFREL_RETURN_NOT_OK(
+        lex->CreateIndex(store->lex_table_ + "_id", "id",
+                         sql::IndexKind::kHash));
+  }
+
+  store->dict_ = std::move(graph.dictionary());
+  return store;
+}
+
+Result<std::string> RdfStore::EnsureClosureTable(const rdf::Term& pred,
+                                                 sparql::PathMod mod) {
+  uint64_t pid = dict_.Lookup(pred);
+  auto key = std::make_pair(pid, static_cast<int>(mod));
+  auto cached = closure_cache_.find(key);
+  if (cached != closure_cache_.end()) return cached->second;
+
+  // 1. Extract the predicate's edges through the normal translation path.
+  sparql::Query edge_query;
+  edge_query.select_vars = {"s", "o"};
+  {
+    sparql::TriplePattern tp;
+    tp.subject = sparql::TermOrVar::Var("s");
+    tp.predicate = sparql::TermOrVar::Of(pred);
+    tp.object = sparql::TermOrVar::Var("o");
+    tp.id = 1;
+    edge_query.where = sparql::MakeTriplePattern(std::move(tp));
+    edge_query.num_triples = 1;
+  }
+  std::vector<const sparql::FilterExpr*> post;
+  RDFREL_ASSIGN_OR_RETURN(std::string sql,
+                          Translate(edge_query, QueryOptions{}, &post));
+  RDFREL_ASSIGN_OR_RETURN(sql::QueryResult qr, db_.Query(sql));
+
+  // 2. Transitive closure by per-node BFS over the adjacency lists.
+  std::unordered_map<int64_t, std::vector<int64_t>> adj;
+  std::vector<int64_t> nodes;
+  std::unordered_set<int64_t> node_set;
+  for (const auto& row : qr.rows) {
+    if (row[0].is_null() || row[1].is_null()) continue;
+    int64_t s = row[0].AsInt(), o = row[1].AsInt();
+    adj[s].push_back(o);
+    if (node_set.insert(s).second) nodes.push_back(s);
+    if (node_set.insert(o).second) nodes.push_back(o);
+  }
+
+  std::string table =
+      schema_->config().prefix + "path" +
+      std::to_string(path_table_counter_++);
+  RDFREL_ASSIGN_OR_RETURN(
+      sql::Table * t,
+      db_.catalog().CreateTable(
+          table, sql::Schema({{"entry", sql::ValueType::kInt64},
+                              {"val", sql::ValueType::kInt64}})));
+  std::unordered_set<int64_t> reached;
+  std::vector<int64_t> frontier;
+  for (int64_t start : nodes) {
+    reached.clear();
+    frontier.clear();
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      int64_t n = frontier.back();
+      frontier.pop_back();
+      auto it = adj.find(n);
+      if (it == adj.end()) continue;
+      for (int64_t next : it->second) {
+        if (reached.insert(next).second) frontier.push_back(next);
+      }
+    }
+    for (int64_t target : reached) {
+      RDFREL_RETURN_NOT_OK(
+          t->Insert({sql::Value::Int(start), sql::Value::Int(target)})
+              .status());
+    }
+    if (mod == sparql::PathMod::kStar && !reached.count(start)) {
+      // Zero-length path: reflexive over the predicate's nodes. (Full
+      // SPARQL 1.1 relates *every* graph term to itself; restricting to
+      // the predicate's nodes keeps the table proportional to the
+      // predicate and covers the practical queries.)
+      RDFREL_RETURN_NOT_OK(
+          t->Insert({sql::Value::Int(start), sql::Value::Int(start)})
+              .status());
+    }
+  }
+  RDFREL_RETURN_NOT_OK(
+      t->CreateIndex(table + "_entry", "entry", sql::IndexKind::kBTree));
+  RDFREL_RETURN_NOT_OK(
+      t->CreateIndex(table + "_val", "val", sql::IndexKind::kBTree));
+  closure_cache_.emplace(key, table);
+  return table;
+}
+
+Result<std::string> RdfStore::Translate(
+    const sparql::Query& query, const QueryOptions& opts,
+    std::vector<const sparql::FilterExpr*>* post_filters) {
+  opt::CostModel cost(&stats_, &dict_);
+  opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
+  opt::FlowTree flow;
+  switch (opts.flow) {
+    case FlowMode::kGreedy:
+      flow = opt::GreedyFlowTree(dfg);
+      break;
+    case FlowMode::kExhaustive: {
+      RDFREL_ASSIGN_OR_RETURN(flow, opt::ExhaustiveFlowTree(dfg, 10));
+      break;
+    }
+    case FlowMode::kParseOrder:
+      flow = opt::ParseOrderFlowTree(dfg);
+      break;
+  }
+  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
+                          opt::BuildExecTree(query, flow,
+                                             opts.late_fusing));
+  if (opts.merging) {
+    opt::SpillCheck spill = [this](const sparql::TriplePattern& t,
+                                   opt::AccessMethod m) {
+      if (t.predicate.is_var) return true;
+      uint64_t pid = dict_.Lookup(t.predicate.term);
+      const auto& spilled = m == opt::AccessMethod::kAco
+                                ? schema_->spilled_reverse()
+                                : schema_->spilled_direct();
+      return spilled.count(pid) > 0;
+    };
+    plan = opt::MergeExecTree(std::move(plan), dfg.tree(), spill);
+  }
+
+  // Materialize closure tables for transitive property-path triples.
+  std::map<int, std::string> closure_tables;
+  {
+    std::vector<const sparql::TriplePattern*> triples;
+    query.where->CollectTriples(&triples);
+    for (const auto* t : triples) {
+      if (t->path_mod == sparql::PathMod::kNone) continue;
+      if (t->predicate.is_var) {
+        return Status::Unsupported("variable predicate in property path");
+      }
+      RDFREL_ASSIGN_OR_RETURN(
+          std::string table,
+          EnsureClosureTable(t->predicate.term, t->path_mod));
+      closure_tables.emplace(t->id, std::move(table));
+    }
+  }
+
+  translate::StoreContext ctx;
+  ctx.schema = schema_.get();
+  ctx.direct_mapping = direct_.get();
+  ctx.reverse_mapping = reverse_.get();
+  ctx.dict = &dict_;
+  ctx.lex_table = lex_table_;
+  ctx.closure_tables = &closure_tables;
+  RDFREL_ASSIGN_OR_RETURN(translate::TranslatedQuery tq,
+                          translate::BuildSqlFull(query, *plan, ctx));
+  if (post_filters != nullptr) {
+    *post_filters = std::move(tq.post_filters);
+  } else if (!tq.post_filters.empty()) {
+    return Status::Unsupported("query requires post-filters");
+  }
+  return std::move(tq.sql);
+}
+
+
+namespace {
+
+/// Converts one SQL output value to an RDF term. Aggregate columns hold
+/// numbers, not dictionary ids.
+Result<std::optional<rdf::Term>> DecodeCell(const sql::Value& v,
+                                            sparql::AggKind agg,
+                                            const rdf::Dictionary& dict) {
+  if (v.is_null()) return std::optional<rdf::Term>();
+  if (agg != sparql::AggKind::kNone) {
+    if (v.is_int()) {
+      return std::optional<rdf::Term>(rdf::Term::TypedLiteral(
+          std::to_string(v.AsInt()),
+          "http://www.w3.org/2001/XMLSchema#integer"));
+    }
+    if (v.is_double()) {
+      std::ostringstream os;
+      os << v.AsDouble();
+      return std::optional<rdf::Term>(rdf::Term::TypedLiteral(
+          os.str(), "http://www.w3.org/2001/XMLSchema#decimal"));
+    }
+  }
+  RDFREL_ASSIGN_OR_RETURN(rdf::Term term,
+                          dict.Decode(static_cast<uint64_t>(v.AsInt())));
+  return std::optional<rdf::Term>(std::move(term));
+}
+
+/// Per-output-column aggregate kinds for decoding.
+std::vector<sparql::AggKind> ColumnAggKinds(const sparql::Query& query,
+                                            size_t num_cols) {
+  std::vector<sparql::AggKind> kinds(num_cols, sparql::AggKind::kNone);
+  if (query.HasAggregates()) {
+    for (size_t i = 0; i < query.projection.size() && i < num_cols; ++i) {
+      kinds[i] = query.projection[i].agg;
+    }
+  }
+  return kinds;
+}
+
+}  // namespace
+
+Result<ResultSet> RdfStore::QueryWith(std::string_view sparql,
+                                      const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  return QueryParsed(query, opts);
+}
+
+Result<ResultSet> RdfStore::QueryParsed(const sparql::Query& query,
+                                        const QueryOptions& opts) {
+  std::vector<const sparql::FilterExpr*> post_filters;
+  RDFREL_ASSIGN_OR_RETURN(std::string sql,
+                          Translate(query, opts, &post_filters));
+  RDFREL_ASSIGN_OR_RETURN(sql::QueryResult qr, db_.Query(sql));
+
+  ResultSet rs;
+  rs.vars = query.EffectiveSelectVars();
+  std::vector<sparql::AggKind> kinds = ColumnAggKinds(query, rs.vars.size());
+  rs.rows.reserve(qr.rows.size());
+  for (const auto& row : qr.rows) {
+    Binding binding;
+    binding.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      RDFREL_ASSIGN_OR_RETURN(
+          auto cell,
+          DecodeCell(row[i], i < kinds.size() ? kinds[i]
+                                              : sparql::AggKind::kNone,
+                     dict_));
+      binding.push_back(std::move(cell));
+    }
+    rs.rows.push_back(std::move(binding));
+  }
+  RDFREL_RETURN_NOT_OK(ApplyPostFilters(post_filters, &rs));
+  return rs;
+}
+
+Result<ResultSet> RdfStore::Query(std::string_view sparql) {
+  return QueryWith(sparql, QueryOptions{});
+}
+
+Result<std::string> RdfStore::TranslateToSql(std::string_view sparql) {
+  return TranslateWith(sparql, QueryOptions{});
+}
+
+Result<std::string> RdfStore::TranslateWith(std::string_view sparql,
+                                            const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  std::vector<const sparql::FilterExpr*> post_filters;
+  return Translate(query, opts, &post_filters);
+}
+
+Result<RdfStore::Explanation> RdfStore::Explain(std::string_view sparql,
+                                                const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  Explanation ex;
+  ex.parse_tree = query.where->ToString();
+
+  opt::CostModel cost(&stats_, &dict_);
+  opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
+  opt::FlowTree flow;
+  switch (opts.flow) {
+    case FlowMode::kGreedy:
+      flow = opt::GreedyFlowTree(dfg);
+      break;
+    case FlowMode::kExhaustive: {
+      RDFREL_ASSIGN_OR_RETURN(flow, opt::ExhaustiveFlowTree(dfg, 10));
+      break;
+    }
+    case FlowMode::kParseOrder:
+      flow = opt::ParseOrderFlowTree(dfg);
+      break;
+  }
+  ex.flow_tree = flow.ToString();
+
+  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
+                          opt::BuildExecTree(query, flow, opts.late_fusing));
+  ex.exec_tree = plan->ToString();
+  if (opts.merging) {
+    opt::SpillCheck spill = [this](const sparql::TriplePattern& t,
+                                   opt::AccessMethod m) {
+      if (t.predicate.is_var) return true;
+      uint64_t pid = dict_.Lookup(t.predicate.term);
+      const auto& spilled = m == opt::AccessMethod::kAco
+                                ? schema_->spilled_reverse()
+                                : schema_->spilled_direct();
+      return spilled.count(pid) > 0;
+    };
+    plan = opt::MergeExecTree(std::move(plan), dfg.tree(), spill);
+  }
+  ex.plan_tree = plan->ToString();
+
+  std::vector<const sparql::FilterExpr*> post_filters;
+  RDFREL_ASSIGN_OR_RETURN(ex.sql, Translate(query, opts, &post_filters));
+  return ex;
+}
+
+Status RdfStore::Delete(const rdf::Triple& triple) {
+  rdf::EncodedTriple et;
+  et.subject = dict_.Lookup(triple.subject);
+  et.predicate = dict_.Lookup(triple.predicate);
+  et.object = dict_.Lookup(triple.object);
+  if (et.subject == 0 || et.predicate == 0 || et.object == 0) {
+    return Status::NotFound("triple not present");
+  }
+  RDFREL_RETURN_NOT_OK(loader_->DeleteTriple(dict_, et));
+  // Closure tables may be stale now; drop and rebuild lazily.
+  for (const auto& [key, table] : closure_cache_) {
+    RDFREL_RETURN_NOT_OK(db_.catalog().DropTable(table));
+  }
+  closure_cache_.clear();
+  return Status::OK();
+}
+
+Status RdfStore::Insert(const rdf::Triple& triple) {
+  rdf::EncodedTriple et;
+  et.subject = dict_.Encode(triple.subject);
+  et.predicate = dict_.Encode(triple.predicate);
+  et.object = dict_.Encode(triple.object);
+  RDFREL_RETURN_NOT_OK(loader_->InsertTriple(dict_, et));
+  // Closure tables may be stale now; drop and rebuild lazily.
+  for (const auto& [key, table] : closure_cache_) {
+    RDFREL_RETURN_NOT_OK(db_.catalog().DropTable(table));
+  }
+  closure_cache_.clear();
+  return Status::OK();
+}
+
+}  // namespace rdfrel::store

@@ -1,0 +1,141 @@
+#ifndef RDFREL_STORE_RDF_STORE_H_
+#define RDFREL_STORE_RDF_STORE_H_
+
+/// \file rdf_store.h
+/// The top-level DB2RDF store: loads an RDF graph into the entity-oriented
+/// relational layout and answers SPARQL through the hybrid optimizer and
+/// the SPARQL-to-SQL translator. This is the library's primary public API.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "opt/statistics.h"
+#include "rdf/graph.h"
+#include "schema/coloring_mapping.h"
+#include "schema/loader.h"
+#include "sql/database.h"
+#include "store/sparql_store.h"
+#include "util/status.h"
+
+namespace rdfrel::store {
+
+/// Flow-tree construction strategy (paper §3.1.1; non-greedy modes are
+/// ablations).
+enum class FlowMode {
+  kGreedy,      ///< Figure 9's cheapest-edge heuristic (default)
+  kExhaustive,  ///< exact search, small queries only
+  kParseOrder,  ///< bottom-up baseline (the Figure 14 "sub-optimal flow")
+};
+
+/// Store construction options.
+struct RdfStoreOptions {
+  /// Predicate columns in DPH/RPH; 0 = derive from graph coloring (bounded
+  /// by max_columns).
+  uint32_t k_direct = 0;
+  uint32_t k_reverse = 0;
+  /// Upper bound on columns when deriving k via coloring.
+  uint32_t max_columns = 64;
+  /// Use graph coloring for predicate-to-column assignment; false = pure
+  /// hashing (paper §2.2's no-sample mode).
+  bool use_coloring = true;
+  /// Composed hash functions for the hashing / fallback mapping.
+  uint32_t hash_functions = 2;
+  /// Exact-count tracking for the most frequent subjects/objects.
+  size_t stats_top_k = 1000;
+  /// Build the literal-value side table enabling ordered FILTERs.
+  bool build_lex = true;
+  /// Table-name prefix inside the embedded database.
+  std::string prefix = "";
+};
+
+/// Per-query knobs (ablations); defaults reproduce the paper's system.
+struct QueryOptions {
+  FlowMode flow = FlowMode::kGreedy;
+  bool late_fusing = true;
+  bool merging = true;
+};
+
+class RdfStore final : public SparqlStore {
+ public:
+  /// Builds a store from \p graph (consumed: its dictionary moves into the
+  /// store).
+  static Result<std::unique_ptr<RdfStore>> Load(
+      rdf::Graph graph, const RdfStoreOptions& options = {});
+
+  // SparqlStore:
+  Result<ResultSet> Query(std::string_view sparql) override;
+  Result<std::string> TranslateToSql(std::string_view sparql) override;
+  std::string name() const override { return "DB2RDF"; }
+  const rdf::Dictionary& dictionary() const override { return dict_; }
+
+  /// Query with explicit optimizer knobs (ablation benchmarks).
+  Result<ResultSet> QueryWith(std::string_view sparql,
+                              const QueryOptions& opts);
+  /// Runs an already-parsed (possibly rewritten) query — e.g. after
+  /// sparql::ExpandTypeQuery inference expansion.
+  Result<ResultSet> QueryParsed(const sparql::Query& query,
+                                const QueryOptions& opts = {});
+  Result<std::string> TranslateWith(std::string_view sparql,
+                                    const QueryOptions& opts);
+
+  /// Every stage of the optimizer pipeline for a query, for debugging and
+  /// plan inspection (the paper's Figures 8, 10, 11 and 13 for any query).
+  struct Explanation {
+    std::string parse_tree;   ///< pattern tree (Figure 7)
+    std::string flow_tree;    ///< optimal flow (Figure 8, chosen nodes)
+    std::string exec_tree;    ///< execution tree (Figure 10)
+    std::string plan_tree;    ///< after star merging (Figure 11)
+    std::string sql;          ///< generated SQL (Figure 13)
+  };
+  Result<Explanation> Explain(std::string_view sparql,
+                              const QueryOptions& opts = {});
+
+  /// Inserts one triple incrementally.
+  Status Insert(const rdf::Triple& triple);
+  /// Deletes one triple (NotFound when absent). Cached property-path
+  /// closure tables are invalidated.
+  Status Delete(const rdf::Triple& triple);
+
+  const schema::LoadStats& load_stats() const { return load_stats_; }
+  const schema::Db2RdfSchema& schema() const { return *schema_; }
+  const opt::Statistics& statistics() const { return stats_; }
+  sql::Database& database() { return db_; }
+  /// The mappings in force (inspection / benchmarks).
+  const schema::PredicateMapping& direct_mapping() const { return *direct_; }
+  const schema::PredicateMapping& reverse_mapping() const {
+    return *reverse_;
+  }
+
+ private:
+  RdfStore() = default;
+
+  Result<std::string> Translate(const sparql::Query& query,
+                                const QueryOptions& opts,
+                                std::vector<const sparql::FilterExpr*>*
+                                    post_filters);
+
+  /// Materializes (and caches) the transitive closure of \p pred as a
+  /// binary table (entry, val); kStar additionally contains the reflexive
+  /// pairs of every node touching the predicate. Returns the table name.
+  Result<std::string> EnsureClosureTable(const rdf::Term& pred,
+                                         sparql::PathMod mod);
+
+  sql::Database db_;
+  std::unique_ptr<schema::Db2RdfSchema> schema_;
+  std::unique_ptr<schema::Loader> loader_;
+  std::shared_ptr<const schema::PredicateMapping> direct_;
+  std::shared_ptr<const schema::PredicateMapping> reverse_;
+  rdf::Dictionary dict_;
+  opt::Statistics stats_;
+  schema::LoadStats load_stats_;
+  std::string lex_table_;
+  /// (predicate id, mod) -> materialized closure table name.
+  std::map<std::pair<uint64_t, int>, std::string> closure_cache_;
+  int path_table_counter_ = 0;
+};
+
+}  // namespace rdfrel::store
+
+#endif  // RDFREL_STORE_RDF_STORE_H_

@@ -1,0 +1,146 @@
+#include "store/result_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdfrel::store {
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i) out += " | ";
+    out += "?" + vars[i];
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i) out += " | ";
+      out += rows[r][i].has_value() ? rows[r][i]->ToNTriples() : "UNBOUND";
+    }
+    out += "\n";
+  }
+  if (rows.size() > max_rows) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+namespace {
+
+using sparql::FilterExpr;
+using sparql::FilterOp;
+
+/// Value of an operand: a term, or nullopt when the operand is an unbound
+/// variable.
+Result<std::optional<rdf::Term>> OperandValue(
+    const FilterExpr& f, const std::vector<std::string>& vars,
+    const Binding& row) {
+  if (f.op == FilterOp::kTerm) return std::optional<rdf::Term>(f.term);
+  if (f.op == FilterOp::kVar) {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == f.var) return row[i];
+    }
+    return std::optional<rdf::Term>();  // projected-away: unbound
+  }
+  return Status::Unsupported("nested expression as FILTER operand");
+}
+
+bool TryNumeric(const rdf::Term& t, double* out) {
+  if (!t.is_literal()) return false;
+  try {
+    size_t pos = 0;
+    *out = std::stod(t.lexical(), &pos);
+    return pos == t.lexical().size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Result<bool> EvalFilterOnBinding(const FilterExpr& f,
+                                 const std::vector<std::string>& vars,
+                                 const Binding& row) {
+  switch (f.op) {
+    case FilterOp::kAnd: {
+      RDFREL_ASSIGN_OR_RETURN(bool a, EvalFilterOnBinding(*f.lhs, vars, row));
+      if (!a) return false;
+      return EvalFilterOnBinding(*f.rhs, vars, row);
+    }
+    case FilterOp::kOr: {
+      RDFREL_ASSIGN_OR_RETURN(bool a, EvalFilterOnBinding(*f.lhs, vars, row));
+      if (a) return true;
+      return EvalFilterOnBinding(*f.rhs, vars, row);
+    }
+    case FilterOp::kNot: {
+      RDFREL_ASSIGN_OR_RETURN(bool a, EvalFilterOnBinding(*f.lhs, vars, row));
+      return !a;
+    }
+    case FilterOp::kBound: {
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i] == f.var) return row[i].has_value();
+      }
+      return false;
+    }
+    case FilterOp::kRegex: {
+      RDFREL_ASSIGN_OR_RETURN(auto v, OperandValue(*f.lhs, vars, row));
+      if (!v.has_value()) return false;
+      return v->lexical().find(f.pattern) != std::string::npos;
+    }
+    case FilterOp::kEq:
+    case FilterOp::kNe:
+    case FilterOp::kLt:
+    case FilterOp::kLe:
+    case FilterOp::kGt:
+    case FilterOp::kGe: {
+      RDFREL_ASSIGN_OR_RETURN(auto a, OperandValue(*f.lhs, vars, row));
+      RDFREL_ASSIGN_OR_RETURN(auto b, OperandValue(*f.rhs, vars, row));
+      if (!a.has_value() || !b.has_value()) return false;
+      double na, nb;
+      int cmp;
+      bool eq;
+      if (TryNumeric(*a, &na) && TryNumeric(*b, &nb)) {
+        cmp = na < nb ? -1 : (na > nb ? 1 : 0);
+        eq = na == nb;
+      } else {
+        eq = *a == *b;
+        int c = a->lexical().compare(b->lexical());
+        cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
+      switch (f.op) {
+        case FilterOp::kEq: return eq;
+        case FilterOp::kNe: return !eq;
+        case FilterOp::kLt: return cmp < 0;
+        case FilterOp::kLe: return cmp <= 0;
+        case FilterOp::kGt: return cmp > 0;
+        default: return cmp >= 0;
+      }
+    }
+    case FilterOp::kVar:
+    case FilterOp::kTerm:
+      return Status::Unsupported("bare operand as boolean FILTER");
+  }
+  return Status::Internal("unhandled filter op");
+}
+
+Status ApplyPostFilters(
+    const std::vector<const sparql::FilterExpr*>& filters, ResultSet* rs) {
+  if (filters.empty()) return Status::OK();
+  std::vector<Binding> kept;
+  kept.reserve(rs->rows.size());
+  for (auto& row : rs->rows) {
+    bool pass = true;
+    for (const auto* f : filters) {
+      RDFREL_ASSIGN_OR_RETURN(bool ok, EvalFilterOnBinding(*f, rs->vars, row));
+      if (!ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) kept.push_back(std::move(row));
+  }
+  rs->rows = std::move(kept);
+  return Status::OK();
+}
+
+}  // namespace rdfrel::store

@@ -1,0 +1,36 @@
+#ifndef RDFREL_STORE_SPARQL_STORE_H_
+#define RDFREL_STORE_SPARQL_STORE_H_
+
+/// \file sparql_store.h
+/// The abstract store interface shared by the DB2RDF store and the baseline
+/// backends (triple-store, predicate-oriented), so benchmarks drive all of
+/// them uniformly.
+
+#include <string>
+#include <string_view>
+
+#include "rdf/dictionary.h"
+#include "store/result_set.h"
+#include "util/status.h"
+
+namespace rdfrel::store {
+
+class SparqlStore {
+ public:
+  virtual ~SparqlStore() = default;
+
+  /// Parses, optimizes, translates, executes and decodes a SPARQL query.
+  virtual Result<ResultSet> Query(std::string_view sparql) = 0;
+
+  /// The SQL the store would execute for \p sparql (tests/benchmarks).
+  virtual Result<std::string> TranslateToSql(std::string_view sparql) = 0;
+
+  /// Store display name for benchmark tables.
+  virtual std::string name() const = 0;
+
+  virtual const rdf::Dictionary& dictionary() const = 0;
+};
+
+}  // namespace rdfrel::store
+
+#endif  // RDFREL_STORE_SPARQL_STORE_H_

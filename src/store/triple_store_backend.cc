@@ -1,0 +1,172 @@
+#include "store/triple_store_backend.h"
+
+#include "sparql/parser.h"
+#include <unordered_set>
+
+#include "store/backend_util.h"
+#include "util/hash.h"
+#include "translate/sql_base.h"
+#include "util/string_util.h"
+
+namespace rdfrel::store {
+
+namespace {
+
+using opt::ExecKind;
+using opt::ExecNode;
+using translate::PatternSqlBuilderBase;
+using translate::VarColumn;
+
+/// Figure 2c-style translation: one `triples` instance per triple pattern.
+class TripleStoreSqlBuilder final : public PatternSqlBuilderBase {
+ public:
+  TripleStoreSqlBuilder(const sparql::Query& query,
+                        const rdf::Dictionary* dict, std::string lex_table)
+      : PatternSqlBuilderBase(query, dict, std::move(lex_table)) {}
+
+ protected:
+  Status EmitAccess(const ExecNode& node) override {
+    if (node.kind != ExecKind::kTriple) {
+      return Status::Internal(
+          "triple-store plans must not contain merged stars");
+    }
+    const sparql::TriplePattern& t = *node.triple;
+    if (t.path_mod != sparql::PathMod::kNone) {
+      return Status::Unsupported(
+          "property paths are supported by the DB2RDF store only");
+    }
+    std::string from = "triples AS T";
+    if (!cur_.empty()) from += ", " + cur_;
+    std::vector<std::string> wheres;
+    std::map<std::string, std::string> new_vars;
+    std::map<std::string, std::string> overrides;
+    std::vector<std::string> resolved;
+    std::map<std::string, std::string> seen_bound;
+
+    struct Component {
+      const sparql::TermOrVar* tv;
+      const char* column;
+    };
+    const Component comps[3] = {{&t.subject, "T.subj"},
+                                {&t.predicate, "T.pred"},
+                                {&t.object, "T.obj"}};
+    for (const auto& c : comps) {
+      if (!c.tv->is_var) {
+        wheres.push_back(std::string(c.column) + " = " +
+                         std::to_string(IdOf(c.tv->term)));
+        continue;
+      }
+      const std::string& var = c.tv->var;
+      if (IsBound(var)) {
+        auto seen = seen_bound.find(var);
+        if (seen != seen_bound.end()) {
+          // Repeated occurrence: equal the merged value exactly.
+          wheres.push_back(std::string(c.column) + " = " + seen->second);
+          continue;
+        }
+        // SPARQL-compatible join: a maybe-NULL binding matches anything
+        // and takes this triple's (always defined) value where NULL.
+        wheres.push_back(CompatEq(c.column, var));
+        std::string merged = CompatMerge(c.column, var);
+        if (!merged.empty()) {
+          overrides[var] = merged;
+          resolved.push_back(var);
+          seen_bound[var] = merged;
+        } else {
+          seen_bound[var] = BoundCol(var);
+        }
+      } else if (new_vars.count(var)) {
+        // Repeated variable within the triple (?x p ?x).
+        wheres.push_back(std::string(c.column) + " = " + new_vars[var]);
+      } else {
+        new_vars[var] = c.column;
+      }
+    }
+
+    std::string select = CarryList(cur_, overrides);
+    for (const auto& [var, expr] : new_vars) {
+      if (!select.empty()) select += ", ";
+      select += expr + " AS " + VarColumn(var);
+    }
+    if (select.empty()) select = "T.subj AS dummy_subj";
+    std::string body = "SELECT " + select + " FROM " + from;
+    if (!wheres.empty()) body += " WHERE " + JoinStrings(wheres, " AND ");
+    cur_ = NewCte(body);
+    for (const auto& [var, expr] : new_vars) {
+      bound_[var] = translate::BoundVar{VarColumn(var), false};
+    }
+    for (const auto& var : resolved) bound_[var].maybe_null = false;
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TripleStoreBackend>> TripleStoreBackend::Load(
+    rdf::Graph graph, const TripleStoreOptions& options) {
+  auto store =
+      std::unique_ptr<TripleStoreBackend>(new TripleStoreBackend());
+  store->stats_ = opt::Statistics::FromGraph(graph, options.stats_top_k);
+  RDFREL_ASSIGN_OR_RETURN(
+      sql::Table * table,
+      store->db_.catalog().CreateTable(
+          "triples", sql::Schema({{"subj", sql::ValueType::kInt64},
+                                  {"pred", sql::ValueType::kInt64},
+                                  {"obj", sql::ValueType::kInt64}})));
+  // RDF graphs are sets: duplicate triples collapse (matching the DB2RDF
+  // loader's semantics).
+  std::unordered_set<uint64_t> seen;
+  for (const auto& t : graph.triples()) {
+    uint64_t key = HashCombine(HashCombine(Mix64(t.subject), t.predicate),
+                               t.object);
+    if (!seen.insert(key).second) continue;
+    RDFREL_RETURN_NOT_OK(
+        table
+            ->Insert({sql::Value::Int(static_cast<int64_t>(t.subject)),
+                      sql::Value::Int(static_cast<int64_t>(t.predicate)),
+                      sql::Value::Int(static_cast<int64_t>(t.object))})
+            .status());
+  }
+  if (options.index_subject) {
+    RDFREL_RETURN_NOT_OK(
+        table->CreateIndex("triples_subj", "subj", sql::IndexKind::kBTree));
+  }
+  if (options.index_object) {
+    RDFREL_RETURN_NOT_OK(
+        table->CreateIndex("triples_obj", "obj", sql::IndexKind::kBTree));
+  }
+  if (options.index_predicate) {
+    RDFREL_RETURN_NOT_OK(
+        table->CreateIndex("triples_pred", "pred", sql::IndexKind::kBTree));
+  }
+  if (options.build_lex) {
+    store->lex_table_ = "lex";
+    RDFREL_RETURN_NOT_OK(
+        BuildLexTable(&store->db_, graph.dictionary(), store->lex_table_));
+  }
+  store->dict_ = std::move(graph.dictionary());
+  return store;
+}
+
+Result<ResultSet> TripleStoreBackend::Query(std::string_view sparql) {
+  RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
+                          OptimizeForBackend(query, stats_, dict_));
+  TripleStoreSqlBuilder builder(query, &dict_, lex_table_);
+  RDFREL_ASSIGN_OR_RETURN(translate::TranslatedQuery tq,
+                          builder.Build(*plan));
+  return ExecuteDecodedSql(&db_, tq.sql, query, dict_, tq.post_filters);
+}
+
+Result<std::string> TripleStoreBackend::TranslateToSql(
+    std::string_view sparql) {
+  RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
+                          OptimizeForBackend(query, stats_, dict_));
+  TripleStoreSqlBuilder builder(query, &dict_, lex_table_);
+  RDFREL_ASSIGN_OR_RETURN(translate::TranslatedQuery tq,
+                          builder.Build(*plan));
+  return std::move(tq.sql);
+}
+
+}  // namespace rdfrel::store

@@ -1,0 +1,49 @@
+#ifndef RDFREL_STORE_TRIPLE_STORE_BACKEND_H_
+#define RDFREL_STORE_TRIPLE_STORE_BACKEND_H_
+
+/// \file triple_store_backend.h
+/// Baseline 1 (paper §2): the skinny triple-store — one 3-column relation
+/// `triples(subj, pred, obj)` — with its own SPARQL-to-SQL translation
+/// (self-joins per triple pattern, as in Figure 2c).
+
+#include <memory>
+
+#include "opt/statistics.h"
+#include "rdf/graph.h"
+#include "sql/database.h"
+#include "store/sparql_store.h"
+
+namespace rdfrel::store {
+
+struct TripleStoreOptions {
+  bool index_subject = true;
+  bool index_object = true;
+  bool index_predicate = false;  ///< the paper indexes only entry columns
+  bool build_lex = true;
+  size_t stats_top_k = 1000;
+};
+
+class TripleStoreBackend final : public SparqlStore {
+ public:
+  static Result<std::unique_ptr<TripleStoreBackend>> Load(
+      rdf::Graph graph, const TripleStoreOptions& options = {});
+
+  Result<ResultSet> Query(std::string_view sparql) override;
+  Result<std::string> TranslateToSql(std::string_view sparql) override;
+  std::string name() const override { return "Triple-store"; }
+  const rdf::Dictionary& dictionary() const override { return dict_; }
+
+  sql::Database& database() { return db_; }
+
+ private:
+  TripleStoreBackend() = default;
+
+  sql::Database db_;
+  rdf::Dictionary dict_;
+  opt::Statistics stats_;
+  std::string lex_table_;
+};
+
+}  // namespace rdfrel::store
+
+#endif  // RDFREL_STORE_TRIPLE_STORE_BACKEND_H_

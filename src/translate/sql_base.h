@@ -1,0 +1,118 @@
+#ifndef RDFREL_TRANSLATE_SQL_BASE_H_
+#define RDFREL_TRANSLATE_SQL_BASE_H_
+
+/// \file sql_base.h
+/// Backend-agnostic skeleton for SPARQL-to-SQL translation: walks the query
+/// plan tree emitting one CTE per node, maintaining the bound-variable
+/// environment, and handling UNION (UNION ALL), OPTIONAL (LEFT OUTER JOIN),
+/// FILTER (incl. lex-table joins for ordered comparisons), and the final
+/// projection. Backends implement EmitAccess() for their physical layout:
+/// DB2RDF (entity rows), triple-store, and predicate-oriented.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "opt/exec_tree.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace rdfrel::translate {
+
+/// Translation output: SQL text plus any root-level FILTERs that cannot be
+/// expressed in the SQL subset (e.g. REGEX) and must be applied by the
+/// caller on the decoded results.
+struct TranslatedQuery {
+  std::string sql;
+  std::vector<const sparql::FilterExpr*> post_filters;
+};
+
+/// SQL identifier for a SPARQL variable ("v_<name>", sanitized).
+std::string VarColumn(const std::string& var);
+
+/// One bound variable in the translation environment. `maybe_null` marks
+/// variables that are unbound in part of the current relation (introduced
+/// under a UNION branch or an OPTIONAL): joins against them must use SPARQL
+/// *compatibility* semantics — NULL matches anything and the join result
+/// takes the defined side's value.
+struct BoundVar {
+  std::string column;
+  bool maybe_null = false;
+};
+
+class PatternSqlBuilderBase {
+ public:
+  PatternSqlBuilderBase(const sparql::Query& query,
+                        const rdf::Dictionary* dict, std::string lex_table)
+      : query_(query), dict_(dict), lex_table_(std::move(lex_table)) {}
+  virtual ~PatternSqlBuilderBase() = default;
+
+  /// Translates the plan rooted at \p plan.
+  Result<TranslatedQuery> Build(const opt::ExecNode& plan);
+
+ protected:
+  /// Backend hook: emit the CTE(s) for a kTriple or kStar node, updating
+  /// cur_/bound_.
+  virtual Status EmitAccess(const opt::ExecNode& node) = 0;
+
+  Status Translate(const opt::ExecNode& node, bool is_root = false);
+  /// Final SELECT for SPARQL 1.1 aggregate queries (COUNT over bindings,
+  /// numeric aggregates via the lex table, GROUP BY over bound columns).
+  Result<std::string> BuildAggregateSelect();
+  Status EmitUnion(const opt::ExecNode& node);
+  Status EmitOptional(const opt::ExecNode& node);
+  Status EmitFilters(const std::vector<const sparql::FilterExpr*>& filters,
+                     bool is_root);
+
+  /// Registers a CTE body, returning its name (q1, q2, ...).
+  std::string NewCte(const std::string& body);
+  /// Dictionary id of a term (0 == matches nothing).
+  int64_t IdOf(const rdf::Term& term) const;
+  /// "alias.col AS col, ..." for every bound variable; \p overrides maps a
+  /// variable to a replacement expression (compatible-join merges).
+  std::string CarryList(
+      const std::string& from_alias,
+      const std::map<std::string, std::string>& overrides = {}) const;
+
+  bool IsBound(const std::string& var) const { return bound_.count(var) > 0; }
+  /// Qualified column of a bound variable ("<cur>.<col>").
+  std::string BoundCol(const std::string& var) const {
+    return cur_ + "." + bound_.at(var).column;
+  }
+  /// Join condition of \p expr against bound \p var under SPARQL
+  /// compatibility: plain equality when the binding is always defined,
+  /// otherwise NULL-on-either-side matches.
+  std::string CompatEq(const std::string& expr, const std::string& var) const;
+  /// The merged value of \p var after joining with \p expr: COALESCE when
+  /// the binding may be NULL. Call RecordJoin() after emitting the CTE.
+  /// Returns empty when no override is needed.
+  std::string CompatMerge(const std::string& expr,
+                          const std::string& var) const;
+
+  // FILTER translation.
+  Result<std::string> FilterToSql(const sparql::FilterExpr& f,
+                                  std::map<std::string, std::string>* lex);
+  Result<std::string> EqualityToSql(const sparql::FilterExpr& f,
+                                    std::map<std::string, std::string>* lex);
+  Result<std::string> OrderedToSql(const sparql::FilterExpr& f,
+                                   std::map<std::string, std::string>* lex);
+  Result<std::string> OperandToId(const sparql::FilterExpr& f);
+  Result<std::string> LexAlias(const std::string& var,
+                               std::map<std::string, std::string>* lex);
+  static Result<double> NumericOf(const rdf::Term& term);
+
+  const sparql::Query& query_;
+  const rdf::Dictionary* dict_;
+  std::string lex_table_;
+
+  std::vector<std::pair<std::string, std::string>> ctes_;
+  std::map<std::string, BoundVar> bound_;  ///< var -> binding in cur_
+  std::string cur_;                        ///< current CTE name
+  std::vector<const sparql::FilterExpr*> post_filters_;
+};
+
+}  // namespace rdfrel::translate
+
+#endif  // RDFREL_TRANSLATE_SQL_BASE_H_

@@ -1,0 +1,37 @@
+#include "util/hash.h"
+
+namespace rdfrel {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t SeededHash::Hash(std::string_view data) const {
+  // Mix the seed into the FNV stream head and tail so different seeds give
+  // genuinely decorrelated functions, not mere rotations of one another.
+  return Mix64(Fnv1a64(data) ^ Mix64(seed_));
+}
+
+uint32_t SeededHash::Bucket(std::string_view data, uint32_t range) const {
+  // Fast range reduction (Lemire): unbiased enough for column assignment.
+  return static_cast<uint32_t>(
+      (static_cast<unsigned __int128>(Hash(data)) * range) >> 64);
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4));
+}
+
+}  // namespace rdfrel

@@ -1,0 +1,44 @@
+#ifndef RDFREL_UTIL_HASH_H_
+#define RDFREL_UTIL_HASH_H_
+
+/// \file hash.h
+/// Hash primitives. The DB2RDF predicate-to-column assignment (paper §2.2)
+/// composes a *family* of independent hash functions h_1 ⊕ h_2 ⊕ … ⊕ h_n;
+/// SeededHash provides that family via distinct 64-bit seeds.
+
+#include <cstdint>
+#include <string_view>
+
+namespace rdfrel {
+
+/// FNV-1a over bytes; stable across platforms and runs.
+uint64_t Fnv1a64(std::string_view data);
+
+/// A strong 64-bit avalanche mix (splitmix64 finalizer).
+uint64_t Mix64(uint64_t x);
+
+/// One member of a seeded hash-function family. Two SeededHash instances with
+/// different seeds behave as independent hash functions over strings, which
+/// is what predicate-mapping composition (Definition 2.2) requires.
+class SeededHash {
+ public:
+  explicit SeededHash(uint64_t seed) : seed_(seed) {}
+
+  /// Hash of \p data under this seed.
+  uint64_t Hash(std::string_view data) const;
+
+  /// Hash reduced to a column index in [0, range). \p range must be > 0.
+  uint32_t Bucket(std::string_view data, uint32_t range) const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Combines two hash values (boost::hash_combine style, 64-bit).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace rdfrel
+
+#endif  // RDFREL_UTIL_HASH_H_

@@ -1,0 +1,60 @@
+#ifndef RDFREL_UTIL_LOGGING_H_
+#define RDFREL_UTIL_LOGGING_H_
+
+/// \file logging.h
+/// Minimal leveled logging plus CHECK macros for internal invariants.
+/// CHECK aborts: it guards programmer errors, never user input (user input
+/// failures travel through Status).
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rdfrel {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rdfrel
+
+#define RDFREL_LOG(level)                                             \
+  ::rdfrel::internal::LogMessage(::rdfrel::LogLevel::k##level,        \
+                                 __FILE__, __LINE__)                  \
+      .stream()
+
+#define RDFREL_CHECK(expr)                                            \
+  if (expr) {                                                         \
+  } else                                                              \
+    ::rdfrel::internal::FatalMessage(__FILE__, __LINE__, #expr).stream()
+
+#define RDFREL_DCHECK(expr) RDFREL_CHECK(expr)
+
+#endif  // RDFREL_UTIL_LOGGING_H_

@@ -1,0 +1,57 @@
+#ifndef RDFREL_UTIL_RANDOM_H_
+#define RDFREL_UTIL_RANDOM_H_
+
+/// \file random.h
+/// Deterministic PRNG used by all synthetic dataset generators so workloads
+/// are reproducible across runs and machines.
+
+#include <cstdint>
+#include <vector>
+
+namespace rdfrel {
+
+/// xoshiro256** seeded via splitmix64. Deterministic and fast.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, bound). \p bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability \p p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent \p s (s > 0). Uses the
+  /// precomputed-CDF sampler in ZipfSampler for repeated draws; this method
+  /// is a convenience for one-off draws (O(n) the first time per (n, s)).
+  uint64_t Uniform64() { return Next(); }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s.
+/// Precomputes the CDF once; each draw is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one rank using \p rng.
+  uint64_t Sample(Random& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace rdfrel
+
+#endif  // RDFREL_UTIL_RANDOM_H_

@@ -1,0 +1,176 @@
+#ifndef RDFREL_UTIL_STATUS_H_
+#define RDFREL_UTIL_STATUS_H_
+
+/// \file status.h
+/// Error handling primitives in the Arrow/RocksDB idiom: fallible functions
+/// return a Status (or Result<T>) rather than throwing. Exceptions are never
+/// thrown across public API boundaries of this library.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rdfrel {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kParseError,        ///< SPARQL/SQL/N-Triples text failed to parse.
+  kNotFound,          ///< Named table/index/prefix/etc. does not exist.
+  kAlreadyExists,     ///< Attempt to create a duplicate object.
+  kOutOfRange,        ///< Index/offset outside valid bounds.
+  kUnsupported,       ///< Feature intentionally outside the subset we build.
+  kInternal,          ///< Invariant violation: a bug in this library.
+  kExecutionError,    ///< Runtime failure while evaluating a query.
+  kCapacityExceeded,  ///< Storage limits (page, row width) exceeded.
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, movable success-or-error value. The OK state allocates nothing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status; \p code must not be kOk.
+  Status(StatusCode code, std::string message);
+
+  /// Factory helpers, one per error class.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// The error message; empty for OK.
+  const std::string& message() const;
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsExecutionError() const {
+    return code() == StatusCode::kExecutionError;
+  }
+  bool IsCapacityExceeded() const {
+    return code() == StatusCode::kCapacityExceeded;
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/// A value-or-Status sum type, analogous to arrow::Result<T>.
+///
+/// Usage:
+/// \code
+///   Result<int> r = ParseInt(s);
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error Status. Must not be OK.
+  Result(Status status) : var_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// The error status; Status::OK() if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(var_);
+  }
+
+  /// Access the value. Undefined if !ok().
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns \p fallback on error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::get<T>(std::move(var_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagate-on-error macros (statement context only).
+#define RDFREL_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::rdfrel::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define RDFREL_CONCAT_IMPL(x, y) x##y
+#define RDFREL_CONCAT(x, y) RDFREL_CONCAT_IMPL(x, y)
+
+/// ASSIGN_OR_RETURN: evaluates a Result<T> expression, returns its Status on
+/// error, otherwise binds the value to `lhs`.
+#define RDFREL_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  RDFREL_ASSIGN_OR_RETURN_IMPL(                                    \
+      RDFREL_CONCAT(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define RDFREL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace rdfrel
+
+#endif  // RDFREL_UTIL_STATUS_H_

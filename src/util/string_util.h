@@ -1,0 +1,44 @@
+#ifndef RDFREL_UTIL_STRING_UTIL_H_
+#define RDFREL_UTIL_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small string helpers shared across parsers and SQL generation.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfrel {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True if \p s starts with / ends with \p prefix / \p suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII letters.
+std::string ToLowerAscii(std::string_view s);
+/// Upper-cases ASCII letters.
+std::string ToUpperAscii(std::string_view s);
+
+/// Case-insensitive ASCII equality (for SQL keywords).
+bool EqualsIgnoreCaseAscii(std::string_view a, std::string_view b);
+
+/// Joins strings with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Escapes a string for embedding in a single-quoted SQL literal
+/// (doubles embedded quotes).
+std::string SqlQuote(std::string_view s);
+
+/// Escapes control characters, quotes and backslashes for N-Triples output.
+std::string NtEscape(std::string_view s);
+
+}  // namespace rdfrel
+
+#endif  // RDFREL_UTIL_STRING_UTIL_H_

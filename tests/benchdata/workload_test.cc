@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "benchdata/dbpedia.h"
+#include "benchdata/lubm.h"
+#include "benchdata/micro.h"
+#include "benchdata/prbench.h"
+#include "benchdata/sp2bench.h"
+#include "sparql/parser.h"
+#include "store/rdf_store.h"
+#include "store/triple_store_backend.h"
+
+namespace rdfrel::benchdata {
+namespace {
+
+using store::RdfStore;
+using store::TripleStoreBackend;
+
+Workload MakeSmall(const std::string& name) {
+  if (name == "micro") return MakeMicro(400, 7);
+  if (name == "lubm") return MakeLubm(2, 7);
+  if (name == "sp2bench") return MakeSp2Bench(4, 7);
+  if (name == "dbpedia") return MakeDbpedia(400, 300, 7);
+  if (name == "prbench") return MakePrbench(2, 7);
+  return {};
+}
+
+class WorkloadTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadTest, AllQueriesParseAndAgreeAcrossBackends) {
+  Workload w = MakeSmall(GetParam());
+  ASSERT_GT(w.graph.size(), 100u) << w.name;
+  ASSERT_FALSE(w.queries.empty());
+
+  // Parse check.
+  for (const auto& q : w.queries) {
+    auto parsed = sparql::ParseQuery(q.sparql);
+    ASSERT_TRUE(parsed.ok()) << w.name << "/" << q.id << ": "
+                             << parsed.status().ToString() << "\n"
+                             << q.sparql;
+  }
+
+  // Load both stores from identical data.
+  Workload w2 = MakeSmall(GetParam());
+  auto db2rdf = RdfStore::Load(std::move(w.graph));
+  ASSERT_TRUE(db2rdf.ok()) << db2rdf.status().ToString();
+  auto triple = TripleStoreBackend::Load(std::move(w2.graph));
+  ASSERT_TRUE(triple.ok()) << triple.status().ToString();
+
+  int non_empty = 0;
+  for (const auto& q : w.queries) {
+    auto a = (*db2rdf)->Query(q.sparql);
+    ASSERT_TRUE(a.ok()) << w.name << "/" << q.id << ": "
+                        << a.status().ToString();
+    auto b = (*triple)->Query(q.sparql);
+    ASSERT_TRUE(b.ok()) << w.name << "/" << q.id << ": "
+                        << b.status().ToString();
+    EXPECT_EQ(a->size(), b->size())
+        << w.name << "/" << q.id << " row-count mismatch\nSQL:\n"
+        << (*db2rdf)->TranslateToSql(q.sparql).ValueOr("<err>");
+    if (a->size() > 0) ++non_empty;
+  }
+  // The workloads are designed so most queries return data at small scale.
+  EXPECT_GT(non_empty, static_cast<int>(w.queries.size() / 2)) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadTest,
+                         ::testing::Values("micro", "lubm", "sp2bench",
+                                           "dbpedia", "prbench"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(WorkloadDetailTest, MicroClassMixMatchesTable1) {
+  Workload w = MakeMicro(1000, 1);
+  // Subject classes: 1% + 24% + 25% + 25% + 24% + 1% of 1000.
+  // Triples: class1: 10*(4+12)=160; classes 2-5: 980 subjects, 12 triples
+  // each (3 SV + 3 MV*3); class 6: 10*4=40.
+  EXPECT_EQ(w.graph.size(), 160u + 980u * 12u + 40u);
+  EXPECT_EQ(w.queries.size(), 10u);
+}
+
+TEST(WorkloadDetailTest, MicroStarSelectivity) {
+  Workload w = MakeMicro(1000, 1);
+  auto store = RdfStore::Load(std::move(w.graph));
+  ASSERT_TRUE(store.ok());
+  // Q1 (all four SVs) matches only class 1: 10 subjects.
+  auto q1 = (*store)->Query(w.queries[0].sparql);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  EXPECT_EQ(q1->size(), 10u);
+  // Q7 (SV5 alone) matches only class 6: 10 subjects.
+  auto q7 = (*store)->Query(w.queries[6].sparql);
+  ASSERT_TRUE(q7.ok());
+  EXPECT_EQ(q7->size(), 10u);
+  // Q2 (all four MVs): class 1, but 3^4 = 81 combinations per subject.
+  auto q2 = (*store)->Query(w.queries[1].sparql);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->size(), 10u * 81u);
+}
+
+TEST(WorkloadDetailTest, LubmDeterministicAndTyped) {
+  Workload a = MakeLubm(2, 42);
+  Workload b = MakeLubm(2, 42);
+  EXPECT_EQ(a.graph.size(), b.graph.size());
+  EXPECT_EQ(a.queries.size(), 12u);
+  // Avg out-degree should be modest (LUBM ~6).
+  double avg = static_cast<double>(a.graph.size()) /
+               a.graph.DistinctSubjects().size();
+  EXPECT_GT(avg, 3.0);
+  EXPECT_LT(avg, 9.0);
+}
+
+TEST(WorkloadDetailTest, DbpediaSkewAndPredicates) {
+  Workload w = MakeDbpedia(2000, 500, 3);
+  EXPECT_EQ(w.queries.size(), 20u);
+  EXPECT_GT(w.graph.DistinctPredicates().size(), 100u);
+  double avg_out = static_cast<double>(w.graph.size()) /
+                   w.graph.DistinctSubjects().size();
+  EXPECT_GT(avg_out, 8.0);   // paper: ~14
+  EXPECT_LT(avg_out, 25.0);
+}
+
+TEST(WorkloadDetailTest, PrbenchWideUnionsAreWide) {
+  Workload w = MakePrbench(1, 5);
+  EXPECT_EQ(w.queries.size(), 29u);
+  const auto& pq28 = w.queries[27];
+  EXPECT_EQ(pq28.id, "PQ28");
+  size_t unions = 0;
+  for (size_t pos = pq28.sparql.find("UNION"); pos != std::string::npos;
+       pos = pq28.sparql.find("UNION", pos + 1)) {
+    ++unions;
+  }
+  EXPECT_EQ(unions, 95u);  // 96 branches
+  auto parsed = sparql::ParseQuery(pq28.sparql);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_GT(parsed->num_triples, 400);  // ~500 triples, as in the paper
+}
+
+}  // namespace
+}  // namespace rdfrel::benchdata

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include "opt/cost_model.h"
+#include "opt/data_flow_graph.h"
+#include "opt/exec_tree.h"
+#include "opt/flow_tree.h"
+#include "opt/merge.h"
+#include "opt/statistics.h"
+#include "sparql/parser.h"
+
+namespace rdfrel::opt {
+namespace {
+
+using rdf::Term;
+using sparql::PatternKind;
+
+/// A dataset shaped like the paper's running example (Figure 6): few
+/// "Software" companies (selective aco), many people living in Palo Alto
+/// (unselective aco on t1), founders/members/developers/revenue/employees.
+rdf::Graph ExampleGraph() {
+  rdf::Graph g;
+  auto iri = [](const std::string& s) { return Term::Iri(s); };
+  auto lit = [](const std::string& s) { return Term::Literal(s); };
+  // 2 software companies.
+  for (int c = 0; c < 2; ++c) {
+    std::string comp = "Comp" + std::to_string(c);
+    g.Add({iri(comp), iri("industry"), lit("Software")});
+    g.Add({iri(comp), iri("revenue"), lit("R" + std::to_string(c))});
+    g.Add({iri(comp), iri("employees"), lit("E" + std::to_string(c))});
+    g.Add({iri("Product" + std::to_string(c)), iri("developer"), iri(comp)});
+    g.Add({iri("Person" + std::to_string(c)), iri("founder"), iri(comp)});
+    g.Add({iri("Person" + std::to_string(c)), iri("member"), iri(comp)});
+  }
+  // 30 people at home in Palo Alto (makes ?x home "Palo Alto" unselective).
+  for (int p = 0; p < 30; ++p) {
+    g.Add({iri("Person" + std::to_string(p)), iri("home"), lit("Palo Alto")});
+  }
+  // Plus assorted non-software companies.
+  for (int c = 2; c < 12; ++c) {
+    std::string comp = "Comp" + std::to_string(c);
+    g.Add({iri(comp), iri("industry"), lit("Retail")});
+  }
+  return g;
+}
+
+sparql::Query Figure6Query() {
+  auto q = sparql::ParseQuery(R"(
+    PREFIX : <>
+    SELECT * WHERE {
+      ?x :home "Palo Alto" .
+      { ?x :founder ?y } UNION { ?x :member ?y }
+      ?y :industry "Software" .
+      ?z :developer ?y .
+      ?y :revenue ?n .
+      OPTIONAL { ?y :employees ?m }
+    })");
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(*q);
+}
+
+struct Fixture {
+  rdf::Graph graph = ExampleGraph();
+  Statistics stats;
+  sparql::Query query = Figure6Query();
+
+  Fixture() { stats = Statistics::FromGraph(graph, 0); }
+  CostModel cost() const { return CostModel(&stats, &graph.dictionary()); }
+};
+
+TEST(StatisticsTest, BasicCounts) {
+  rdf::Graph g;
+  g.Add({Term::Iri("a"), Term::Iri("p"), Term::Iri("x")});
+  g.Add({Term::Iri("a"), Term::Iri("p"), Term::Iri("y")});
+  g.Add({Term::Iri("b"), Term::Iri("q"), Term::Iri("x")});
+  Statistics s = Statistics::FromGraph(g, 0);
+  EXPECT_EQ(s.total_triples(), 3u);
+  EXPECT_EQ(s.distinct_subjects(), 2u);
+  EXPECT_EQ(s.distinct_objects(), 2u);
+  EXPECT_DOUBLE_EQ(s.avg_triples_per_subject(), 1.5);
+  EXPECT_DOUBLE_EQ(s.avg_triples_per_object(), 1.5);
+  uint64_t a = g.dictionary().Lookup(Term::Iri("a"));
+  uint64_t x = g.dictionary().Lookup(Term::Iri("x"));
+  uint64_t p = g.dictionary().Lookup(Term::Iri("p"));
+  EXPECT_DOUBLE_EQ(s.EstimateBySubject(a), 2.0);
+  EXPECT_DOUBLE_EQ(s.EstimateByObject(x), 2.0);
+  EXPECT_EQ(s.CountByPredicate(p), 2u);
+}
+
+TEST(StatisticsTest, TopKFallsBackToAverage) {
+  rdf::Graph g;
+  // One hot subject with 10 triples, 10 cold subjects with 1 each.
+  for (int i = 0; i < 10; ++i) {
+    g.Add({Term::Iri("hot"), Term::Iri("p"), Term::Iri("o" + std::to_string(i))});
+    g.Add({Term::Iri("cold" + std::to_string(i)), Term::Iri("p"),
+           Term::Iri("x")});
+  }
+  Statistics s = Statistics::FromGraph(g, 1);
+  uint64_t hot = g.dictionary().Lookup(Term::Iri("hot"));
+  uint64_t cold = g.dictionary().Lookup(Term::Iri("cold3"));
+  EXPECT_DOUBLE_EQ(s.EstimateBySubject(hot), 10.0);  // exact (top-1)
+  EXPECT_DOUBLE_EQ(s.EstimateBySubject(cold),
+                   s.avg_triples_per_subject());  // averaged
+}
+
+TEST(CostModelTest, PaperExampleOrdering) {
+  Fixture s;
+  CostModel cm = s.cost();
+  std::vector<const sparql::TriplePattern*> ts;
+  s.query.where->CollectTriples(&ts);
+  const auto& t1 = *ts[0];  // ?x home "Palo Alto"
+  const auto& t4 = *ts[3];  // ?y industry "Software"
+  // Scan costs the whole dataset.
+  EXPECT_DOUBLE_EQ(cm.Tmc(t4, AccessMethod::kScan),
+                   static_cast<double>(s.stats.total_triples()));
+  // aco on "Software" is selective (2 companies).
+  EXPECT_DOUBLE_EQ(cm.Tmc(t4, AccessMethod::kAco), 2.0);
+  // aco on "Palo Alto" is not (30 residents).
+  EXPECT_DOUBLE_EQ(cm.Tmc(t1, AccessMethod::kAco), 30.0);
+  // acs with unbound-var subject costs the average.
+  EXPECT_GT(cm.Tmc(t1, AccessMethod::kAcs), 0.0);
+  EXPECT_LT(cm.Tmc(t1, AccessMethod::kAcs), 30.0);
+}
+
+TEST(CostModelTest, UnknownConstantNearZero) {
+  Fixture s;
+  auto q = sparql::ParseQuery(
+      "SELECT * WHERE { ?x <industry> \"Quantum\" }");
+  ASSERT_TRUE(q.ok());
+  std::vector<const sparql::TriplePattern*> ts;
+  q->where->CollectTriples(&ts);
+  EXPECT_LT(s.cost().Tmc(*ts[0], AccessMethod::kAco), 1.0);
+}
+
+TEST(QueryTreeIndexTest, LcaAndConnectivity) {
+  Fixture s;
+  QueryTreeIndex tree(*s.query.where);
+  ASSERT_EQ(tree.num_triples(), 7);
+  // t2 and t3 are the UNION branches.
+  EXPECT_TRUE(tree.OrConnected(2, 3));
+  EXPECT_FALSE(tree.OrConnected(1, 4));
+  // t7 is optional with respect to t6 but not vice versa.
+  EXPECT_TRUE(tree.OptionalConnected(6, 7));
+  EXPECT_FALSE(tree.OptionalConnected(7, 6));
+  EXPECT_TRUE(tree.OptionalConnected(1, 7));
+  // LCA of t2, t3 is the OR node.
+  EXPECT_EQ(tree.Lca(2, 3)->kind, PatternKind::kOr);
+  EXPECT_EQ(tree.Lca(1, 4)->kind, PatternKind::kAnd);
+}
+
+TEST(DataFlowGraphTest, EdgesRespectGuards) {
+  Fixture s;
+  CostModel cm = s.cost();
+  DataFlowGraph g = DataFlowGraph::Build(s.query, cm);
+  // 7 triples x 3 methods + root.
+  EXPECT_EQ(g.nodes().size(), 1u + 21u);
+
+  auto node_index = [&](int t, AccessMethod m) {
+    for (size_t i = 1; i < g.nodes().size(); ++i) {
+      if (g.nodes()[i].triple_id == t && g.nodes()[i].method == m) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  auto has_edge = [&](int from, int to) {
+    for (const auto& e : g.edges()) {
+      if (e.from == from && e.to == to) return true;
+    }
+    return false;
+  };
+
+  // Root edge to (t4, aco): constant object, no requirements.
+  EXPECT_TRUE(has_edge(0, node_index(4, AccessMethod::kAco)));
+  // (t4, aco) produces ?y which (t2, aco) requires.
+  EXPECT_TRUE(has_edge(node_index(4, AccessMethod::kAco),
+                       node_index(2, AccessMethod::kAco)));
+  // No flow between the UNION branches t2 and t3.
+  EXPECT_FALSE(has_edge(node_index(2, AccessMethod::kAco),
+                        node_index(3, AccessMethod::kAco)));
+  EXPECT_FALSE(has_edge(node_index(3, AccessMethod::kAco),
+                        node_index(2, AccessMethod::kAco)));
+  // No flow out of the OPTIONAL t7 into mandatory t6.
+  EXPECT_FALSE(has_edge(node_index(7, AccessMethod::kAcs),
+                        node_index(6, AccessMethod::kAcs)));
+  // But flow INTO the optional is fine.
+  EXPECT_TRUE(has_edge(node_index(6, AccessMethod::kAcs),
+                       node_index(7, AccessMethod::kAcs)));
+  // Scan nodes always have root edges.
+  EXPECT_TRUE(has_edge(0, node_index(1, AccessMethod::kScan)));
+}
+
+TEST(FlowTreeTest, GreedyCoversAllTriplesOnce) {
+  Fixture s;
+  CostModel cm = s.cost();
+  DataFlowGraph g = DataFlowGraph::Build(s.query, cm);
+  FlowTree flow = GreedyFlowTree(g);
+  ASSERT_EQ(flow.choices().size(), 7u);
+  std::set<int> seen;
+  for (const auto& c : flow.choices()) {
+    EXPECT_TRUE(seen.insert(c.triple_id).second);
+  }
+  // The cheapest start is the selective (t4, aco): cost 2.
+  EXPECT_EQ(flow.choices()[0].triple_id, 4);
+  EXPECT_EQ(flow.choices()[0].method, AccessMethod::kAco);
+  EXPECT_EQ(flow.choices()[0].parent_triple, 0);
+  // t1 must NOT be evaluated by the expensive Palo Alto aco; the flow binds
+  // ?x first (via t2/t3) and then uses acs.
+  EXPECT_EQ(flow.ChoiceFor(1).method, AccessMethod::kAcs);
+}
+
+TEST(FlowTreeTest, LeafDetection) {
+  Fixture s;
+  CostModel cm = s.cost();
+  DataFlowGraph g = DataFlowGraph::Build(s.query, cm);
+  FlowTree flow = GreedyFlowTree(g);
+  // t4 feeds others; t7 (optional tail) feeds nothing.
+  EXPECT_FALSE(flow.IsLeaf(4));
+  EXPECT_TRUE(flow.IsLeaf(7));
+}
+
+TEST(FlowTreeTest, ExhaustiveNoWorseThanGreedy) {
+  Fixture s;
+  CostModel cm = s.cost();
+  DataFlowGraph g = DataFlowGraph::Build(s.query, cm);
+  FlowTree greedy = GreedyFlowTree(g);
+  auto best = ExhaustiveFlowTree(g, 7);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  EXPECT_LE(best->TotalCost(), greedy.TotalCost() + 1e-9);
+  EXPECT_EQ(best->choices().size(), 7u);
+}
+
+TEST(FlowTreeTest, ExhaustiveRejectsBigQueries) {
+  Fixture s;
+  CostModel cm = s.cost();
+  DataFlowGraph g = DataFlowGraph::Build(s.query, cm);
+  EXPECT_TRUE(ExhaustiveFlowTree(g, 3).status().IsInvalidArgument());
+}
+
+TEST(ExecTreeTest, StructureRespectsPatternSemantics) {
+  Fixture s;
+  CostModel cm = s.cost();
+  DataFlowGraph g = DataFlowGraph::Build(s.query, cm);
+  FlowTree flow = GreedyFlowTree(g);
+  auto tree = BuildExecTree(s.query, flow);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  const ExecNode& root = **tree;
+  ASSERT_EQ(root.kind, ExecKind::kAnd);
+  // Contains exactly one OR node (the union) and one OPTIONAL node, and the
+  // OPTIONAL is the last child (late fusing defers it).
+  int ors = 0, opts = 0;
+  for (const auto& c : root.children) {
+    if (c->kind == ExecKind::kOr) ++ors;
+    if (c->kind == ExecKind::kOptional) ++opts;
+  }
+  EXPECT_EQ(ors, 1);
+  EXPECT_EQ(opts, 1);
+  EXPECT_EQ(root.children.back()->kind, ExecKind::kOptional);
+  // All 7 triples appear exactly once.
+  std::string dump = root.ToString();
+  for (int t = 1; t <= 7; ++t) {
+    std::string label = "t" + std::to_string(t);
+    EXPECT_NE(dump.find(label), std::string::npos) << dump;
+  }
+}
+
+TEST(ExecTreeTest, FlowOrderDrivesFusion) {
+  Fixture s;
+  CostModel cm = s.cost();
+  DataFlowGraph g = DataFlowGraph::Build(s.query, cm);
+  FlowTree flow = GreedyFlowTree(g);
+  auto tree = BuildExecTree(s.query, flow);
+  ASSERT_TRUE(tree.ok());
+  // First child of the root AND must involve t4 (the selective entry point
+  // chosen by the flow), not t1 (parse order).
+  const ExecNode& first = *(*tree)->children.front();
+  ASSERT_EQ(first.kind, ExecKind::kTriple);
+  EXPECT_EQ(first.triple->id, 4);
+
+  // Ablation: without late fusing, parse order wins.
+  auto naive = BuildExecTree(s.query, flow, /*late_fusing=*/false);
+  ASSERT_TRUE(naive.ok());
+  const ExecNode& nfirst = *(*naive)->children.front();
+  ASSERT_EQ(nfirst.kind, ExecKind::kTriple);
+  EXPECT_EQ(nfirst.triple->id, 1);
+}
+
+TEST(MergeTest, Definitions39Through311) {
+  Fixture s;
+  QueryTreeIndex tree(*s.query.where);
+  // t2, t3 are OR-mergeable but not AND-mergeable.
+  EXPECT_TRUE(OrMergeable(tree, 2, 3));
+  EXPECT_FALSE(AndMergeable(tree, 2, 3));
+  // t4, t6 are AND-mergeable (both plain conjuncts).
+  EXPECT_TRUE(AndMergeable(tree, 4, 6));
+  EXPECT_FALSE(OrMergeable(tree, 4, 6));
+  // t2, t5 are neither (one is under the OR).
+  EXPECT_FALSE(AndMergeable(tree, 2, 5));
+  EXPECT_FALSE(OrMergeable(tree, 2, 5));
+  // t6 (main) with t7 (optional) are OPT-mergeable.
+  EXPECT_TRUE(OptMergeable(tree, 6, 7));
+  // t7 with t7's own guard does not OPT-merge against an OR branch.
+  EXPECT_FALSE(OptMergeable(tree, 2, 7));
+}
+
+SpillCheck NoSpills() {
+  return [](const sparql::TriplePattern&, AccessMethod) { return false; };
+}
+
+TEST(MergeTest, PaperFigure11Merges) {
+  Fixture s;
+  CostModel cm = s.cost();
+  DataFlowGraph g = DataFlowGraph::Build(s.query, cm);
+  FlowTree flow = GreedyFlowTree(g);
+  auto tree = BuildExecTree(s.query, flow);
+  ASSERT_TRUE(tree.ok());
+  QueryTreeIndex idx(*s.query.where);
+  ExecNodePtr merged = MergeExecTree(std::move(*tree), idx, NoSpills());
+  std::string dump = merged->ToString();
+  // The OR of t2/t3 becomes a disjunctive star; t6/t7 an OPT-merged star
+  // (t7 flagged optional). t4 and t5 stay separate (t4 is aco by constant,
+  // t5 aco on ?y — different entity constants), as in paper Figure 11.
+  EXPECT_NE(dump.find("STAR[OR, aco](t2, t3)"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("STAR[AND, acs](t6, t7?)"), std::string::npos) << dump;
+}
+
+TEST(MergeTest, SpilledPredicateBlocksMerge) {
+  Fixture s;
+  CostModel cm = s.cost();
+  DataFlowGraph g = DataFlowGraph::Build(s.query, cm);
+  FlowTree flow = GreedyFlowTree(g);
+  auto tree = BuildExecTree(s.query, flow);
+  ASSERT_TRUE(tree.ok());
+  QueryTreeIndex idx(*s.query.where);
+  // Mark the employees predicate (t7) as spilled: OPT merge must not fire.
+  SpillCheck spill = [](const sparql::TriplePattern& t, AccessMethod) {
+    return !t.predicate.is_var && t.predicate.term.lexical() == "employees";
+  };
+  ExecNodePtr merged = MergeExecTree(std::move(*tree), idx, spill);
+  std::string dump = merged->ToString();
+  EXPECT_EQ(dump.find("t7?"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("OPTIONAL"), std::string::npos) << dump;
+}
+
+TEST(MergeTest, SameSubjectConjunctsMergeToStar) {
+  rdf::Graph graph;
+  graph.Add({Term::Iri("s"), Term::Iri("p1"), Term::Iri("o1")});
+  Statistics stats = Statistics::FromGraph(graph, 0);
+  CostModel cm(&stats, &graph.dictionary());
+  auto q = sparql::ParseQuery(
+      "SELECT ?s WHERE { ?s <SV1> ?o1 . ?s <SV2> ?o2 . ?s <SV3> ?o3 }");
+  ASSERT_TRUE(q.ok());
+  DataFlowGraph g = DataFlowGraph::Build(*q, cm);
+  FlowTree flow = GreedyFlowTree(g);
+  auto tree = BuildExecTree(*q, flow);
+  ASSERT_TRUE(tree.ok());
+  QueryTreeIndex idx(*q->where);
+  ExecNodePtr merged = MergeExecTree(std::move(*tree), idx, NoSpills());
+  // All three triples share ?s: if the flow picked a common method they
+  // merge into one star node covering t1..t3.
+  std::string dump = merged->ToString();
+  EXPECT_NE(dump.find("STAR[AND"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("t1"), std::string::npos);
+  EXPECT_NE(dump.find("t2"), std::string::npos);
+  EXPECT_NE(dump.find("t3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfrel::opt

@@ -1,0 +1,79 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfrel::rdf {
+namespace {
+
+TEST(DictionaryTest, EncodeAssignsDenseIdsFromOne) {
+  Dictionary d;
+  EXPECT_EQ(d.Encode(Term::Iri("a")), 1u);
+  EXPECT_EQ(d.Encode(Term::Iri("b")), 2u);
+  EXPECT_EQ(d.Encode(Term::Iri("c")), 3u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, EncodeIsIdempotent) {
+  Dictionary d;
+  uint64_t id = d.Encode(Term::Literal("x"));
+  EXPECT_EQ(d.Encode(Term::Literal("x")), id);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, RoundTrip) {
+  Dictionary d;
+  Term t = Term::LangLiteral("bonjour", "fr");
+  uint64_t id = d.Encode(t);
+  auto r = d.Decode(id);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, t);
+}
+
+TEST(DictionaryTest, LookupMissingIsZero) {
+  Dictionary d;
+  d.Encode(Term::Iri("present"));
+  EXPECT_EQ(d.Lookup(Term::Iri("absent")), 0u);
+  EXPECT_NE(d.Lookup(Term::Iri("present")), 0u);
+}
+
+TEST(DictionaryTest, DecodeInvalidIds) {
+  Dictionary d;
+  d.Encode(Term::Iri("a"));
+  EXPECT_TRUE(d.Decode(0).status().IsNotFound());
+  EXPECT_TRUE(d.Decode(2).status().IsNotFound());
+}
+
+TEST(DictionaryTest, IriAndLiteralSameLexicalGetDistinctIds) {
+  Dictionary d;
+  EXPECT_NE(d.Encode(Term::Iri("x")), d.Encode(Term::Literal("x")));
+}
+
+TEST(DictionaryTest, TripleRoundTrip) {
+  Dictionary d;
+  Triple t{Term::Iri("s"), Term::Iri("p"), Term::TypedLiteral("5", "int")};
+  EncodedTriple et = d.EncodeTriple(t);
+  EXPECT_NE(et.subject, 0u);
+  auto back = d.DecodeTriple(et);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(DictionaryTest, SharedTermsShareIds) {
+  Dictionary d;
+  EncodedTriple a =
+      d.EncodeTriple({Term::Iri("s"), Term::Iri("p1"), Term::Iri("o")});
+  EncodedTriple b =
+      d.EncodeTriple({Term::Iri("s"), Term::Iri("p2"), Term::Iri("o")});
+  EXPECT_EQ(a.subject, b.subject);
+  EXPECT_EQ(a.object, b.object);
+  EXPECT_NE(a.predicate, b.predicate);
+}
+
+TEST(DictionaryTest, MemoryUsagePositive) {
+  Dictionary d;
+  d.Encode(Term::Iri("http://example.org/some/long/uri"));
+  EXPECT_GT(d.MemoryUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace rdfrel::rdf

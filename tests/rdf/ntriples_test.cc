@@ -1,0 +1,99 @@
+#include "rdf/ntriples.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rdfrel::rdf {
+namespace {
+
+TEST(NTriplesTest, ParsesSimpleTriple) {
+  auto r = ParseNTriplesLine("<s> <p> <o> .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->subject, Term::Iri("s"));
+  EXPECT_EQ(r->predicate, Term::Iri("p"));
+  EXPECT_EQ(r->object, Term::Iri("o"));
+}
+
+TEST(NTriplesTest, ParsesLiteralObject) {
+  auto r = ParseNTriplesLine("<s> <p> \"Palo Alto\" .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, Term::Literal("Palo Alto"));
+}
+
+TEST(NTriplesTest, ParsesLangLiteral) {
+  auto r = ParseNTriplesLine("<s> <p> \"chat\"@en .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, Term::LangLiteral("chat", "en"));
+}
+
+TEST(NTriplesTest, ParsesTypedLiteral) {
+  auto r = ParseNTriplesLine("<s> <p> \"1850\"^^<http://x#int> .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, Term::TypedLiteral("1850", "http://x#int"));
+}
+
+TEST(NTriplesTest, ParsesBlankNodes) {
+  auto r = ParseNTriplesLine("_:b1 <p> _:b2 .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->subject, Term::BlankNode("b1"));
+  EXPECT_EQ(r->object, Term::BlankNode("b2"));
+}
+
+TEST(NTriplesTest, ParsesEscapes) {
+  auto r = ParseNTriplesLine(R"(<s> <p> "a\"b\nc\\d" .)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, Term::Literal("a\"b\nc\\d"));
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlank) {
+  EXPECT_TRUE(ParseNTriplesLine("# a comment").status().IsNotFound());
+  EXPECT_TRUE(ParseNTriplesLine("   ").status().IsNotFound());
+}
+
+TEST(NTriplesTest, RejectsMalformed) {
+  EXPECT_TRUE(ParseNTriplesLine("<s> <p> <o>").status().IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("<s> <p> .").status().IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("\"lit\" <p> <o> .").status().IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("<s> \"p\" <o> .").status().IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("<s> <p> \"unterminated .").status()
+                  .IsParseError());
+}
+
+TEST(NTriplesTest, DocumentRoundTrip) {
+  std::string doc =
+      "<s1> <p> \"v1\" .\n"
+      "# comment\n"
+      "\n"
+      "<s2> <p> \"v \\\"2\\\"\"@en .\n";
+  auto triples = ParseNTriplesString(doc);
+  ASSERT_TRUE(triples.ok());
+  ASSERT_EQ(triples->size(), 2u);
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteNTriples(*triples, out).ok());
+  auto again = ParseNTriplesString(out.str());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *triples);
+}
+
+TEST(NTriplesTest, ReportsLineNumberOnError) {
+  std::istringstream in("<a> <b> <c> .\nbroken line\n");
+  Status st = ParseNTriples(in, [](Triple) { return Status::OK(); });
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, SinkErrorStopsParse) {
+  std::istringstream in("<a> <b> <c> .\n<d> <e> <f> .\n");
+  int count = 0;
+  Status st = ParseNTriples(in, [&](Triple) {
+    ++count;
+    return Status::ExecutionError("stop");
+  });
+  EXPECT_TRUE(st.IsExecutionError());
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace rdfrel::rdf

@@ -1,0 +1,121 @@
+#include "sparql/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+#include "store/rdf_store.h"
+
+namespace rdfrel::sparql {
+namespace {
+
+TypeHierarchy LubmHierarchy() {
+  TypeHierarchy h;
+  h.AddSubclass("http://l/GraduateStudent", "http://l/Student");
+  h.AddSubclass("http://l/UndergraduateStudent", "http://l/Student");
+  h.AddSubclass("http://l/Student", "http://l/Person");
+  h.AddSubclass("http://l/FullProfessor", "http://l/Professor");
+  h.AddSubclass("http://l/Professor", "http://l/Person");
+  return h;
+}
+
+TEST(TypeHierarchyTest, TransitiveExpansion) {
+  TypeHierarchy h = LubmHierarchy();
+  auto student = h.ExpandClass("http://l/Student");
+  EXPECT_EQ(student.size(), 3u);
+  EXPECT_EQ(student[0], "http://l/Student");  // the class itself first
+  auto person = h.ExpandClass("http://l/Person");
+  EXPECT_EQ(person.size(), 6u);  // Person, Student, Professor, 2 students, 1 prof
+  EXPECT_TRUE(h.HasSubclasses("http://l/Person"));
+  EXPECT_FALSE(h.HasSubclasses("http://l/GraduateStudent"));
+}
+
+TEST(TypeHierarchyTest, CycleTolerated) {
+  TypeHierarchy h;
+  h.AddSubclass("a", "b");
+  h.AddSubclass("b", "a");
+  auto ea = h.ExpandClass("a");
+  EXPECT_EQ(ea.size(), 2u);
+  h.AddSubclass("a", "a");  // self edge ignored
+  EXPECT_EQ(h.ExpandClass("a").size(), 2u);
+}
+
+TEST(ExpandTypeQueryTest, RewritesTypeTripleIntoUnion) {
+  auto q = ParseQuery(
+      "PREFIX : <http://l/> "
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "SELECT ?x WHERE { ?x rdf:type :Student . ?x :takesCourse ?c }");
+  ASSERT_TRUE(q.ok());
+  TypeHierarchy h = LubmHierarchy();
+  auto n = ExpandTypeQuery(h, &*q);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  // One UNION with 3 branches + the course triple = 4 triples.
+  EXPECT_EQ(q->num_triples, 4);
+  std::string dump = q->where->ToString();
+  EXPECT_NE(dump.find("OR"), std::string::npos);
+  EXPECT_NE(dump.find("GraduateStudent"), std::string::npos);
+  EXPECT_NE(dump.find("UndergraduateStudent"), std::string::npos);
+}
+
+TEST(ExpandTypeQueryTest, LeavesLeafTypesAndNonTypeTriples) {
+  auto q = ParseQuery(
+      "PREFIX : <http://l/> "
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "SELECT ?x WHERE { ?x rdf:type :GraduateStudent . ?x :name ?n }");
+  ASSERT_TRUE(q.ok());
+  TypeHierarchy h = LubmHierarchy();
+  auto n = ExpandTypeQuery(h, &*q);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+  EXPECT_EQ(q->num_triples, 2);
+}
+
+TEST(ExpandTypeQueryTest, ExpandsInsideNestedPatterns) {
+  auto q = ParseQuery(
+      "PREFIX : <http://l/> "
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "SELECT ?x WHERE { ?x :name ?n OPTIONAL { ?x rdf:type :Professor } }");
+  ASSERT_TRUE(q.ok());
+  TypeHierarchy h = LubmHierarchy();
+  auto n = ExpandTypeQuery(h, &*q);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  EXPECT_EQ(q->num_triples, 3);  // name + 2 professor classes
+}
+
+TEST(ExpandTypeQueryTest, ExpandedQueryAnswersInference) {
+  // End-to-end: a store without inference answers a superclass query after
+  // expansion (the paper's LUBM methodology).
+  rdf::Graph g;
+  auto type = rdf::Term::Iri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  g.Add({rdf::Term::Iri("http://l/alice"), type,
+         rdf::Term::Iri("http://l/GraduateStudent")});
+  g.Add({rdf::Term::Iri("http://l/bob"), type,
+         rdf::Term::Iri("http://l/UndergraduateStudent")});
+  g.Add({rdf::Term::Iri("http://l/carol"), type,
+         rdf::Term::Iri("http://l/FullProfessor")});
+  auto store = store::RdfStore::Load(std::move(g));
+  ASSERT_TRUE(store.ok());
+
+  std::string text =
+      "PREFIX : <http://l/> "
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "SELECT ?x WHERE { ?x rdf:type :Student }";
+  // Unexpanded: no direct Student instances.
+  auto plain = (*store)->Query(text);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->size(), 0u);
+
+  // Expanded: both students.
+  auto q = ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  TypeHierarchy h = LubmHierarchy();
+  ASSERT_TRUE(ExpandTypeQuery(h, &*q).ok());
+  auto expanded = (*store)->QueryParsed(*q);
+  ASSERT_TRUE(expanded.ok()) << expanded.status().ToString();
+  EXPECT_EQ(expanded->size(), 2u);
+}
+
+}  // namespace
+}  // namespace rdfrel::sparql

@@ -1,0 +1,179 @@
+#include "sql/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace rdfrel::sql {
+namespace {
+
+/// Parses `expr` (as a SELECT item) and binds it against a scope with
+/// columns a, b, c (unqualified) holding the given row.
+class ExprEval {
+ public:
+  ExprEval() {
+    scope_.Add("t", "a");
+    scope_.Add("t", "b");
+    scope_.Add("t", "c");
+  }
+
+  Result<Value> Eval(const std::string& text, Row row) {
+    auto sel = ParseSelect("SELECT " + text + " FROM dummy");
+    if (!sel.ok()) return sel.status();
+    RDFREL_ASSIGN_OR_RETURN(
+        BoundExprPtr bound,
+        BindExpr(*(*sel)->cores[0].items[0].expr, scope_));
+    return bound->Evaluate(row);
+  }
+
+ private:
+  Scope scope_;
+};
+
+TEST(ScopeTest, ResolveQualifiedAndUnqualified) {
+  Scope s;
+  s.Add("t", "x");
+  s.Add("u", "y");
+  EXPECT_EQ(*s.Resolve("t", "x"), 0);
+  EXPECT_EQ(*s.Resolve("", "y"), 1);
+  EXPECT_TRUE(s.Resolve("u", "x").status().IsNotFound());
+  EXPECT_TRUE(s.Resolve("", "z").status().IsNotFound());
+}
+
+TEST(ScopeTest, AmbiguousUnqualified) {
+  Scope s;
+  s.Add("t", "x");
+  s.Add("u", "x");
+  EXPECT_TRUE(s.Resolve("", "x").status().IsInvalidArgument());
+  EXPECT_EQ(*s.Resolve("u", "x"), 1);
+}
+
+TEST(ScopeTest, CaseInsensitive) {
+  Scope s;
+  s.Add("T", "EntryCol");
+  EXPECT_EQ(*s.Resolve("t", "entrycol"), 0);
+  EXPECT_EQ(*s.Resolve("T", "ENTRYCOL"), 0);
+}
+
+TEST(ExprTest, ArithmeticAndComparison) {
+  ExprEval e;
+  Row r = {Value::Int(10), Value::Int(3), Value::Null()};
+  EXPECT_EQ(e.Eval("a + b", r)->AsInt(), 13);
+  EXPECT_EQ(e.Eval("a - b", r)->AsInt(), 7);
+  EXPECT_EQ(e.Eval("a * b", r)->AsInt(), 30);
+  EXPECT_DOUBLE_EQ(e.Eval("a / b", r)->AsDouble(), 10.0 / 3.0);
+  EXPECT_EQ(e.Eval("a > b", r)->AsInt(), 1);
+  EXPECT_EQ(e.Eval("a <= b", r)->AsInt(), 0);
+  EXPECT_EQ(e.Eval("a = 10", r)->AsInt(), 1);
+  EXPECT_EQ(e.Eval("a <> 10", r)->AsInt(), 0);
+}
+
+TEST(ExprTest, NullPropagation) {
+  ExprEval e;
+  Row r = {Value::Int(10), Value::Null(), Value::Null()};
+  EXPECT_TRUE(e.Eval("a + b", r)->is_null());
+  EXPECT_TRUE(e.Eval("b = b", r)->is_null());
+  EXPECT_TRUE(e.Eval("b < 1", r)->is_null());
+  EXPECT_TRUE(e.Eval("NOT b", r)->is_null());
+  EXPECT_TRUE(e.Eval("-b", r)->is_null());
+}
+
+TEST(ExprTest, ThreeValuedAndOr) {
+  ExprEval e;
+  Row r = {Value::Int(1), Value::Int(0), Value::Null()};
+  // AND: F dominates NULL.
+  EXPECT_EQ(e.Eval("b = 1 AND c = 1", r)->AsInt(), 0);
+  EXPECT_TRUE(e.Eval("a = 1 AND c = 1", r)->is_null());
+  // OR: T dominates NULL.
+  EXPECT_EQ(e.Eval("a = 1 OR c = 1", r)->AsInt(), 1);
+  EXPECT_TRUE(e.Eval("b = 1 OR c = 1", r)->is_null());
+}
+
+TEST(ExprTest, IsNull) {
+  ExprEval e;
+  Row r = {Value::Int(1), Value::Null(), Value::Null()};
+  EXPECT_EQ(e.Eval("a IS NULL", r)->AsInt(), 0);
+  EXPECT_EQ(e.Eval("b IS NULL", r)->AsInt(), 1);
+  EXPECT_EQ(e.Eval("b IS NOT NULL", r)->AsInt(), 0);
+  EXPECT_EQ(e.Eval("a IS NOT NULL", r)->AsInt(), 1);
+}
+
+TEST(ExprTest, CaseSearchedForm) {
+  ExprEval e;
+  Row r = {Value::Int(2), Value::Int(0), Value::Null()};
+  auto v = e.Eval(
+      "CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END", r);
+  EXPECT_EQ(v->AsString(), "two");
+  auto v2 = e.Eval("CASE WHEN a = 9 THEN 'nine' END", r);
+  EXPECT_TRUE(v2->is_null());
+  // NULL condition does not select the branch.
+  auto v3 = e.Eval("CASE WHEN c = 1 THEN 'x' ELSE 'y' END", r);
+  EXPECT_EQ(v3->AsString(), "y");
+}
+
+TEST(ExprTest, Coalesce) {
+  ExprEval e;
+  Row r = {Value::Null(), Value::Int(5), Value::Null()};
+  EXPECT_EQ(e.Eval("COALESCE(a, b, 9)", r)->AsInt(), 5);
+  EXPECT_EQ(e.Eval("COALESCE(a, c, 9)", r)->AsInt(), 9);
+  EXPECT_TRUE(e.Eval("COALESCE(a, c)", r)->is_null());
+}
+
+TEST(ExprTest, StringEquality) {
+  ExprEval e;
+  Row r = {Value::Str("x"), Value::Str("y"), Value::Null()};
+  EXPECT_EQ(e.Eval("a = 'x'", r)->AsInt(), 1);
+  EXPECT_EQ(e.Eval("a = b", r)->AsInt(), 0);
+  EXPECT_EQ(e.Eval("a < b", r)->AsInt(), 1);
+}
+
+TEST(ExprTest, ErrorsAsStatuses) {
+  ExprEval e;
+  Row r = {Value::Str("x"), Value::Int(1), Value::Int(0)};
+  // Strings are not predicates.
+  EXPECT_TRUE(e.Eval("a AND b = 1", r).status().IsExecutionError());
+  // Mixed-type ordered comparison.
+  EXPECT_TRUE(e.Eval("a < b", r).status().IsExecutionError());
+  // Arithmetic on strings.
+  EXPECT_TRUE(e.Eval("a + 1", r).status().IsExecutionError());
+  // Division by zero.
+  EXPECT_TRUE(e.Eval("b / c", r).status().IsExecutionError());
+  // Unknown column.
+  EXPECT_TRUE(e.Eval("zzz", r).status().IsNotFound());
+}
+
+TEST(ExprTest, EvalPredicateNullIsFalse) {
+  Scope s;
+  s.Add("t", "a");
+  auto sel = ParseSelect("SELECT a = 1 FROM d");
+  ASSERT_TRUE(sel.ok());
+  auto bound = BindExpr(*(*sel)->cores[0].items[0].expr, s);
+  ASSERT_TRUE(bound.ok());
+  auto pass = EvalPredicate(**bound, {Value::Null()});
+  ASSERT_TRUE(pass.ok());
+  EXPECT_FALSE(*pass);
+}
+
+TEST(ExprTest, CollectConjunctsFlattensAndOnly) {
+  auto sel = ParseSelect(
+      "SELECT x FROM t WHERE a = 1 AND (b = 2 OR c = 3) AND d = 4");
+  ASSERT_TRUE(sel.ok());
+  std::vector<const ast::Expr*> list;
+  CollectConjuncts(*(*sel)->cores[0].where, &list);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[1]->op, ast::BinaryOp::kOr);
+}
+
+TEST(ExprTest, CoverageCheck) {
+  Scope s;
+  s.Add("t", "a");
+  auto sel = ParseSelect("SELECT x FROM t WHERE t.a = 1 AND u.b = 2");
+  ASSERT_TRUE(sel.ok());
+  std::vector<const ast::Expr*> list;
+  CollectConjuncts(*(*sel)->cores[0].where, &list);
+  EXPECT_TRUE(ExprCoveredByScope(*list[0], s));
+  EXPECT_FALSE(ExprCoveredByScope(*list[1], s));
+}
+
+}  // namespace
+}  // namespace rdfrel::sql

@@ -1,0 +1,109 @@
+/// Triple deletion (paper §6 future work: update performance): cells clear,
+/// multi-value lists shrink, empty rows vanish, and queries reflect it.
+
+#include <gtest/gtest.h>
+
+#include "store/rdf_store.h"
+
+namespace rdfrel::store {
+namespace {
+
+using rdf::Term;
+
+rdf::Graph SmallGraph() {
+  rdf::Graph g;
+  auto iri = [](const std::string& s) { return Term::Iri("http://x/" + s); };
+  auto lit = [](const std::string& s) { return Term::Literal(s); };
+  g.Add({iri("ibm"), iri("industry"), lit("software")});
+  g.Add({iri("ibm"), iri("industry"), lit("hardware")});
+  g.Add({iri("ibm"), iri("industry"), lit("services")});
+  g.Add({iri("ibm"), iri("hq"), lit("armonk")});
+  g.Add({iri("sun"), iri("industry"), lit("hardware")});
+  return g;
+}
+
+class DeleteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = RdfStore::Load(SmallGraph());
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    store_ = std::move(*s);
+  }
+  size_t Count(const std::string& q) {
+    auto r = store_->Query("PREFIX : <http://x/> " + q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->size() : 0;
+  }
+  rdf::Triple T(const std::string& s, const std::string& p,
+                const std::string& o, bool literal_object = true) {
+    return {Term::Iri("http://x/" + s), Term::Iri("http://x/" + p),
+            literal_object ? Term::Literal(o) : Term::Iri("http://x/" + o)};
+  }
+  std::unique_ptr<RdfStore> store_;
+};
+
+TEST_F(DeleteTest, DeleteSingleValuedCell) {
+  EXPECT_EQ(Count("SELECT ?h WHERE { :ibm :hq ?h }"), 1u);
+  ASSERT_TRUE(store_->Delete(T("ibm", "hq", "armonk")).ok());
+  EXPECT_EQ(Count("SELECT ?h WHERE { :ibm :hq ?h }"), 0u);
+  // Other predicates untouched.
+  EXPECT_EQ(Count("SELECT ?i WHERE { :ibm :industry ?i }"), 3u);
+}
+
+TEST_F(DeleteTest, DeleteShrinksMultiValueList) {
+  ASSERT_TRUE(store_->Delete(T("ibm", "industry", "hardware")).ok());
+  EXPECT_EQ(Count("SELECT ?i WHERE { :ibm :industry ?i }"), 2u);
+  // The reverse side shrinks too: hardware now only sun.
+  EXPECT_EQ(Count("SELECT ?c WHERE { ?c :industry \"hardware\" }"), 1u);
+}
+
+TEST_F(DeleteTest, DeleteEntireList) {
+  for (const char* v : {"software", "hardware", "services"}) {
+    ASSERT_TRUE(store_->Delete(T("ibm", "industry", v)).ok()) << v;
+  }
+  EXPECT_EQ(Count("SELECT ?i WHERE { :ibm :industry ?i }"), 0u);
+  EXPECT_EQ(Count("SELECT ?h WHERE { :ibm :hq ?h }"), 1u);
+}
+
+TEST_F(DeleteTest, DeleteLastPredicateRemovesRow) {
+  ASSERT_TRUE(store_->Delete(T("sun", "industry", "hardware")).ok());
+  EXPECT_EQ(Count("SELECT ?p ?o WHERE { :sun ?p ?o }"), 0u);
+}
+
+TEST_F(DeleteTest, DeleteAbsentTripleIsNotFound) {
+  EXPECT_TRUE(store_->Delete(T("ibm", "hq", "zurich")).IsNotFound());
+  EXPECT_TRUE(store_->Delete(T("nosuch", "hq", "armonk")).IsNotFound());
+  // Double delete.
+  ASSERT_TRUE(store_->Delete(T("ibm", "hq", "armonk")).ok());
+  EXPECT_TRUE(store_->Delete(T("ibm", "hq", "armonk")).IsNotFound());
+}
+
+TEST_F(DeleteTest, InsertAfterDeleteRoundTrips) {
+  ASSERT_TRUE(store_->Delete(T("ibm", "hq", "armonk")).ok());
+  ASSERT_TRUE(store_->Insert(T("ibm", "hq", "poughkeepsie")).ok());
+  auto r = store_->Query(
+      "PREFIX : <http://x/> SELECT ?h WHERE { :ibm :hq ?h }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::Literal("poughkeepsie"));
+}
+
+TEST_F(DeleteTest, ClosureTablesInvalidated) {
+  rdf::Graph g;
+  auto iri = [](const std::string& s) { return Term::Iri("http://x/" + s); };
+  g.Add({iri("a"), iri("next"), iri("b")});
+  g.Add({iri("b"), iri("next"), iri("c")});
+  auto store = RdfStore::Load(std::move(g)).value();
+  auto q = "PREFIX : <http://x/> SELECT ?r WHERE { :a :next+ ?r }";
+  EXPECT_EQ(store->Query(q)->size(), 2u);
+  ASSERT_TRUE(store
+                  ->Delete({iri("b"), iri("next"), iri("c")})
+                  .ok());
+  EXPECT_EQ(store->Query(q)->size(), 1u);  // closure rebuilt
+  ASSERT_TRUE(store->Insert({iri("c"), iri("next"), iri("d")}).ok());
+  ASSERT_TRUE(store->Insert({iri("b"), iri("next"), iri("c")}).ok());
+  EXPECT_EQ(store->Query(q)->size(), 3u);
+}
+
+}  // namespace
+}  // namespace rdfrel::store

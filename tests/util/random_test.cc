@@ -1,0 +1,75 @@
+#include "util/random.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace rdfrel {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, UniformInBound) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.Uniform(17), 17u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(ZipfTest, RanksInRange) {
+  Random r(3);
+  ZipfSampler z(100, 1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(r), 100u);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Random r(5);
+  ZipfSampler z(1000, 1.2);
+  std::map<uint64_t, int> counts;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) counts[z.Sample(r)]++;
+  // Rank 0 should dominate rank 100 by a wide margin under s=1.2.
+  EXPECT_GT(counts[0], counts[100] * 5);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  Random r(13);
+  ZipfSampler z(10, 0.0);
+  std::map<uint64_t, int> counts;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) counts[z.Sample(r)]++;
+  for (auto& [rank, c] : counts) {
+    EXPECT_GT(c, kTrials / 10 / 2) << "rank " << rank;
+    EXPECT_LT(c, kTrials / 10 * 2) << "rank " << rank;
+  }
+}
+
+}  // namespace
+}  // namespace rdfrel

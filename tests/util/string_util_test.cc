@@ -1,0 +1,60 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfrel {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitNoSeparator) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("nt", ".nt"));
+}
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(ToLowerAscii("SeLeCt"), "select");
+  EXPECT_EQ(ToUpperAscii("SeLeCt"), "SELECT");
+  EXPECT_TRUE(EqualsIgnoreCaseAscii("union", "UNION"));
+  EXPECT_FALSE(EqualsIgnoreCaseAscii("union", "unions"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, SqlQuoteDoublesQuotes) {
+  EXPECT_EQ(SqlQuote("O'Brien"), "'O''Brien'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+TEST(StringUtilTest, NtEscape) {
+  EXPECT_EQ(NtEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(NtEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace rdfrel
