@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_coloring.cc" "bench/CMakeFiles/bench_coloring.dir/bench_coloring.cc.o" "gcc" "bench/CMakeFiles/bench_coloring.dir/bench_coloring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfrel_benchdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

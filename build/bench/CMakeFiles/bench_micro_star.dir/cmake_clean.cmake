@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_star.dir/bench_micro_star.cc.o"
+  "CMakeFiles/bench_micro_star.dir/bench_micro_star.cc.o.d"
+  "bench_micro_star"
+  "bench_micro_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

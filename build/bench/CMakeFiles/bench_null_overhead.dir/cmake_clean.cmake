@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_null_overhead.dir/bench_null_overhead.cc.o"
+  "CMakeFiles/bench_null_overhead.dir/bench_null_overhead.cc.o.d"
+  "bench_null_overhead"
+  "bench_null_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_null_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

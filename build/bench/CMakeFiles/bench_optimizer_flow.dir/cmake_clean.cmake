@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_flow.dir/bench_optimizer_flow.cc.o"
+  "CMakeFiles/bench_optimizer_flow.dir/bench_optimizer_flow.cc.o.d"
+  "bench_optimizer_flow"
+  "bench_optimizer_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prbench.dir/bench_prbench.cc.o"
+  "CMakeFiles/bench_prbench.dir/bench_prbench.cc.o.d"
+  "bench_prbench"
+  "bench_prbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

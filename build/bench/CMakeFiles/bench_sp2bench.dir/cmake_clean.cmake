@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sp2bench.dir/bench_sp2bench.cc.o"
+  "CMakeFiles/bench_sp2bench.dir/bench_sp2bench.cc.o.d"
+  "bench_sp2bench"
+  "bench_sp2bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sp2bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

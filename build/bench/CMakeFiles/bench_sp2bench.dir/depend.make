@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sp2bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_load_coloring.dir/bulk_load_coloring.cpp.o"
+  "CMakeFiles/bulk_load_coloring.dir/bulk_load_coloring.cpp.o.d"
+  "bulk_load_coloring"
+  "bulk_load_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_load_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

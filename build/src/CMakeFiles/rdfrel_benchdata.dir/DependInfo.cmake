@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchdata/dbpedia.cc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/dbpedia.cc.o" "gcc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/dbpedia.cc.o.d"
+  "/root/repo/src/benchdata/lubm.cc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/lubm.cc.o" "gcc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/lubm.cc.o.d"
+  "/root/repo/src/benchdata/micro.cc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/micro.cc.o" "gcc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/micro.cc.o.d"
+  "/root/repo/src/benchdata/prbench.cc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/prbench.cc.o" "gcc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/prbench.cc.o.d"
+  "/root/repo/src/benchdata/sp2bench.cc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/sp2bench.cc.o" "gcc" "src/CMakeFiles/rdfrel_benchdata.dir/benchdata/sp2bench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfrel_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/dbpedia.cc.o"
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/dbpedia.cc.o.d"
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/lubm.cc.o"
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/lubm.cc.o.d"
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/micro.cc.o"
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/micro.cc.o.d"
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/prbench.cc.o"
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/prbench.cc.o.d"
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/sp2bench.cc.o"
+  "CMakeFiles/rdfrel_benchdata.dir/benchdata/sp2bench.cc.o.d"
+  "librdfrel_benchdata.a"
+  "librdfrel_benchdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfrel_benchdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

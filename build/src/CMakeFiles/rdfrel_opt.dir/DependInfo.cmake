@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/access_method.cc" "src/CMakeFiles/rdfrel_opt.dir/opt/access_method.cc.o" "gcc" "src/CMakeFiles/rdfrel_opt.dir/opt/access_method.cc.o.d"
+  "/root/repo/src/opt/cost_model.cc" "src/CMakeFiles/rdfrel_opt.dir/opt/cost_model.cc.o" "gcc" "src/CMakeFiles/rdfrel_opt.dir/opt/cost_model.cc.o.d"
+  "/root/repo/src/opt/data_flow_graph.cc" "src/CMakeFiles/rdfrel_opt.dir/opt/data_flow_graph.cc.o" "gcc" "src/CMakeFiles/rdfrel_opt.dir/opt/data_flow_graph.cc.o.d"
+  "/root/repo/src/opt/exec_tree.cc" "src/CMakeFiles/rdfrel_opt.dir/opt/exec_tree.cc.o" "gcc" "src/CMakeFiles/rdfrel_opt.dir/opt/exec_tree.cc.o.d"
+  "/root/repo/src/opt/flow_tree.cc" "src/CMakeFiles/rdfrel_opt.dir/opt/flow_tree.cc.o" "gcc" "src/CMakeFiles/rdfrel_opt.dir/opt/flow_tree.cc.o.d"
+  "/root/repo/src/opt/merge.cc" "src/CMakeFiles/rdfrel_opt.dir/opt/merge.cc.o" "gcc" "src/CMakeFiles/rdfrel_opt.dir/opt/merge.cc.o.d"
+  "/root/repo/src/opt/statistics.cc" "src/CMakeFiles/rdfrel_opt.dir/opt/statistics.cc.o" "gcc" "src/CMakeFiles/rdfrel_opt.dir/opt/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfrel_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

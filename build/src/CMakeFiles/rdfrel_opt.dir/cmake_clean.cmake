@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfrel_opt.dir/opt/access_method.cc.o"
+  "CMakeFiles/rdfrel_opt.dir/opt/access_method.cc.o.d"
+  "CMakeFiles/rdfrel_opt.dir/opt/cost_model.cc.o"
+  "CMakeFiles/rdfrel_opt.dir/opt/cost_model.cc.o.d"
+  "CMakeFiles/rdfrel_opt.dir/opt/data_flow_graph.cc.o"
+  "CMakeFiles/rdfrel_opt.dir/opt/data_flow_graph.cc.o.d"
+  "CMakeFiles/rdfrel_opt.dir/opt/exec_tree.cc.o"
+  "CMakeFiles/rdfrel_opt.dir/opt/exec_tree.cc.o.d"
+  "CMakeFiles/rdfrel_opt.dir/opt/flow_tree.cc.o"
+  "CMakeFiles/rdfrel_opt.dir/opt/flow_tree.cc.o.d"
+  "CMakeFiles/rdfrel_opt.dir/opt/merge.cc.o"
+  "CMakeFiles/rdfrel_opt.dir/opt/merge.cc.o.d"
+  "CMakeFiles/rdfrel_opt.dir/opt/statistics.cc.o"
+  "CMakeFiles/rdfrel_opt.dir/opt/statistics.cc.o.d"
+  "librdfrel_opt.a"
+  "librdfrel_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfrel_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

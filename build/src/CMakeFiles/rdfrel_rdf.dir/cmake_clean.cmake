@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfrel_rdf.dir/rdf/dictionary.cc.o"
+  "CMakeFiles/rdfrel_rdf.dir/rdf/dictionary.cc.o.d"
+  "CMakeFiles/rdfrel_rdf.dir/rdf/graph.cc.o"
+  "CMakeFiles/rdfrel_rdf.dir/rdf/graph.cc.o.d"
+  "CMakeFiles/rdfrel_rdf.dir/rdf/ntriples.cc.o"
+  "CMakeFiles/rdfrel_rdf.dir/rdf/ntriples.cc.o.d"
+  "CMakeFiles/rdfrel_rdf.dir/rdf/term.cc.o"
+  "CMakeFiles/rdfrel_rdf.dir/rdf/term.cc.o.d"
+  "librdfrel_rdf.a"
+  "librdfrel_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfrel_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

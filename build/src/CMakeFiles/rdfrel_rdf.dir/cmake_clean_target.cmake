@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdfrel_rdf.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/coloring_mapping.cc" "src/CMakeFiles/rdfrel_schema.dir/schema/coloring_mapping.cc.o" "gcc" "src/CMakeFiles/rdfrel_schema.dir/schema/coloring_mapping.cc.o.d"
+  "/root/repo/src/schema/db2rdf_schema.cc" "src/CMakeFiles/rdfrel_schema.dir/schema/db2rdf_schema.cc.o" "gcc" "src/CMakeFiles/rdfrel_schema.dir/schema/db2rdf_schema.cc.o.d"
+  "/root/repo/src/schema/hash_mapping.cc" "src/CMakeFiles/rdfrel_schema.dir/schema/hash_mapping.cc.o" "gcc" "src/CMakeFiles/rdfrel_schema.dir/schema/hash_mapping.cc.o.d"
+  "/root/repo/src/schema/interference_graph.cc" "src/CMakeFiles/rdfrel_schema.dir/schema/interference_graph.cc.o" "gcc" "src/CMakeFiles/rdfrel_schema.dir/schema/interference_graph.cc.o.d"
+  "/root/repo/src/schema/loader.cc" "src/CMakeFiles/rdfrel_schema.dir/schema/loader.cc.o" "gcc" "src/CMakeFiles/rdfrel_schema.dir/schema/loader.cc.o.d"
+  "/root/repo/src/schema/predicate_mapping.cc" "src/CMakeFiles/rdfrel_schema.dir/schema/predicate_mapping.cc.o" "gcc" "src/CMakeFiles/rdfrel_schema.dir/schema/predicate_mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfrel_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfrel_schema.dir/schema/coloring_mapping.cc.o"
+  "CMakeFiles/rdfrel_schema.dir/schema/coloring_mapping.cc.o.d"
+  "CMakeFiles/rdfrel_schema.dir/schema/db2rdf_schema.cc.o"
+  "CMakeFiles/rdfrel_schema.dir/schema/db2rdf_schema.cc.o.d"
+  "CMakeFiles/rdfrel_schema.dir/schema/hash_mapping.cc.o"
+  "CMakeFiles/rdfrel_schema.dir/schema/hash_mapping.cc.o.d"
+  "CMakeFiles/rdfrel_schema.dir/schema/interference_graph.cc.o"
+  "CMakeFiles/rdfrel_schema.dir/schema/interference_graph.cc.o.d"
+  "CMakeFiles/rdfrel_schema.dir/schema/loader.cc.o"
+  "CMakeFiles/rdfrel_schema.dir/schema/loader.cc.o.d"
+  "CMakeFiles/rdfrel_schema.dir/schema/predicate_mapping.cc.o"
+  "CMakeFiles/rdfrel_schema.dir/schema/predicate_mapping.cc.o.d"
+  "librdfrel_schema.a"
+  "librdfrel_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfrel_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

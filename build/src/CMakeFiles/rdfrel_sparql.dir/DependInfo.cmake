@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/ast.cc" "src/CMakeFiles/rdfrel_sparql.dir/sparql/ast.cc.o" "gcc" "src/CMakeFiles/rdfrel_sparql.dir/sparql/ast.cc.o.d"
+  "/root/repo/src/sparql/inference.cc" "src/CMakeFiles/rdfrel_sparql.dir/sparql/inference.cc.o" "gcc" "src/CMakeFiles/rdfrel_sparql.dir/sparql/inference.cc.o.d"
+  "/root/repo/src/sparql/lexer.cc" "src/CMakeFiles/rdfrel_sparql.dir/sparql/lexer.cc.o" "gcc" "src/CMakeFiles/rdfrel_sparql.dir/sparql/lexer.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/CMakeFiles/rdfrel_sparql.dir/sparql/parser.cc.o" "gcc" "src/CMakeFiles/rdfrel_sparql.dir/sparql/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfrel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfrel_sparql.dir/sparql/ast.cc.o"
+  "CMakeFiles/rdfrel_sparql.dir/sparql/ast.cc.o.d"
+  "CMakeFiles/rdfrel_sparql.dir/sparql/inference.cc.o"
+  "CMakeFiles/rdfrel_sparql.dir/sparql/inference.cc.o.d"
+  "CMakeFiles/rdfrel_sparql.dir/sparql/lexer.cc.o"
+  "CMakeFiles/rdfrel_sparql.dir/sparql/lexer.cc.o.d"
+  "CMakeFiles/rdfrel_sparql.dir/sparql/parser.cc.o"
+  "CMakeFiles/rdfrel_sparql.dir/sparql/parser.cc.o.d"
+  "librdfrel_sparql.a"
+  "librdfrel_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfrel_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/btree.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/btree.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/btree.cc.o.d"
+  "/root/repo/src/sql/catalog.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/catalog.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/catalog.cc.o.d"
+  "/root/repo/src/sql/database.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/database.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/database.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/expression.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/expression.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/expression.cc.o.d"
+  "/root/repo/src/sql/hash_index.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/hash_index.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/hash_index.cc.o.d"
+  "/root/repo/src/sql/heap_file.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/heap_file.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/heap_file.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/page.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/page.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/page.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/planner.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/planner.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/planner.cc.o.d"
+  "/root/repo/src/sql/row.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/row.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/row.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/schema.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/schema.cc.o.d"
+  "/root/repo/src/sql/table_storage.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/table_storage.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/table_storage.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/CMakeFiles/rdfrel_sql.dir/sql/value.cc.o" "gcc" "src/CMakeFiles/rdfrel_sql.dir/sql/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/backend_util.cc" "src/CMakeFiles/rdfrel_store.dir/store/backend_util.cc.o" "gcc" "src/CMakeFiles/rdfrel_store.dir/store/backend_util.cc.o.d"
+  "/root/repo/src/store/predicate_store_backend.cc" "src/CMakeFiles/rdfrel_store.dir/store/predicate_store_backend.cc.o" "gcc" "src/CMakeFiles/rdfrel_store.dir/store/predicate_store_backend.cc.o.d"
+  "/root/repo/src/store/rdf_store.cc" "src/CMakeFiles/rdfrel_store.dir/store/rdf_store.cc.o" "gcc" "src/CMakeFiles/rdfrel_store.dir/store/rdf_store.cc.o.d"
+  "/root/repo/src/store/result_set.cc" "src/CMakeFiles/rdfrel_store.dir/store/result_set.cc.o" "gcc" "src/CMakeFiles/rdfrel_store.dir/store/result_set.cc.o.d"
+  "/root/repo/src/store/triple_store_backend.cc" "src/CMakeFiles/rdfrel_store.dir/store/triple_store_backend.cc.o" "gcc" "src/CMakeFiles/rdfrel_store.dir/store/triple_store_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfrel_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfrel_store.dir/store/backend_util.cc.o"
+  "CMakeFiles/rdfrel_store.dir/store/backend_util.cc.o.d"
+  "CMakeFiles/rdfrel_store.dir/store/predicate_store_backend.cc.o"
+  "CMakeFiles/rdfrel_store.dir/store/predicate_store_backend.cc.o.d"
+  "CMakeFiles/rdfrel_store.dir/store/rdf_store.cc.o"
+  "CMakeFiles/rdfrel_store.dir/store/rdf_store.cc.o.d"
+  "CMakeFiles/rdfrel_store.dir/store/result_set.cc.o"
+  "CMakeFiles/rdfrel_store.dir/store/result_set.cc.o.d"
+  "CMakeFiles/rdfrel_store.dir/store/triple_store_backend.cc.o"
+  "CMakeFiles/rdfrel_store.dir/store/triple_store_backend.cc.o.d"
+  "librdfrel_store.a"
+  "librdfrel_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfrel_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

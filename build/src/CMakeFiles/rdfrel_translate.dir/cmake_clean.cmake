@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfrel_translate.dir/translate/sql_base.cc.o"
+  "CMakeFiles/rdfrel_translate.dir/translate/sql_base.cc.o.d"
+  "CMakeFiles/rdfrel_translate.dir/translate/sql_builder.cc.o"
+  "CMakeFiles/rdfrel_translate.dir/translate/sql_builder.cc.o.d"
+  "librdfrel_translate.a"
+  "librdfrel_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfrel_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

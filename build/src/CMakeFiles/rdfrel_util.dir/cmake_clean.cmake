@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfrel_util.dir/util/hash.cc.o"
+  "CMakeFiles/rdfrel_util.dir/util/hash.cc.o.d"
+  "CMakeFiles/rdfrel_util.dir/util/logging.cc.o"
+  "CMakeFiles/rdfrel_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/rdfrel_util.dir/util/random.cc.o"
+  "CMakeFiles/rdfrel_util.dir/util/random.cc.o.d"
+  "CMakeFiles/rdfrel_util.dir/util/status.cc.o"
+  "CMakeFiles/rdfrel_util.dir/util/status.cc.o.d"
+  "CMakeFiles/rdfrel_util.dir/util/string_util.cc.o"
+  "CMakeFiles/rdfrel_util.dir/util/string_util.cc.o.d"
+  "librdfrel_util.a"
+  "librdfrel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfrel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchdata_test.dir/benchdata/workload_test.cc.o"
+  "CMakeFiles/benchdata_test.dir/benchdata/workload_test.cc.o.d"
+  "benchdata_test"
+  "benchdata_test.pdb"
+  "benchdata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sql/btree_test.cc" "tests/CMakeFiles/sql_test.dir/sql/btree_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/btree_test.cc.o.d"
+  "/root/repo/tests/sql/catalog_test.cc" "tests/CMakeFiles/sql_test.dir/sql/catalog_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/catalog_test.cc.o.d"
+  "/root/repo/tests/sql/database_test.cc" "tests/CMakeFiles/sql_test.dir/sql/database_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/database_test.cc.o.d"
+  "/root/repo/tests/sql/executor_test.cc" "tests/CMakeFiles/sql_test.dir/sql/executor_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/executor_test.cc.o.d"
+  "/root/repo/tests/sql/expression_test.cc" "tests/CMakeFiles/sql_test.dir/sql/expression_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/expression_test.cc.o.d"
+  "/root/repo/tests/sql/parser_test.cc" "tests/CMakeFiles/sql_test.dir/sql/parser_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/parser_test.cc.o.d"
+  "/root/repo/tests/sql/storage_test.cc" "tests/CMakeFiles/sql_test.dir/sql/storage_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/storage_test.cc.o.d"
+  "/root/repo/tests/sql/value_test.cc" "tests/CMakeFiles/sql_test.dir/sql/value_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfrel_benchdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfrel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
