@@ -1,0 +1,137 @@
+/// Concurrent read-path benchmark for the redesigned SparqlStore surface.
+///
+/// Two experiments over the §2.1 micro-benchmark workload:
+///   1. Plan-cache effect: per-query latency with a warm plan cache vs. the
+///      same query forced through parse + optimize + SQL generation every
+///      time (the cache is defeated by padding the query string, which
+///      changes the cache key but not the plan).
+///   2. Thread scaling: a fixed query mix split across 1/2/4/8 reader
+///      threads against one shared store, reporting aggregate and
+///      per-thread throughput plus the plan-cache hit rate.
+///
+/// Note: aggregate QPS only scales with threads when the host actually has
+/// spare cores; on a single-core container the interesting number is the
+/// cached-vs-uncached speedup and that the hit rate approaches 100%.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "benchdata/micro.h"
+#include "store/predicate_store_backend.h"
+#include "store/rdf_store.h"
+#include "store/triple_store_backend.h"
+
+namespace rdfrel::bench {
+namespace {
+
+using store::SparqlStore;
+
+/// Returns \p sparql with \p n trailing spaces: same parse tree, different
+/// plan-cache key, so every run is a cache miss.
+std::string Defeated(const std::string& sparql, uint64_t n) {
+  return sparql + std::string(1 + n % 61, ' ');
+}
+
+void CachedVsUncached(SparqlStore* store,
+                      const std::vector<benchdata::NamedQuery>& queries,
+                      int rounds) {
+  std::printf("\n== Plan cache: %s ==\n", std::string(store->name()).c_str());
+  PrintRow({"query", "uncached ms", "cached ms", "speedup"}, {6, 11, 11, 7});
+  PrintRow({"------", "-----------", "---------", "-------"}, {6, 11, 11, 7});
+  for (const auto& nq : queries) {
+    // Uncached: every iteration misses (distinct key, identical plan).
+    double uncached_ms = TimeOnceMs([&] {
+                           for (int r = 0; r < rounds; ++r) {
+                             (void)store->Query(Defeated(nq.sparql, r));
+                           }
+                         }) /
+                         rounds;
+    // Cached: first run warms the entry, the timed runs all hit.
+    (void)store->Query(nq.sparql);
+    double cached_ms = TimeOnceMs([&] {
+                         for (int r = 0; r < rounds; ++r) {
+                           (void)store->Query(nq.sparql);
+                         }
+                       }) /
+                       rounds;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  cached_ms > 0 ? uncached_ms / cached_ms : 0.0);
+    PrintRow({nq.id, Ms(uncached_ms), Ms(cached_ms), speedup},
+             {6, 11, 11, 7});
+  }
+  util::CacheStats cs = store->plan_cache_stats();
+  std::printf("cache: %llu hits / %llu misses (hit rate %.1f%%), "
+              "%llu entries, %llu evictions\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              100.0 * cs.hit_rate(),
+              static_cast<unsigned long long>(cs.entries),
+              static_cast<unsigned long long>(cs.evictions));
+}
+
+void ThreadScaling(SparqlStore* store,
+                   const std::vector<benchdata::NamedQuery>& named,
+                   uint64_t total_queries) {
+  std::vector<std::string> queries;
+  queries.reserve(named.size());
+  for (const auto& nq : named) queries.push_back(nq.sparql);
+  // Warm the plan cache so the scaling run measures the steady state.
+  for (const auto& q : queries) (void)store->Query(q);
+
+  std::printf("\n== Thread scaling: %s (%llu queries total) ==\n",
+              std::string(store->name()).c_str(),
+              static_cast<unsigned long long>(total_queries));
+  PrintRow({"threads", "wall ms", "agg qps", "qps/thread", "errors"},
+           {7, 9, 9, 10, 6});
+  PrintRow({"-------", "-------", "-------", "----------", "------"},
+           {7, 9, 9, 10, 6});
+  double single_qps = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    ConcurrentRun run = RunConcurrent(store, queries, threads, total_queries);
+    if (threads == 1) single_qps = run.aggregate_qps();
+    char agg[32], per[32];
+    std::snprintf(agg, sizeof(agg), "%.0f", run.aggregate_qps());
+    std::snprintf(per, sizeof(per), "%.0f", run.per_thread_qps());
+    PrintRow({std::to_string(threads), Ms(run.wall_ms), agg, per,
+              std::to_string(run.errors)},
+             {7, 9, 9, 10, 6});
+  }
+  util::CacheStats cs = store->plan_cache_stats();
+  std::printf("steady-state hit rate %.1f%% | 8-thread vs 1-thread "
+              "aggregate: measured on %u hardware thread(s)\n",
+              100.0 * cs.hit_rate(), std::thread::hardware_concurrency());
+  (void)single_qps;
+}
+
+int Main() {
+  const double scale = ScaleFactor();
+  const auto workload =
+      benchdata::MakeMicro(static_cast<uint64_t>(2000 * scale), /*seed=*/42);
+  std::printf("workload: %s, %llu triples, %zu queries\n",
+              workload.name.c_str(),
+              static_cast<unsigned long long>(workload.graph.size()),
+              workload.queries.size());
+
+  auto db2rdf = store::RdfStore::Load(workload.graph).value();
+  auto triple = store::TripleStoreBackend::Load(workload.graph).value();
+  auto pred = store::PredicateStoreBackend::Load(workload.graph).value();
+
+  const int rounds = static_cast<int>(10 * scale);
+  CachedVsUncached(db2rdf.get(), workload.queries, rounds);
+  CachedVsUncached(triple.get(), workload.queries, rounds);
+  CachedVsUncached(pred.get(), workload.queries, rounds);
+
+  ThreadScaling(db2rdf.get(), workload.queries,
+                static_cast<uint64_t>(2000 * scale));
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdfrel::bench
+
+int main() { return rdfrel::bench::Main(); }

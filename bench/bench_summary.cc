@@ -32,11 +32,20 @@ class NaiveFlowStore final : public store::SparqlStore {
       : inner_(std::move(inner)) {
     opts_.flow = store::FlowMode::kParseOrder;
   }
-  Result<store::ResultSet> Query(std::string_view sparql) override {
-    return inner_->QueryWith(sparql, opts_);
+  Result<store::ResultSet> QueryWith(
+      std::string_view sparql, const store::QueryOptions& opts) override {
+    return inner_->QueryWith(sparql, Pin(opts));
   }
-  Result<std::string> TranslateToSql(std::string_view sparql) override {
-    return inner_->TranslateWith(sparql, opts_);
+  Result<std::string> TranslateWith(
+      std::string_view sparql, const store::QueryOptions& opts) override {
+    return inner_->TranslateWith(sparql, Pin(opts));
+  }
+  Result<Explanation> Explain(std::string_view sparql,
+                              const store::QueryOptions& opts) override {
+    return inner_->Explain(sparql, Pin(opts));
+  }
+  rdfrel::util::CacheStats plan_cache_stats() const override {
+    return inner_->plan_cache_stats();
   }
   std::string name() const override { return "DB2RDF-naive-flow"; }
   const rdf::Dictionary& dictionary() const override {
@@ -44,6 +53,12 @@ class NaiveFlowStore final : public store::SparqlStore {
   }
 
  private:
+  /// Forces the bottom-up flow while keeping the caller's other knobs.
+  store::QueryOptions Pin(store::QueryOptions opts) const {
+    opts.flow = opts_.flow;
+    return opts;
+  }
+
   std::unique_ptr<store::RdfStore> inner_;
   store::QueryOptions opts_;
 };

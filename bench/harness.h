@@ -6,11 +6,13 @@
 /// queries are run in several consecutive rounds against a warm store, the
 /// first round is discarded, and the remaining rounds are averaged.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "store/sparql_store.h"
@@ -63,6 +65,53 @@ inline QueryTiming TimeQuery(store::SparqlStore* store,
   }
   t.mean_ms = total / rounds;
   return t;
+}
+
+/// One multi-threaded run: \p total_queries are split evenly across
+/// \p threads, each thread looping over \p queries round-robin against the
+/// shared store. Used by bench_concurrent to measure read-path scaling.
+struct ConcurrentRun {
+  int threads = 1;
+  double wall_ms = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  double aggregate_qps() const {
+    return wall_ms > 0 ? static_cast<double>(ok) / (wall_ms / 1000.0) : 0;
+  }
+  double per_thread_qps() const {
+    return threads > 0 ? aggregate_qps() / threads : 0;
+  }
+};
+
+inline ConcurrentRun RunConcurrent(store::SparqlStore* store,
+                                   const std::vector<std::string>& queries,
+                                   int threads, uint64_t total_queries) {
+  ConcurrentRun run;
+  run.threads = threads;
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> errors{0};
+  const uint64_t per_thread = total_queries / threads;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        const std::string& q = queries[(t + i) % queries.size()];
+        if (store->Query(q).ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  auto end = std::chrono::steady_clock::now();
+  run.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  run.ok = ok.load();
+  run.errors = errors.load();
+  return run;
 }
 
 /// Times an arbitrary thunk once, in milliseconds.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the concurrent read path.
+#
+#   1. ThreadSanitizer build, running the concurrency + plan-cache tests
+#      (the reader/writer stress test is the point of this build).
+#   2. Debug + AddressSanitizer build, running the full ctest suite.
+#
+# Build trees go to build-tsan/ and build-asan/ so the default build/ stays
+# untouched. Usage: scripts/check.sh [jobs]   (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== [1/2] ThreadSanitizer: concurrency tests =="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRDFREL_SANITIZE=thread > /dev/null
+cmake --build build-tsan -j"${JOBS}" --target concurrency_test util_test
+# TSan aborts the process on a race, so a clean exit means no reports.
+(cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
+    -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest')
+
+echo
+echo "== [2/2] Debug + AddressSanitizer: full suite =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRDFREL_SANITIZE=address > /dev/null
+cmake --build build-asan -j"${JOBS}"
+(cd build-asan && ctest --output-on-failure -j"${JOBS}")
+
+echo
+echo "All sanitizer checks passed."

@@ -55,6 +55,31 @@ double Statistics::EstimateByObject(uint64_t id) const {
   return avg_per_object_;
 }
 
+void Statistics::AddTriple(const rdf::EncodedTriple& t) {
+  total_triples_ += 1;
+  predicate_counts_[t.predicate] += 1;
+  auto s = top_subjects_.find(t.subject);
+  if (s != top_subjects_.end()) s->second += 1;
+  auto o = top_objects_.find(t.object);
+  if (o != top_objects_.end()) o->second += 1;
+}
+
+void Statistics::RemoveTriple(const rdf::EncodedTriple& t) {
+  if (total_triples_ > 0) total_triples_ -= 1;
+  auto p = predicate_counts_.find(t.predicate);
+  if (p != predicate_counts_.end()) {
+    if (p->second <= 1) {
+      predicate_counts_.erase(p);
+    } else {
+      p->second -= 1;
+    }
+  }
+  auto s = top_subjects_.find(t.subject);
+  if (s != top_subjects_.end() && s->second > 0) s->second -= 1;
+  auto o = top_objects_.find(t.object);
+  if (o != top_objects_.end() && o->second > 0) o->second -= 1;
+}
+
 uint64_t Statistics::CountByPredicate(uint64_t id) const {
   auto it = predicate_counts_.find(id);
   return it == predicate_counts_.end() ? 0 : it->second;

@@ -37,6 +37,13 @@ class Statistics {
   /// Exact triple count for predicate \p id (0 when unseen).
   uint64_t CountByPredicate(uint64_t id) const;
 
+  /// Incremental maintenance on store writes. Totals, per-predicate counts
+  /// and *tracked* top-k subject/object counts stay exact; distinct counts
+  /// and averages keep their load-time values (estimates). Callers
+  /// serialize writes (RdfStore holds its writer lock).
+  void AddTriple(const rdf::EncodedTriple& t);
+  void RemoveTriple(const rdf::EncodedTriple& t);
+
  private:
   uint64_t total_triples_ = 0;
   uint64_t distinct_subjects_ = 0;

@@ -255,8 +255,10 @@ class Parser {
     }
     auto it = prefixes_.find(prefix);
     if (it == prefixes_.end()) {
-      return Status::ParseError("undeclared prefix '" + prefix +
-                                "' at offset " + std::to_string(offset));
+      // Lexically fine but semantically invalid: distinct machine-readable
+      // code so callers can separate "fix your query" from syntax errors.
+      return Status::InvalidQuery("undeclared prefix '" + prefix +
+                                  "' at offset " + std::to_string(offset));
     }
     return rdf::Term::Iri(it->second + local);
   }

@@ -8,15 +8,82 @@
 
 namespace rdfrel::store {
 
-Result<opt::ExecNodePtr> OptimizeForBackend(const sparql::Query& query,
-                                            const opt::Statistics& stats,
-                                            const rdf::Dictionary& dict) {
-  opt::CostModel cost(&stats, &dict);
-  opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
-  opt::FlowTree flow = opt::GreedyFlowTree(dfg);
-  return opt::BuildExecTree(query, flow, /*late_fusing=*/true);
+std::string PlanCacheKey(std::string_view sparql, const QueryOptions& opts) {
+  std::string key;
+  key.reserve(sparql.size() + 4);
+  key.append(sparql);
+  key.push_back('\x1f');
+  key.push_back(static_cast<char>('0' + static_cast<int>(opts.flow)));
+  key.push_back(opts.late_fusing ? '1' : '0');
+  key.push_back(opts.merging ? '1' : '0');
+  return key;
 }
 
+namespace {
+
+Result<opt::FlowTree> BuildFlowTree(const opt::DataFlowGraph& dfg,
+                                    FlowMode mode) {
+  switch (mode) {
+    case FlowMode::kGreedy:
+      return opt::GreedyFlowTree(dfg);
+    case FlowMode::kExhaustive:
+      return opt::ExhaustiveFlowTree(dfg, 10);
+    case FlowMode::kParseOrder:
+      return opt::ParseOrderFlowTree(dfg);
+  }
+  return Status::Internal("unknown flow mode");
+}
+
+}  // namespace
+
+Result<opt::ExecNodePtr> OptimizeForBackend(const sparql::Query& query,
+                                            const opt::Statistics& stats,
+                                            const rdf::Dictionary& dict,
+                                            const QueryOptions& opts) {
+  opt::CostModel cost(&stats, &dict);
+  opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
+  RDFREL_ASSIGN_OR_RETURN(opt::FlowTree flow,
+                          BuildFlowTree(dfg, opts.flow));
+  return opt::BuildExecTree(query, flow, opts.late_fusing);
+}
+
+Result<SparqlStore::Explanation> ExplainForBackend(
+    const sparql::Query& query, const opt::Statistics& stats,
+    const rdf::Dictionary& dict, const QueryOptions& opts,
+    const SqlBuildFn& build) {
+  SparqlStore::Explanation ex;
+  ex.parse_tree = query.where->ToString();
+  opt::CostModel cost(&stats, &dict);
+  opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
+  RDFREL_ASSIGN_OR_RETURN(opt::FlowTree flow,
+                          BuildFlowTree(dfg, opts.flow));
+  ex.flow_tree = flow.ToString();
+  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
+                          opt::BuildExecTree(query, flow, opts.late_fusing));
+  ex.exec_tree = plan->ToString();
+  ex.plan_tree = ex.exec_tree;  // baselines never merge stars
+  RDFREL_ASSIGN_OR_RETURN(translate::TranslatedQuery tq,
+                          build(query, *plan));
+  ex.sql = std::move(tq.sql);
+  return ex;
+}
+
+Result<std::shared_ptr<const CachedPlan>> TranslateForBackend(
+    sparql::Query query, const opt::Statistics& stats,
+    const rdf::Dictionary& dict, const QueryOptions& opts,
+    const SqlBuildFn& build) {
+  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr exec,
+                          OptimizeForBackend(query, stats, dict, opts));
+  RDFREL_ASSIGN_OR_RETURN(translate::TranslatedQuery tq,
+                          build(query, *exec));
+  auto plan = std::make_shared<CachedPlan>();
+  // The post-filter pointers reach into heap-allocated FILTER nodes of the
+  // AST, so moving the Query into the plan keeps them valid.
+  plan->query = std::move(query);
+  plan->sql = std::move(tq.sql);
+  plan->post_filters = std::move(tq.post_filters);
+  return std::shared_ptr<const CachedPlan>(std::move(plan));
+}
 
 namespace {
 

@@ -2,10 +2,15 @@
 #define RDFREL_STORE_BACKEND_UTIL_H_
 
 /// \file backend_util.h
-/// Shared pipeline pieces for the baseline backends: optimize a query into
-/// an (unmerged) execution tree, and execute+decode generated SQL.
+/// Shared pipeline pieces for every SparqlStore implementation: optimize a
+/// query into an execution tree, execute+decode generated SQL, explain the
+/// pipeline stages, and memoize translated plans in a sharded LRU cache so
+/// repeated queries skip the whole parse/optimize/translate front half.
 
+#include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "opt/exec_tree.h"
 #include "opt/statistics.h"
@@ -13,15 +18,86 @@
 #include "sparql/ast.h"
 #include "sql/database.h"
 #include "store/result_set.h"
+#include "store/sparql_store.h"
+#include "translate/sql_base.h"
+#include "util/lru_cache.h"
 #include "util/status.h"
 
 namespace rdfrel::store {
 
-/// Parse-independent optimization for baselines: greedy flow + late-fused
-/// execution tree. No star merging (baseline layouts have no wide rows).
+/// A fully translated query, ready to execute. The parsed AST is retained
+/// because result decoding needs the projection/aggregate shape and the
+/// post-filters point into its FILTER nodes (stable heap storage). Plans
+/// are shared immutably via shared_ptr: a reader holding one stays safe
+/// even if the cache entry is concurrently evicted or invalidated.
+struct CachedPlan {
+  sparql::Query query;
+  std::string sql;
+  std::vector<const sparql::FilterExpr*> post_filters;
+  /// True when `sql` references materialized property-path closure tables;
+  /// such plans die with the tables on the next write.
+  bool uses_closure = false;
+};
+
+/// The cache key: the raw query text plus the QueryOptions knobs (each knob
+/// changes the generated SQL).
+std::string PlanCacheKey(std::string_view sparql, const QueryOptions& opts);
+
+/// The per-store plan/translation cache. Thread-safe; see util/lru_cache.h.
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : cache_(capacity) {}
+
+  std::shared_ptr<const CachedPlan> Get(const std::string& key) {
+    auto hit = cache_.Get(key);
+    return hit ? std::move(*hit) : nullptr;
+  }
+  void Put(const std::string& key, std::shared_ptr<const CachedPlan> plan) {
+    cache_.Put(key, std::move(plan));
+  }
+  /// Writers call this after mutating data: every plan is dropped (a write
+  /// can change spill sets and always drops closure tables).
+  void Clear() { cache_.Clear(); }
+
+  util::CacheStats stats() const { return cache_.stats(); }
+
+ private:
+  util::ShardedLruCache<std::string, std::shared_ptr<const CachedPlan>>
+      cache_;
+};
+
+/// Optimization for the baseline backends: flow tree per \p opts, late
+/// fusing per \p opts. No star merging (baseline layouts have no wide
+/// rows, so the merging knob is ignored).
 Result<opt::ExecNodePtr> OptimizeForBackend(const sparql::Query& query,
                                             const opt::Statistics& stats,
-                                            const rdf::Dictionary& dict);
+                                            const rdf::Dictionary& dict,
+                                            const QueryOptions& opts = {});
+
+/// Backend hook for ExplainForBackend / TranslateForBackend: turn an
+/// execution tree into SQL. The query reference passed in is the one the
+/// resulting plan will own (do not capture another copy: the caller's
+/// query may already be moved-from).
+using SqlBuildFn = std::function<Result<translate::TranslatedQuery>(
+    const sparql::Query&, const opt::ExecNode&)>;
+
+/// Shared Explain implementation for backends without star merging:
+/// parse/flow/exec stages from the shared optimizer, plan_tree == exec
+/// tree, SQL from \p build.
+Result<SparqlStore::Explanation> ExplainForBackend(
+    const sparql::Query& query, const opt::Statistics& stats,
+    const rdf::Dictionary& dict, const QueryOptions& opts,
+    const SqlBuildFn& build);
+
+/// Shared translation for baseline backends: optimizer + \p build, wrapped
+/// into a CachedPlan (consuming \p query).
+Result<std::shared_ptr<const CachedPlan>> TranslateForBackend(
+    sparql::Query query, const opt::Statistics& stats,
+    const rdf::Dictionary& dict, const QueryOptions& opts,
+    const SqlBuildFn& build);
 
 /// Runs \p sql on \p db, decodes ids through \p dict into a ResultSet with
 /// the query's projection variables, then applies \p post_filters.
@@ -29,6 +105,14 @@ Result<ResultSet> ExecuteDecodedSql(
     sql::Database* db, const std::string& sql, const sparql::Query& query,
     const rdf::Dictionary& dict,
     const std::vector<const sparql::FilterExpr*>& post_filters);
+
+/// Executes a translated plan (cache hit or fresh) against \p db.
+inline Result<ResultSet> ExecutePlan(sql::Database* db,
+                                     const CachedPlan& plan,
+                                     const rdf::Dictionary& dict) {
+  return ExecuteDecodedSql(db, plan.sql, plan.query, dict,
+                           plan.post_filters);
+}
 
 /// Builds the `(id, num)` lex side table named \p table for every numeric
 /// literal in \p dict.

@@ -218,6 +218,7 @@ Result<std::unique_ptr<PredicateStoreBackend>> PredicateStoreBackend::Load(
       std::unique_ptr<PredicateStoreBackend>(new PredicateStoreBackend());
   store->options_ = options;
   store->stats_ = opt::Statistics::FromGraph(graph, options.stats_top_k);
+  store->plan_cache_ = PlanCache(options.plan_cache_capacity);
   // One relation per distinct predicate. Duplicate triples collapse (RDF
   // set semantics, matching the DB2RDF loader).
   std::unordered_set<uint64_t> seen;
@@ -264,32 +265,48 @@ Result<std::unique_ptr<PredicateStoreBackend>> PredicateStoreBackend::Load(
   return store;
 }
 
-Result<std::string> PredicateStoreBackend::TranslateImpl(
-    const sparql::Query& query,
-    std::vector<const sparql::FilterExpr*>* post_filters) {
-  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
-                          OptimizeForBackend(query, stats_, dict_));
-  PredicateStoreSqlBuilder builder(query, &dict_, lex_table_, &tables_,
-                                   options_.max_union_predicates);
-  RDFREL_ASSIGN_OR_RETURN(translate::TranslatedQuery tq,
-                          builder.Build(*plan));
-  *post_filters = std::move(tq.post_filters);
-  return std::move(tq.sql);
+Result<std::shared_ptr<const CachedPlan>> PredicateStoreBackend::BuildPlan(
+    sparql::Query query, const QueryOptions& opts) {
+  auto build = [this](const sparql::Query& q, const opt::ExecNode& exec) {
+    PredicateStoreSqlBuilder builder(q, &dict_, lex_table_, &tables_,
+                                     options_.max_union_predicates);
+    return builder.Build(exec);
+  };
+  return TranslateForBackend(std::move(query), stats_, dict_, opts, build);
 }
 
-Result<ResultSet> PredicateStoreBackend::Query(std::string_view sparql) {
+Result<std::shared_ptr<const CachedPlan>>
+PredicateStoreBackend::GetOrBuildPlan(std::string_view sparql,
+                                      const QueryOptions& opts) {
+  const std::string key = PlanCacheKey(sparql, opts);
+  if (auto plan = plan_cache_.Get(key)) return plan;
   RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
-  std::vector<const sparql::FilterExpr*> post_filters;
-  RDFREL_ASSIGN_OR_RETURN(std::string sql,
-                          TranslateImpl(query, &post_filters));
-  return ExecuteDecodedSql(&db_, sql, query, dict_, post_filters);
+  RDFREL_ASSIGN_OR_RETURN(auto plan, BuildPlan(std::move(query), opts));
+  plan_cache_.Put(key, plan);
+  return plan;
 }
 
-Result<std::string> PredicateStoreBackend::TranslateToSql(
-    std::string_view sparql) {
+Result<ResultSet> PredicateStoreBackend::QueryWith(
+    std::string_view sparql, const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(auto plan, GetOrBuildPlan(sparql, opts));
+  return ExecutePlan(&db_, *plan, dict_);
+}
+
+Result<std::string> PredicateStoreBackend::TranslateWith(
+    std::string_view sparql, const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(auto plan, GetOrBuildPlan(sparql, opts));
+  return plan->sql;
+}
+
+Result<SparqlStore::Explanation> PredicateStoreBackend::Explain(
+    std::string_view sparql, const QueryOptions& opts) {
   RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
-  std::vector<const sparql::FilterExpr*> post_filters;
-  return TranslateImpl(query, &post_filters);
+  auto build = [this](const sparql::Query& q, const opt::ExecNode& exec) {
+    PredicateStoreSqlBuilder builder(q, &dict_, lex_table_, &tables_,
+                                     options_.max_union_predicates);
+    return builder.Build(exec);
+  };
+  return ExplainForBackend(query, stats_, dict_, opts, build);
 }
 
 }  // namespace rdfrel::store

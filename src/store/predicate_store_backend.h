@@ -13,6 +13,7 @@
 #include "opt/statistics.h"
 #include "rdf/graph.h"
 #include "sql/database.h"
+#include "store/backend_util.h"
 #include "store/sparql_store.h"
 
 namespace rdfrel::store {
@@ -26,15 +27,25 @@ struct PredicateStoreOptions {
   /// table; beyond this many predicates the query is rejected (mirroring
   /// the scalability pain the paper ascribes to this layout).
   size_t max_union_predicates = 512;
+  size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
 };
 
+/// Immutable after Load: the read surface is thread-safe without locking,
+/// and translated plans are memoized in the shared PlanCache.
 class PredicateStoreBackend final : public SparqlStore {
  public:
   static Result<std::unique_ptr<PredicateStoreBackend>> Load(
       rdf::Graph graph, const PredicateStoreOptions& options = {});
 
-  Result<ResultSet> Query(std::string_view sparql) override;
-  Result<std::string> TranslateToSql(std::string_view sparql) override;
+  Result<ResultSet> QueryWith(std::string_view sparql,
+                              const QueryOptions& opts) override;
+  Result<std::string> TranslateWith(std::string_view sparql,
+                                    const QueryOptions& opts) override;
+  Result<Explanation> Explain(std::string_view sparql,
+                              const QueryOptions& opts = {}) override;
+  util::CacheStats plan_cache_stats() const override {
+    return plan_cache_.stats();
+  }
   std::string name() const override { return "Predicate-oriented"; }
   const rdf::Dictionary& dictionary() const override { return dict_; }
 
@@ -44,9 +55,10 @@ class PredicateStoreBackend final : public SparqlStore {
  private:
   PredicateStoreBackend() = default;
 
-  Result<std::string> TranslateImpl(
-      const sparql::Query& query,
-      std::vector<const sparql::FilterExpr*>* post_filters);
+  Result<std::shared_ptr<const CachedPlan>> BuildPlan(
+      sparql::Query query, const QueryOptions& opts);
+  Result<std::shared_ptr<const CachedPlan>> GetOrBuildPlan(
+      std::string_view sparql, const QueryOptions& opts);
 
   sql::Database db_;
   rdf::Dictionary dict_;
@@ -54,6 +66,7 @@ class PredicateStoreBackend final : public SparqlStore {
   std::string lex_table_;
   std::unordered_map<uint64_t, std::string> tables_;  // pred id -> table
   PredicateStoreOptions options_;
+  PlanCache plan_cache_;
 };
 
 }  // namespace rdfrel::store

@@ -1,6 +1,7 @@
 #include "store/rdf_store.h"
 
 #include <cmath>
+#include <mutex>
 
 #include "opt/cost_model.h"
 #include "opt/data_flow_graph.h"
@@ -57,12 +58,24 @@ bool NumericLexical(const std::string& s, double* out) {
   }
 }
 
+/// True when \p query contains a transitive property-path triple (those
+/// need materialized closure tables, i.e. the writer lock).
+bool HasPropertyPaths(const sparql::Query& query) {
+  std::vector<const sparql::TriplePattern*> triples;
+  query.where->CollectTriples(&triples);
+  for (const auto* t : triples) {
+    if (t->path_mod != sparql::PathMod::kNone) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<RdfStore>> RdfStore::Load(
     rdf::Graph graph, const RdfStoreOptions& options) {
   auto store = std::unique_ptr<RdfStore>(new RdfStore());
   store->stats_ = opt::Statistics::FromGraph(graph, options.stats_top_k);
+  store->plan_cache_ = PlanCache(options.plan_cache_capacity);
 
   MappingChoice direct = BuildMapping(graph, /*reverse=*/false, options);
   MappingChoice rev = BuildMapping(graph, /*reverse=*/true, options);
@@ -190,9 +203,23 @@ Result<std::string> RdfStore::EnsureClosureTable(const rdf::Term& pred,
   return table;
 }
 
+Status RdfStore::EnsureClosuresFor(const sparql::Query& query) {
+  std::vector<const sparql::TriplePattern*> triples;
+  query.where->CollectTriples(&triples);
+  for (const auto* t : triples) {
+    if (t->path_mod == sparql::PathMod::kNone) continue;
+    if (t->predicate.is_var) {
+      return Status::Unsupported("variable predicate in property path");
+    }
+    RDFREL_RETURN_NOT_OK(
+        EnsureClosureTable(t->predicate.term, t->path_mod).status());
+  }
+  return Status::OK();
+}
+
 Result<std::string> RdfStore::Translate(
     const sparql::Query& query, const QueryOptions& opts,
-    std::vector<const sparql::FilterExpr*>* post_filters) {
+    std::vector<const sparql::FilterExpr*>* post_filters) const {
   opt::CostModel cost(&stats_, &dict_);
   opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
   opt::FlowTree flow;
@@ -224,7 +251,8 @@ Result<std::string> RdfStore::Translate(
     plan = opt::MergeExecTree(std::move(plan), dfg.tree(), spill);
   }
 
-  // Materialize closure tables for transitive property-path triples.
+  // Look up the pre-materialized closure tables for transitive
+  // property-path triples (see EnsureClosuresFor).
   std::map<int, std::string> closure_tables;
   {
     std::vector<const sparql::TriplePattern*> triples;
@@ -234,10 +262,14 @@ Result<std::string> RdfStore::Translate(
       if (t->predicate.is_var) {
         return Status::Unsupported("variable predicate in property path");
       }
-      RDFREL_ASSIGN_OR_RETURN(
-          std::string table,
-          EnsureClosureTable(t->predicate.term, t->path_mod));
-      closure_tables.emplace(t->id, std::move(table));
+      uint64_t pid = dict_.Lookup(t->predicate.term);
+      auto key = std::make_pair(pid, static_cast<int>(t->path_mod));
+      auto it = closure_cache_.find(key);
+      if (it == closure_cache_.end()) {
+        return Status::Internal(
+            "closure table not materialized before translation");
+      }
+      closure_tables.emplace(t->id, it->second);
     }
   }
 
@@ -258,99 +290,91 @@ Result<std::string> RdfStore::Translate(
   return std::move(tq.sql);
 }
 
-
-namespace {
-
-/// Converts one SQL output value to an RDF term. Aggregate columns hold
-/// numbers, not dictionary ids.
-Result<std::optional<rdf::Term>> DecodeCell(const sql::Value& v,
-                                            sparql::AggKind agg,
-                                            const rdf::Dictionary& dict) {
-  if (v.is_null()) return std::optional<rdf::Term>();
-  if (agg != sparql::AggKind::kNone) {
-    if (v.is_int()) {
-      return std::optional<rdf::Term>(rdf::Term::TypedLiteral(
-          std::to_string(v.AsInt()),
-          "http://www.w3.org/2001/XMLSchema#integer"));
-    }
-    if (v.is_double()) {
-      std::ostringstream os;
-      os << v.AsDouble();
-      return std::optional<rdf::Term>(rdf::Term::TypedLiteral(
-          os.str(), "http://www.w3.org/2001/XMLSchema#decimal"));
-    }
-  }
-  RDFREL_ASSIGN_OR_RETURN(rdf::Term term,
-                          dict.Decode(static_cast<uint64_t>(v.AsInt())));
-  return std::optional<rdf::Term>(std::move(term));
+Result<std::shared_ptr<const CachedPlan>> RdfStore::BuildPlan(
+    sparql::Query query, const QueryOptions& opts) const {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->uses_closure = HasPropertyPaths(query);
+  RDFREL_ASSIGN_OR_RETURN(plan->sql,
+                          Translate(query, opts, &plan->post_filters));
+  // Post-filter pointers reach into heap-allocated FILTER nodes, so moving
+  // the AST into the plan keeps them valid.
+  plan->query = std::move(query);
+  return std::shared_ptr<const CachedPlan>(std::move(plan));
 }
-
-/// Per-output-column aggregate kinds for decoding.
-std::vector<sparql::AggKind> ColumnAggKinds(const sparql::Query& query,
-                                            size_t num_cols) {
-  std::vector<sparql::AggKind> kinds(num_cols, sparql::AggKind::kNone);
-  if (query.HasAggregates()) {
-    for (size_t i = 0; i < query.projection.size() && i < num_cols; ++i) {
-      kinds[i] = query.projection[i].agg;
-    }
-  }
-  return kinds;
-}
-
-}  // namespace
 
 Result<ResultSet> RdfStore::QueryWith(std::string_view sparql,
                                       const QueryOptions& opts) {
+  const std::string key = PlanCacheKey(sparql, opts);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (auto plan = plan_cache_.Get(key)) {
+      // Any closure tables the plan references exist for as long as the
+      // entry does: writes drop both under the writer lock.
+      return ExecutePlan(&db_, *plan, dict_);
+    }
+  }
   RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
-  return QueryParsed(query, opts);
+  if (HasPropertyPaths(query)) {
+    // Property-path queries may materialize closure tables (a write), so
+    // they run under the exclusive lock.
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (auto plan = plan_cache_.Get(key)) {
+      return ExecutePlan(&db_, *plan, dict_);
+    }
+    RDFREL_RETURN_NOT_OK(EnsureClosuresFor(query));
+    RDFREL_ASSIGN_OR_RETURN(auto plan, BuildPlan(std::move(query), opts));
+    plan_cache_.Put(key, plan);
+    return ExecutePlan(&db_, *plan, dict_);
+  }
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  RDFREL_ASSIGN_OR_RETURN(auto plan, BuildPlan(std::move(query), opts));
+  plan_cache_.Put(key, plan);
+  return ExecutePlan(&db_, *plan, dict_);
 }
 
 Result<ResultSet> RdfStore::QueryParsed(const sparql::Query& query,
                                         const QueryOptions& opts) {
+  if (HasPropertyPaths(query)) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    RDFREL_RETURN_NOT_OK(EnsureClosuresFor(query));
+    std::vector<const sparql::FilterExpr*> post_filters;
+    RDFREL_ASSIGN_OR_RETURN(std::string sql,
+                            Translate(query, opts, &post_filters));
+    return ExecuteDecodedSql(&db_, sql, query, dict_, post_filters);
+  }
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<const sparql::FilterExpr*> post_filters;
   RDFREL_ASSIGN_OR_RETURN(std::string sql,
                           Translate(query, opts, &post_filters));
-  RDFREL_ASSIGN_OR_RETURN(sql::QueryResult qr, db_.Query(sql));
-
-  ResultSet rs;
-  rs.vars = query.EffectiveSelectVars();
-  std::vector<sparql::AggKind> kinds = ColumnAggKinds(query, rs.vars.size());
-  rs.rows.reserve(qr.rows.size());
-  for (const auto& row : qr.rows) {
-    Binding binding;
-    binding.reserve(row.size());
-    for (size_t i = 0; i < row.size(); ++i) {
-      RDFREL_ASSIGN_OR_RETURN(
-          auto cell,
-          DecodeCell(row[i], i < kinds.size() ? kinds[i]
-                                              : sparql::AggKind::kNone,
-                     dict_));
-      binding.push_back(std::move(cell));
-    }
-    rs.rows.push_back(std::move(binding));
-  }
-  RDFREL_RETURN_NOT_OK(ApplyPostFilters(post_filters, &rs));
-  return rs;
-}
-
-Result<ResultSet> RdfStore::Query(std::string_view sparql) {
-  return QueryWith(sparql, QueryOptions{});
-}
-
-Result<std::string> RdfStore::TranslateToSql(std::string_view sparql) {
-  return TranslateWith(sparql, QueryOptions{});
+  return ExecuteDecodedSql(&db_, sql, query, dict_, post_filters);
 }
 
 Result<std::string> RdfStore::TranslateWith(std::string_view sparql,
                                             const QueryOptions& opts) {
   RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  if (HasPropertyPaths(query)) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    RDFREL_RETURN_NOT_OK(EnsureClosuresFor(query));
+    std::vector<const sparql::FilterExpr*> post_filters;
+    return Translate(query, opts, &post_filters);
+  }
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<const sparql::FilterExpr*> post_filters;
   return Translate(query, opts, &post_filters);
 }
 
-Result<RdfStore::Explanation> RdfStore::Explain(std::string_view sparql,
-                                                const QueryOptions& opts) {
+Result<SparqlStore::Explanation> RdfStore::Explain(std::string_view sparql,
+                                                   const QueryOptions& opts) {
   RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  std::unique_lock<std::shared_mutex> write_lock(mutex_, std::defer_lock);
+  std::shared_lock<std::shared_mutex> read_lock(mutex_, std::defer_lock);
+  if (HasPropertyPaths(query)) {
+    write_lock.lock();
+    RDFREL_RETURN_NOT_OK(EnsureClosuresFor(query));
+  } else {
+    read_lock.lock();
+  }
+
   Explanation ex;
   ex.parse_tree = query.where->ToString();
 
@@ -393,7 +417,20 @@ Result<RdfStore::Explanation> RdfStore::Explain(std::string_view sparql,
   return ex;
 }
 
+Status RdfStore::InvalidateAfterWrite() {
+  // Translated plans may embed closure-table names and spill-set decisions
+  // that a write can change, so the whole cache is dropped; closure tables
+  // are rebuilt lazily by the next property-path query.
+  for (const auto& [key, table] : closure_cache_) {
+    RDFREL_RETURN_NOT_OK(db_.catalog().DropTable(table));
+  }
+  closure_cache_.clear();
+  plan_cache_.Clear();
+  return Status::OK();
+}
+
 Status RdfStore::Delete(const rdf::Triple& triple) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   rdf::EncodedTriple et;
   et.subject = dict_.Lookup(triple.subject);
   et.predicate = dict_.Lookup(triple.predicate);
@@ -402,26 +439,19 @@ Status RdfStore::Delete(const rdf::Triple& triple) {
     return Status::NotFound("triple not present");
   }
   RDFREL_RETURN_NOT_OK(loader_->DeleteTriple(dict_, et));
-  // Closure tables may be stale now; drop and rebuild lazily.
-  for (const auto& [key, table] : closure_cache_) {
-    RDFREL_RETURN_NOT_OK(db_.catalog().DropTable(table));
-  }
-  closure_cache_.clear();
-  return Status::OK();
+  stats_.RemoveTriple(et);
+  return InvalidateAfterWrite();
 }
 
 Status RdfStore::Insert(const rdf::Triple& triple) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   rdf::EncodedTriple et;
   et.subject = dict_.Encode(triple.subject);
   et.predicate = dict_.Encode(triple.predicate);
   et.object = dict_.Encode(triple.object);
   RDFREL_RETURN_NOT_OK(loader_->InsertTriple(dict_, et));
-  // Closure tables may be stale now; drop and rebuild lazily.
-  for (const auto& [key, table] : closure_cache_) {
-    RDFREL_RETURN_NOT_OK(db_.catalog().DropTable(table));
-  }
-  closure_cache_.clear();
-  return Status::OK();
+  stats_.AddTriple(et);
+  return InvalidateAfterWrite();
 }
 
 }  // namespace rdfrel::store

@@ -5,9 +5,16 @@
 /// The top-level DB2RDF store: loads an RDF graph into the entity-oriented
 /// relational layout and answers SPARQL through the hybrid optimizer and
 /// the SPARQL-to-SQL translator. This is the library's primary public API.
+///
+/// Concurrency: any number of threads may call the SparqlStore read surface
+/// (QueryWith / TranslateWith / Explain) concurrently; Insert and Delete
+/// take the store's writer lock, update statistics, drop materialized
+/// closure tables and invalidate the plan cache. See DESIGN.md
+/// "Concurrency & caching".
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 
@@ -16,18 +23,11 @@
 #include "schema/coloring_mapping.h"
 #include "schema/loader.h"
 #include "sql/database.h"
+#include "store/backend_util.h"
 #include "store/sparql_store.h"
 #include "util/status.h"
 
 namespace rdfrel::store {
-
-/// Flow-tree construction strategy (paper §3.1.1; non-greedy modes are
-/// ablations).
-enum class FlowMode {
-  kGreedy,      ///< Figure 9's cheapest-edge heuristic (default)
-  kExhaustive,  ///< exact search, small queries only
-  kParseOrder,  ///< bottom-up baseline (the Figure 14 "sub-optimal flow")
-};
 
 /// Store construction options.
 struct RdfStoreOptions {
@@ -48,13 +48,8 @@ struct RdfStoreOptions {
   bool build_lex = true;
   /// Table-name prefix inside the embedded database.
   std::string prefix = "";
-};
-
-/// Per-query knobs (ablations); defaults reproduce the paper's system.
-struct QueryOptions {
-  FlowMode flow = FlowMode::kGreedy;
-  bool late_fusing = true;
-  bool merging = true;
+  /// Entry budget of the plan/translation cache.
+  size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
 };
 
 class RdfStore final : public SparqlStore {
@@ -64,38 +59,30 @@ class RdfStore final : public SparqlStore {
   static Result<std::unique_ptr<RdfStore>> Load(
       rdf::Graph graph, const RdfStoreOptions& options = {});
 
-  // SparqlStore:
-  Result<ResultSet> Query(std::string_view sparql) override;
-  Result<std::string> TranslateToSql(std::string_view sparql) override;
+  // SparqlStore read surface (thread-safe; see file comment):
+  Result<ResultSet> QueryWith(std::string_view sparql,
+                              const QueryOptions& opts) override;
+  Result<std::string> TranslateWith(std::string_view sparql,
+                                    const QueryOptions& opts) override;
+  Result<Explanation> Explain(std::string_view sparql,
+                              const QueryOptions& opts = {}) override;
+  util::CacheStats plan_cache_stats() const override {
+    return plan_cache_.stats();
+  }
   std::string name() const override { return "DB2RDF"; }
   const rdf::Dictionary& dictionary() const override { return dict_; }
 
-  /// Query with explicit optimizer knobs (ablation benchmarks).
-  Result<ResultSet> QueryWith(std::string_view sparql,
-                              const QueryOptions& opts);
   /// Runs an already-parsed (possibly rewritten) query — e.g. after
-  /// sparql::ExpandTypeQuery inference expansion.
+  /// sparql::ExpandTypeQuery inference expansion. Not plan-cached (there is
+  /// no query text to key on).
   Result<ResultSet> QueryParsed(const sparql::Query& query,
                                 const QueryOptions& opts = {});
-  Result<std::string> TranslateWith(std::string_view sparql,
-                                    const QueryOptions& opts);
 
-  /// Every stage of the optimizer pipeline for a query, for debugging and
-  /// plan inspection (the paper's Figures 8, 10, 11 and 13 for any query).
-  struct Explanation {
-    std::string parse_tree;   ///< pattern tree (Figure 7)
-    std::string flow_tree;    ///< optimal flow (Figure 8, chosen nodes)
-    std::string exec_tree;    ///< execution tree (Figure 10)
-    std::string plan_tree;    ///< after star merging (Figure 11)
-    std::string sql;          ///< generated SQL (Figure 13)
-  };
-  Result<Explanation> Explain(std::string_view sparql,
-                              const QueryOptions& opts = {});
-
-  /// Inserts one triple incrementally.
+  /// Inserts one triple incrementally. Takes the writer lock; invalidates
+  /// the plan cache and materialized closure tables.
   Status Insert(const rdf::Triple& triple);
-  /// Deletes one triple (NotFound when absent). Cached property-path
-  /// closure tables are invalidated.
+  /// Deletes one triple (NotFound when absent). Same invalidation as
+  /// Insert.
   Status Delete(const rdf::Triple& triple);
 
   const schema::LoadStats& load_stats() const { return load_stats_; }
@@ -111,16 +98,36 @@ class RdfStore final : public SparqlStore {
  private:
   RdfStore() = default;
 
+  /// Pure translation: optimizer pipeline + SQL build. Requires every
+  /// closure table needed by \p query to already be materialized (see
+  /// EnsureClosuresFor); const and safe under a shared lock.
   Result<std::string> Translate(const sparql::Query& query,
                                 const QueryOptions& opts,
                                 std::vector<const sparql::FilterExpr*>*
-                                    post_filters);
+                                    post_filters) const;
+
+  /// Translates \p query into an immutable, shareable plan (consumes it).
+  Result<std::shared_ptr<const CachedPlan>> BuildPlan(
+      sparql::Query query, const QueryOptions& opts) const;
+
+  /// Materializes closure tables for every transitive property-path triple
+  /// of \p query. Mutates db_/closure_cache_: callers hold the writer lock.
+  Status EnsureClosuresFor(const sparql::Query& query);
 
   /// Materializes (and caches) the transitive closure of \p pred as a
   /// binary table (entry, val); kStar additionally contains the reflexive
   /// pairs of every node touching the predicate. Returns the table name.
   Result<std::string> EnsureClosureTable(const rdf::Term& pred,
                                          sparql::PathMod mod);
+
+  /// Drops materialized closure tables and empties the plan cache; called
+  /// by Insert/Delete under the writer lock.
+  Status InvalidateAfterWrite();
+
+  /// Serializes readers (shared) against Insert/Delete and closure
+  /// materialization (exclusive). Protects db_, dict_, stats_,
+  /// closure_cache_ and the schema spill sets.
+  mutable std::shared_mutex mutex_;
 
   sql::Database db_;
   std::unique_ptr<schema::Db2RdfSchema> schema_;
@@ -134,6 +141,8 @@ class RdfStore final : public SparqlStore {
   /// (predicate id, mod) -> materialized closure table name.
   std::map<std::pair<uint64_t, int>, std::string> closure_cache_;
   int path_table_counter_ = 0;
+  /// Memoized (sparql, options) -> translated plan. Internally locked.
+  PlanCache plan_cache_;
 };
 
 }  // namespace rdfrel::store

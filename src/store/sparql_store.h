@@ -3,27 +3,91 @@
 
 /// \file sparql_store.h
 /// The abstract store interface shared by the DB2RDF store and the baseline
-/// backends (triple-store, predicate-oriented), so benchmarks drive all of
-/// them uniformly.
+/// backends (triple-store, predicate-oriented), so benchmarks, examples and
+/// the concurrent driver exercise all of them uniformly.
+///
+/// The full query surface lives here: `QueryWith`/`TranslateWith` take
+/// per-query optimizer knobs (QueryOptions), `Explain` exposes every stage
+/// of the optimizer pipeline, and the knob-free `Query`/`TranslateToSql`
+/// are thin non-virtual overloads calling them with defaults. Every backend
+/// answers the whole surface; backends without a given optimization simply
+/// ignore the corresponding knob (e.g. star merging outside DB2RDF).
+///
+/// Thread-safety contract: `QueryWith`, `TranslateWith`, `Explain` and the
+/// thin overloads may be called from any number of threads concurrently.
+/// Mutating operations (a backend's Insert/Delete, where offered) take the
+/// store's writer lock internally and may run concurrently with readers on
+/// the caller's side. Translated plans are memoized in a sharded LRU plan
+/// cache keyed by (query text, QueryOptions); `plan_cache_stats` reports
+/// its effectiveness.
 
 #include <string>
 #include <string_view>
 
 #include "rdf/dictionary.h"
 #include "store/result_set.h"
+#include "util/lru_cache.h"
 #include "util/status.h"
 
 namespace rdfrel::store {
+
+/// Flow-tree construction strategy (paper §3.1.1; non-greedy modes are
+/// ablations).
+enum class FlowMode {
+  kGreedy,      ///< Figure 9's cheapest-edge heuristic (default)
+  kExhaustive,  ///< exact search, small queries only
+  kParseOrder,  ///< bottom-up baseline (the Figure 14 "sub-optimal flow")
+};
+
+/// Per-query knobs (ablations); defaults reproduce the paper's system.
+struct QueryOptions {
+  FlowMode flow = FlowMode::kGreedy;
+  bool late_fusing = true;
+  bool merging = true;
+
+  friend bool operator==(const QueryOptions& a, const QueryOptions& b) {
+    return a.flow == b.flow && a.late_fusing == b.late_fusing &&
+           a.merging == b.merging;
+  }
+};
 
 class SparqlStore {
  public:
   virtual ~SparqlStore() = default;
 
-  /// Parses, optimizes, translates, executes and decodes a SPARQL query.
-  virtual Result<ResultSet> Query(std::string_view sparql) = 0;
+  /// Every stage of the optimizer pipeline for a query, for debugging and
+  /// plan inspection (the paper's Figures 8, 10, 11 and 13 for any query).
+  struct Explanation {
+    std::string parse_tree;   ///< pattern tree (Figure 7)
+    std::string flow_tree;    ///< optimal flow (Figure 8, chosen nodes)
+    std::string exec_tree;    ///< execution tree (Figure 10)
+    std::string plan_tree;    ///< after star merging (Figure 11)
+    std::string sql;          ///< generated SQL (Figure 13)
+  };
 
-  /// The SQL the store would execute for \p sparql (tests/benchmarks).
-  virtual Result<std::string> TranslateToSql(std::string_view sparql) = 0;
+  /// Parses, optimizes, translates, executes and decodes a SPARQL query
+  /// with explicit optimizer knobs. Thread-safe.
+  virtual Result<ResultSet> QueryWith(std::string_view sparql,
+                                      const QueryOptions& options) = 0;
+
+  /// The SQL the store would execute for \p sparql under \p options.
+  virtual Result<std::string> TranslateWith(std::string_view sparql,
+                                            const QueryOptions& options) = 0;
+
+  /// The pipeline stages for \p sparql under \p options.
+  virtual Result<Explanation> Explain(std::string_view sparql,
+                                      const QueryOptions& options = {}) = 0;
+
+  /// Default-knob conveniences (thin overloads, intentionally non-virtual).
+  Result<ResultSet> Query(std::string_view sparql) {
+    return QueryWith(sparql, QueryOptions{});
+  }
+  Result<std::string> TranslateToSql(std::string_view sparql) {
+    return TranslateWith(sparql, QueryOptions{});
+  }
+
+  /// Cumulative hit/miss/eviction counters of the plan cache.
+  virtual util::CacheStats plan_cache_stats() const = 0;
 
   /// Store display name for benchmark tables.
   virtual std::string name() const = 0;

@@ -107,6 +107,7 @@ Result<std::unique_ptr<TripleStoreBackend>> TripleStoreBackend::Load(
   auto store =
       std::unique_ptr<TripleStoreBackend>(new TripleStoreBackend());
   store->stats_ = opt::Statistics::FromGraph(graph, options.stats_top_k);
+  store->plan_cache_ = PlanCache(options.plan_cache_capacity);
   RDFREL_ASSIGN_OR_RETURN(
       sql::Table * table,
       store->db_.catalog().CreateTable(
@@ -148,25 +149,46 @@ Result<std::unique_ptr<TripleStoreBackend>> TripleStoreBackend::Load(
   return store;
 }
 
-Result<ResultSet> TripleStoreBackend::Query(std::string_view sparql) {
-  RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
-  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
-                          OptimizeForBackend(query, stats_, dict_));
-  TripleStoreSqlBuilder builder(query, &dict_, lex_table_);
-  RDFREL_ASSIGN_OR_RETURN(translate::TranslatedQuery tq,
-                          builder.Build(*plan));
-  return ExecuteDecodedSql(&db_, tq.sql, query, dict_, tq.post_filters);
+Result<std::shared_ptr<const CachedPlan>> TripleStoreBackend::BuildPlan(
+    sparql::Query query, const QueryOptions& opts) {
+  auto build = [this](const sparql::Query& q, const opt::ExecNode& exec) {
+    TripleStoreSqlBuilder builder(q, &dict_, lex_table_);
+    return builder.Build(exec);
+  };
+  return TranslateForBackend(std::move(query), stats_, dict_, opts, build);
 }
 
-Result<std::string> TripleStoreBackend::TranslateToSql(
-    std::string_view sparql) {
+Result<std::shared_ptr<const CachedPlan>>
+TripleStoreBackend::GetOrBuildPlan(std::string_view sparql,
+                                   const QueryOptions& opts) {
+  const std::string key = PlanCacheKey(sparql, opts);
+  if (auto plan = plan_cache_.Get(key)) return plan;
   RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
-  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
-                          OptimizeForBackend(query, stats_, dict_));
-  TripleStoreSqlBuilder builder(query, &dict_, lex_table_);
-  RDFREL_ASSIGN_OR_RETURN(translate::TranslatedQuery tq,
-                          builder.Build(*plan));
-  return std::move(tq.sql);
+  RDFREL_ASSIGN_OR_RETURN(auto plan, BuildPlan(std::move(query), opts));
+  plan_cache_.Put(key, plan);
+  return plan;
+}
+
+Result<ResultSet> TripleStoreBackend::QueryWith(std::string_view sparql,
+                                                const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(auto plan, GetOrBuildPlan(sparql, opts));
+  return ExecutePlan(&db_, *plan, dict_);
+}
+
+Result<std::string> TripleStoreBackend::TranslateWith(
+    std::string_view sparql, const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(auto plan, GetOrBuildPlan(sparql, opts));
+  return plan->sql;
+}
+
+Result<SparqlStore::Explanation> TripleStoreBackend::Explain(
+    std::string_view sparql, const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  auto build = [this](const sparql::Query& q, const opt::ExecNode& exec) {
+    TripleStoreSqlBuilder builder(q, &dict_, lex_table_);
+    return builder.Build(exec);
+  };
+  return ExplainForBackend(query, stats_, dict_, opts, build);
 }
 
 }  // namespace rdfrel::store

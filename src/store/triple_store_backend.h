@@ -5,12 +5,17 @@
 /// Baseline 1 (paper §2): the skinny triple-store — one 3-column relation
 /// `triples(subj, pred, obj)` — with its own SPARQL-to-SQL translation
 /// (self-joins per triple pattern, as in Figure 2c).
+///
+/// The store is immutable after Load, so the whole read surface is
+/// thread-safe without locking; translated plans are memoized in the
+/// shared PlanCache.
 
 #include <memory>
 
 #include "opt/statistics.h"
 #include "rdf/graph.h"
 #include "sql/database.h"
+#include "store/backend_util.h"
 #include "store/sparql_store.h"
 
 namespace rdfrel::store {
@@ -21,6 +26,7 @@ struct TripleStoreOptions {
   bool index_predicate = false;  ///< the paper indexes only entry columns
   bool build_lex = true;
   size_t stats_top_k = 1000;
+  size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
 };
 
 class TripleStoreBackend final : public SparqlStore {
@@ -28,8 +34,15 @@ class TripleStoreBackend final : public SparqlStore {
   static Result<std::unique_ptr<TripleStoreBackend>> Load(
       rdf::Graph graph, const TripleStoreOptions& options = {});
 
-  Result<ResultSet> Query(std::string_view sparql) override;
-  Result<std::string> TranslateToSql(std::string_view sparql) override;
+  Result<ResultSet> QueryWith(std::string_view sparql,
+                              const QueryOptions& opts) override;
+  Result<std::string> TranslateWith(std::string_view sparql,
+                                    const QueryOptions& opts) override;
+  Result<Explanation> Explain(std::string_view sparql,
+                              const QueryOptions& opts = {}) override;
+  util::CacheStats plan_cache_stats() const override {
+    return plan_cache_.stats();
+  }
   std::string name() const override { return "Triple-store"; }
   const rdf::Dictionary& dictionary() const override { return dict_; }
 
@@ -38,10 +51,18 @@ class TripleStoreBackend final : public SparqlStore {
  private:
   TripleStoreBackend() = default;
 
+  /// Translation behind the cache: parse is done, build plan via the
+  /// shared backend pipeline.
+  Result<std::shared_ptr<const CachedPlan>> BuildPlan(
+      sparql::Query query, const QueryOptions& opts);
+  Result<std::shared_ptr<const CachedPlan>> GetOrBuildPlan(
+      std::string_view sparql, const QueryOptions& opts);
+
   sql::Database db_;
   rdf::Dictionary dict_;
   opt::Statistics stats_;
   std::string lex_table_;
+  PlanCache plan_cache_;
 };
 
 }  // namespace rdfrel::store

@@ -1,0 +1,166 @@
+#ifndef RDFREL_UTIL_LRU_CACHE_H_
+#define RDFREL_UTIL_LRU_CACHE_H_
+
+/// \file lru_cache.h
+/// A sharded, thread-safe LRU cache. Keys are hashed to one of N shards,
+/// each protected by its own mutex, so concurrent readers on different
+/// shards never contend. Within a shard, entries are kept in a doubly
+/// linked list ordered by recency; Get refreshes recency, Put evicts the
+/// least recently used entry once the shard is at capacity.
+///
+/// This is the building block for the per-store SPARQL plan cache (see
+/// store/backend_util.h): values there are shared_ptr<const CachedPlan>,
+/// so a reader can keep using a plan that was concurrently evicted.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace rdfrel::util {
+
+/// Aggregate counters for one cache. Snapshots are approximate under
+/// concurrency (shards are read without a global lock) but each shard's
+/// numbers are internally consistent.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+
+  double hit_rate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// \p capacity is the total entry budget, split evenly across
+  /// \p num_shards (rounded up to a power of two; every shard holds at
+  /// least one entry).
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8) {
+    size_t shards = 1;
+    while (shards < num_shards) shards <<= 1;
+    size_t per_shard = (capacity + shards - 1) / shards;
+    if (per_shard == 0) per_shard = 1;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  /// Returns the value for \p key (refreshing its recency), or nullopt.
+  std::optional<Value> Get(const Key& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      ++s.misses;
+      return std::nullopt;
+    }
+    ++s.hits;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites \p key. The new entry becomes most recent.
+  void Put(const Key& key, Value value) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      it->second->second = std::move(value);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    if (s.lru.size() >= s.capacity) {
+      s.map.erase(s.lru.back().first);
+      s.lru.pop_back();
+      ++s.evictions;
+    }
+    s.lru.emplace_front(key, std::move(value));
+    s.map[key] = s.lru.begin();
+  }
+
+  /// Removes \p key; false when absent.
+  bool Erase(const Key& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    s.lru.erase(it->second);
+    s.map.erase(it);
+    return true;
+  }
+
+  /// Drops every entry (hit/miss counters are retained).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->map.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      n += shard->lru.size();
+    }
+    return n;
+  }
+
+  CacheStats stats() const {
+    CacheStats out;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      out.hits += shard->hits;
+      out.misses += shard->misses;
+      out.evictions += shard->evictions;
+      out.entries += shard->lru.size();
+    }
+    return out;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t cap) : capacity(cap) {}
+    mutable std::mutex mu;
+    std::list<std::pair<Key, Value>> lru;  // front == most recent
+    std::unordered_map<Key,
+                       typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    const size_t capacity;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Shard on the high bits: std::hash of integers is commonly identity,
+    // and low bits already pick the bucket inside the shard's map.
+    size_t h = hash_(key);
+    h ^= h >> 17;
+    h *= 0x9e3779b97f4a7c15ULL;
+    return *shards_[(h >> 32) & (shards_.size() - 1)];
+  }
+  const Shard& ShardFor(const Key& key) const {
+    return const_cast<ShardedLruCache*>(this)->ShardFor(key);
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Hash hash_;
+};
+
+}  // namespace rdfrel::util
+
+#endif  // RDFREL_UTIL_LRU_CACHE_H_

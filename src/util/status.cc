@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kCapacityExceeded:
       return "CapacityExceeded";
+    case StatusCode::kInvalidQuery:
+      return "InvalidQuery";
   }
   return "Unknown";
 }

@@ -26,6 +26,8 @@ enum class StatusCode : uint8_t {
   kInternal,          ///< Invariant violation: a bug in this library.
   kExecutionError,    ///< Runtime failure while evaluating a query.
   kCapacityExceeded,  ///< Storage limits (page, row width) exceeded.
+  kInvalidQuery,      ///< Query is well-formed text but semantically
+                      ///< invalid (undeclared prefix, bad aggregate use).
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -70,6 +72,9 @@ class Status {
   static Status CapacityExceeded(std::string msg) {
     return Status(StatusCode::kCapacityExceeded, std::move(msg));
   }
+  static Status InvalidQuery(std::string msg) {
+    return Status(StatusCode::kInvalidQuery, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -95,6 +100,9 @@ class Status {
   }
   bool IsCapacityExceeded() const {
     return code() == StatusCode::kCapacityExceeded;
+  }
+  bool IsInvalidQuery() const {
+    return code() == StatusCode::kInvalidQuery;
   }
 
  private:

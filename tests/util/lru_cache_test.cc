@@ -1,0 +1,116 @@
+#include "util/lru_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rdfrel::util {
+namespace {
+
+TEST(LruCacheTest, GetReturnsPutValue) {
+  ShardedLruCache<std::string, int> cache(16, 4);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  auto a = cache.Get("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*cache.Get("b"), 2);
+  EXPECT_FALSE(cache.Get("c").has_value());
+}
+
+TEST(LruCacheTest, PutOverwritesExistingKey) {
+  ShardedLruCache<std::string, int> cache(16, 4);
+  cache.Put("a", 1);
+  cache.Put("a", 7);
+  EXPECT_EQ(*cache.Get("a"), 7);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  // Single shard makes the LRU order fully observable.
+  ShardedLruCache<int, int> cache(2, 1);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  ASSERT_TRUE(cache.Get(1).has_value());  // refresh 1; 2 is now LRU
+  cache.Put(3, 3);                        // evicts 2
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, EraseRemovesOnlyThatKey) {
+  ShardedLruCache<int, int> cache(8, 2);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, ClearDropsEntriesKeepsCounters) {
+  ShardedLruCache<int, int> cache(8, 2);
+  cache.Put(1, 1);
+  ASSERT_TRUE(cache.Get(1).has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(LruCacheTest, StatsTrackHitsAndMisses) {
+  ShardedLruCache<int, int> cache(8, 2);
+  cache.Put(1, 1);
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(99);
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 2.0 / 3.0);
+}
+
+TEST(LruCacheTest, CapacitySplitsAcrossShardsWithMinimumOne) {
+  // capacity 1 with 8 shards still admits one entry per shard.
+  ShardedLruCache<int, int> cache(1, 8);
+  for (int i = 0; i < 64; ++i) cache.Put(i, i);
+  EXPECT_GE(cache.size(), 1u);
+  EXPECT_LE(cache.size(), 8u);
+}
+
+TEST(LruCacheTest, ConcurrentMixedUseKeepsConsistentCounts) {
+  ShardedLruCache<int, int> cache(128, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 1998;  // divisible by 3: exact get/put split below
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        int key = (t * 31 + i) % 200;
+        if (i % 3 == 0) {
+          cache.Put(key, key * 2);
+        } else {
+          auto v = cache.Get(key);
+          if (v.has_value()) {
+            EXPECT_EQ(*v, key * 2);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<uint64_t>(kThreads) * kOps * 2 / 3);
+  EXPECT_LE(cache.size(), 128u + 8u);  // per-shard rounding slack
+}
+
+}  // namespace
+}  // namespace rdfrel::util

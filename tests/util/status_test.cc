@@ -30,6 +30,13 @@ TEST(StatusTest, EachFactoryMapsToItsCode) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::ExecutionError("x").IsExecutionError());
   EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::InvalidQuery("x").IsInvalidQuery());
+}
+
+TEST(StatusTest, InvalidQueryHasStableName) {
+  Status s = Status::InvalidQuery("undeclared prefix");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidQuery);
+  EXPECT_EQ(s.ToString(), "InvalidQuery: undeclared prefix");
 }
 
 TEST(StatusTest, CopyIsCheapAndShared) {
