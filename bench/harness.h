@@ -122,6 +122,50 @@ inline double TimeOnceMs(const std::function<void()>& fn) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+/// One query measured under both engine drive modes (row-at-a-time vs
+/// vectorized batches). `items` is the number of rows the query scans, the
+/// denominator for throughput.
+struct ModeComparison {
+  std::string id;
+  int64_t rows = 0;      ///< result rows
+  int64_t items = 0;     ///< input rows scanned per execution
+  double row_ms = 0;     ///< mean ms/query, row-at-a-time
+  double batch_ms = 0;   ///< mean ms/query, vectorized
+
+  double speedup() const { return batch_ms > 0 ? row_ms / batch_ms : 0; }
+  static double RowsPerSec(int64_t items, double ms) {
+    return ms > 0 ? static_cast<double>(items) / (ms / 1000.0) : 0;
+  }
+};
+
+/// Writes the row-vs-batch comparison as machine-readable JSON
+/// (ns/query and rows/s per mode, plus the speedup ratio per entry).
+inline bool WriteSqlBenchJson(const std::string& path,
+                              const std::vector<ModeComparison>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"sql_vectorized\",\n");
+  std::fprintf(f, "  \"scale\": %.2f,\n  \"entries\": [\n", ScaleFactor());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const ModeComparison& e = entries[i];
+    std::fprintf(
+        f,
+        "    {\"query\": \"%s\", \"result_rows\": %lld, "
+        "\"input_rows\": %lld,\n"
+        "     \"row\": {\"ns_per_query\": %.0f, \"rows_per_sec\": %.0f},\n"
+        "     \"batch\": {\"ns_per_query\": %.0f, \"rows_per_sec\": %.0f},\n"
+        "     \"speedup\": %.2f}%s\n",
+        e.id.c_str(), static_cast<long long>(e.rows),
+        static_cast<long long>(e.items), e.row_ms * 1e6,
+        ModeComparison::RowsPerSec(e.items, e.row_ms), e.batch_ms * 1e6,
+        ModeComparison::RowsPerSec(e.items, e.batch_ms), e.speedup(),
+        i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 /// Prints a markdown-ish table row.
 inline void PrintRow(const std::vector<std::string>& cells,
                      const std::vector<int>& widths) {

@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the concurrent read path.
+# Sanitizer + benchmark gate.
 #
 #   1. ThreadSanitizer build, running the concurrency + plan-cache tests
 #      (the reader/writer stress test is the point of this build).
 #   2. Debug + AddressSanitizer build, running the full ctest suite.
+#   3. Release bench smoke: bench_micro_star at a reduced scale must run
+#      to completion and emit machine-readable BENCH_sql.json.
 #
-# Build trees go to build-tsan/ and build-asan/ so the default build/ stays
-# untouched. Usage: scripts/check.sh [jobs]   (default: nproc)
+# Build trees go to build-tsan/, build-asan/ and build-release/ so the
+# default build/ stays untouched. Usage: scripts/check.sh [jobs]
+# (default: nproc)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/2] ThreadSanitizer: concurrency tests =="
+echo "== [1/3] ThreadSanitizer: concurrency tests =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFREL_SANITIZE=thread > /dev/null
@@ -23,7 +26,7 @@ cmake --build build-tsan -j"${JOBS}" --target concurrency_test util_test
     -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest')
 
 echo
-echo "== [2/2] Debug + AddressSanitizer: full suite =="
+echo "== [2/3] Debug + AddressSanitizer: full suite =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRDFREL_SANITIZE=address > /dev/null
@@ -31,4 +34,14 @@ cmake --build build-asan -j"${JOBS}"
 (cd build-asan && ctest --output-on-failure -j"${JOBS}")
 
 echo
-echo "All sanitizer checks passed."
+echo "== [3/3] Release bench smoke: BENCH_sql.json =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-release -j"${JOBS}" --target bench_micro_star
+(cd build-release &&
+  rm -f BENCH_sql.json &&
+  RDFREL_BENCH_SCALE=0.1 ./bench/bench_micro_star &&
+  test -s BENCH_sql.json &&
+  echo "BENCH_sql.json ok")
+
+echo
+echo "All checks passed."

@@ -1,5 +1,7 @@
 #include "sql/catalog.h"
 
+#include <mutex>
+
 #include "util/string_util.h"
 
 namespace rdfrel::sql {
@@ -74,6 +76,7 @@ void Table::IndexRemove(IndexInfo* idx, const Row& row, RowId rid) {
 Result<RowId> Table::Insert(const Row& row) {
   RDFREL_ASSIGN_OR_RETURN(RowId rid, storage_.Insert(row));
   for (auto& idx : indexes_) IndexInsert(idx.get(), row, rid);
+  InvalidateDecodedPage(rid.page);
   return rid;
 }
 
@@ -86,6 +89,8 @@ Result<RowId> Table::Update(RowId rid, const Row& new_row) {
     IndexRemove(idx.get(), old_row, rid);
     IndexInsert(idx.get(), new_row, new_rid);
   }
+  InvalidateDecodedPage(rid.page);
+  if (new_rid.page != rid.page) InvalidateDecodedPage(new_rid.page);
   return new_rid;
 }
 
@@ -93,7 +98,49 @@ Status Table::Delete(RowId rid) {
   RDFREL_ASSIGN_OR_RETURN(Row old_row, storage_.Get(rid));
   RDFREL_RETURN_NOT_OK(storage_.Delete(rid));
   for (auto& idx : indexes_) IndexRemove(idx.get(), old_row, rid);
+  InvalidateDecodedPage(rid.page);
   return Status::OK();
+}
+
+Result<std::shared_ptr<const DecodedPage>> Table::DecodePage(
+    uint32_t page) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(decoded_mu_);
+    if (page < decoded_pages_.size() && decoded_pages_[page] != nullptr) {
+      return decoded_pages_[page];
+    }
+  }
+  // Decode outside the lock; a racing decode of the same page just loses
+  // the store below (keep-first) and its copy dies with the caller.
+  const Page& pg = storage_.heap().page(page);
+  auto dp = std::make_shared<DecodedPage>();
+  dp->slot_index.assign(pg.num_slots(), DecodedPage::kDeadSlot);
+  dp->rows.reserve(pg.num_slots());
+  for (uint32_t s = 0; s < pg.num_slots(); ++s) {
+    if (!pg.IsLive(s)) continue;
+    RDFREL_ASSIGN_OR_RETURN(std::string_view bytes, pg.Get(s));
+    dp->slot_index[s] = static_cast<uint32_t>(dp->rows.size());
+    dp->rows.emplace_back();
+    RDFREL_RETURN_NOT_OK(DeserializeRowInto(schema(), bytes, &dp->rows.back()));
+  }
+  std::unique_lock<std::shared_mutex> lock(decoded_mu_);
+  if (page < decoded_pages_.size() && decoded_pages_[page] != nullptr) {
+    return decoded_pages_[page];
+  }
+  if (decoded_rows_ + dp->rows.size() <= kDecodedRowBudget) {
+    if (decoded_pages_.size() <= page) decoded_pages_.resize(page + 1);
+    decoded_rows_ += dp->rows.size();
+    decoded_pages_[page] = dp;
+  }
+  return std::shared_ptr<const DecodedPage>(std::move(dp));
+}
+
+void Table::InvalidateDecodedPage(uint32_t page) {
+  std::unique_lock<std::shared_mutex> lock(decoded_mu_);
+  if (page < decoded_pages_.size() && decoded_pages_[page] != nullptr) {
+    decoded_rows_ -= decoded_pages_[page]->rows.size();
+    decoded_pages_[page].reset();
+  }
 }
 
 Status Table::Scan(

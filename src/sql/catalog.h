@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -34,10 +35,25 @@ struct IndexInfo {
   }
 };
 
+/// The live rows of one heap page, deserialized once and shared by readers.
+/// Rows are in slot order; \p slot_index maps a page slot to its position in
+/// \p rows (kDeadSlot for dead slots). Instances are immutable after
+/// construction, so a scan holding the shared_ptr stays valid even if the
+/// table mutates (invalidation only drops the cache's own reference).
+struct DecodedPage {
+  static constexpr uint32_t kDeadSlot = 0xffffffffu;
+  std::vector<Row> rows;
+  std::vector<uint32_t> slot_index;
+};
+
 /// A table with index-maintaining mutations. Use this (not raw
 /// TableStorage) everywhere above the storage layer.
 class Table {
  public:
+  /// Cap on rows retained across all cached decoded pages of one table;
+  /// beyond it DecodePage still decodes but no longer stores (keeps memory
+  /// bounded on very large tables).
+  static constexpr size_t kDecodedRowBudget = 1u << 22;
   Table(std::string name, Schema schema,
         size_t page_size = Page::kDefaultSize);
 
@@ -64,13 +80,25 @@ class Table {
   Status Delete(RowId rid);
   Status Scan(const std::function<Status(RowId, const Row&)>& fn) const;
 
+  /// The decoded live rows of heap page \p page, served from a per-table
+  /// cache so repeated scans deserialize each page once. Vectorized scans
+  /// borrow the returned rows in place; mutations invalidate the touched
+  /// pages. Safe for concurrent readers. \p page must be < num_pages().
+  Result<std::shared_ptr<const DecodedPage>> DecodePage(uint32_t page) const;
+
  private:
   void IndexInsert(IndexInfo* idx, const Row& row, RowId rid);
   void IndexRemove(IndexInfo* idx, const Row& row, RowId rid);
+  void InvalidateDecodedPage(uint32_t page);
 
   std::string name_;
   TableStorage storage_;
   std::vector<std::unique_ptr<IndexInfo>> indexes_;
+
+  // Decoded-page cache (mutable: populated lazily from const scans).
+  mutable std::shared_mutex decoded_mu_;
+  mutable std::vector<std::shared_ptr<const DecodedPage>> decoded_pages_;
+  mutable size_t decoded_rows_ = 0;  ///< rows held by decoded_pages_
 };
 
 /// Named-table registry.

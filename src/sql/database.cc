@@ -48,10 +48,27 @@ Result<QueryResult> Database::Query(std::string_view sql) {
 }
 
 Result<QueryResult> Database::QueryAst(const ast::SelectStmt& stmt) {
-  RDFREL_ASSIGN_OR_RETURN(auto mat, RunSelect(catalog_, stmt));
+  RDFREL_ASSIGN_OR_RETURN(auto mat, RunSelect(catalog_, stmt, exec_mode_));
   QueryResult qr;
   qr.columns = mat->scope.Names();
   qr.rows = std::move(mat->rows);
+  return qr;
+}
+
+Result<QueryResult> Database::QueryProfiled(std::string_view sql,
+                                            std::string* profile_out) {
+  RDFREL_ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  CteEnv env;
+  RDFREL_ASSIGN_OR_RETURN(OperatorPtr op,
+                          PlanSelect(catalog_, *stmt, &env, exec_mode_));
+  op->SetExecMode(exec_mode_);
+  op->EnableTiming(true);
+  RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                          CollectRows(op.get(), exec_mode_));
+  QueryResult qr;
+  qr.columns = op->scope().Names();
+  qr.rows = std::move(rows);
+  if (profile_out != nullptr) *profile_out = FormatOperatorStats(*op);
   return qr;
 }
 

@@ -42,12 +42,24 @@ class Database {
   /// Executes a parsed SELECT.
   Result<QueryResult> QueryAst(const ast::SelectStmt& stmt);
 
+  /// Executes a SELECT with per-operator profiling enabled and renders the
+  /// operator tree (rows/batches/time per operator) into \p profile_out.
+  Result<QueryResult> QueryProfiled(std::string_view sql,
+                                    std::string* profile_out);
+
+  /// Drive mode for all SELECTs on this instance. Batch-at-a-time is the
+  /// default; kRow forces the Volcano fallback (differential tests and
+  /// before/after benchmarks).
+  ExecMode exec_mode() const { return exec_mode_; }
+  void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
+
  private:
   Status ExecCreateTable(const ast::CreateTableStmt& ct);
   Status ExecCreateIndex(const ast::CreateIndexStmt& ci);
   Status ExecInsert(const ast::InsertStmt& ins);
 
   Catalog catalog_;
+  ExecMode exec_mode_ = ExecMode::kBatch;
 };
 
 }  // namespace rdfrel::sql

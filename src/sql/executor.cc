@@ -1,10 +1,13 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 namespace rdfrel::sql {
 
 namespace {
+
 Scope TableScope(const Table* table, const std::string& alias) {
   Scope s;
   for (const auto& col : table->schema().columns()) {
@@ -12,7 +15,149 @@ Scope TableScope(const Table* table, const std::string& alias) {
   }
   return s;
 }
+
+/// Fetches the row at \p rid into \p out, reusing \p out's storage (no
+/// intermediate Row like Table::Get). Tables within the decoded-page budget
+/// are served from the page cache — index probes tend to revisit pages, so
+/// the one-time decode amortizes; larger tables read the heap cell directly
+/// to avoid re-decoding whole pages per probe.
+Status FetchRowInto(const Table& table, RowId rid, Row* out) {
+  const HeapFile& heap = table.storage().heap();
+  if (rid.page >= heap.num_pages()) {
+    return Status::Internal("rid page out of range");
+  }
+  if (table.row_count() <= Table::kDecodedRowBudget) {
+    RDFREL_ASSIGN_OR_RETURN(std::shared_ptr<const DecodedPage> dp,
+                            table.DecodePage(rid.page));
+    if (rid.slot >= dp->slot_index.size() ||
+        dp->slot_index[rid.slot] == DecodedPage::kDeadSlot) {
+      return Status::Internal("rid slot not live");
+    }
+    *out = dp->rows[dp->slot_index[rid.slot]];
+    return Status::OK();
+  }
+  RDFREL_ASSIGN_OR_RETURN(std::string_view bytes,
+                          heap.page(rid.page).Get(rid.slot));
+  return DeserializeRowInto(table.schema(), bytes, out);
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
+
+// --------------------------------------------------------------- Operator
+
+Result<bool> Operator::Next(Row* out) {
+  if (!timing_) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, NextImpl(out));
+    if (has) ++stats_.rows;
+    return has;
+  }
+  uint64_t start = NowNs();
+  Result<bool> has = NextImpl(out);
+  stats_.ns += NowNs() - start;
+  if (has.ok() && *has) ++stats_.rows;
+  return has;
+}
+
+Result<bool> Operator::NextBatch(RowBatch* out) {
+  out->Reset();
+  if (!timing_) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, NextBatchImpl(out));
+    if (has) {
+      stats_.rows += out->ActiveSize();
+      ++stats_.batches;
+    }
+    return has;
+  }
+  uint64_t start = NowNs();
+  Result<bool> has = NextBatchImpl(out);
+  stats_.ns += NowNs() - start;
+  if (has.ok() && *has) {
+    stats_.rows += out->ActiveSize();
+    ++stats_.batches;
+  }
+  return has;
+}
+
+Result<bool> Operator::NextBatchImpl(RowBatch* out) {
+  // Row-fallback adapter: any operator without a native batch
+  // implementation still participates in batch pipelines.
+  while (!out->Full()) {
+    Row* slot = out->AddRow();
+    RDFREL_ASSIGN_OR_RETURN(bool has, NextImpl(slot));
+    if (!has) {
+      out->PopRow();
+      break;
+    }
+  }
+  return out->size() > 0;
+}
+
+void Operator::SetExecMode(ExecMode mode) {
+  mode_ = mode;
+  for (Operator* c : children()) c->SetExecMode(mode);
+}
+
+void Operator::EnableTiming(bool on) {
+  timing_ = on;
+  for (Operator* c : children()) c->EnableTiming(on);
+}
+
+Status Operator::ForEachChildRow(
+    Operator* child, const std::function<Status(const Row&)>& fn) {
+  if (mode_ == ExecMode::kBatch) {
+    RowBatch batch;
+    while (true) {
+      auto has = child->NextBatch(&batch);
+      if (!has.ok()) return has.status();
+      if (!*has) break;
+      for (size_t i = 0; i < batch.ActiveSize(); ++i) {
+        RDFREL_RETURN_NOT_OK(fn(batch.Active(i)));
+      }
+    }
+    return Status::OK();
+  }
+  Row row;
+  while (true) {
+    auto has = child->Next(&row);
+    if (!has.ok()) return has.status();
+    if (!*has) break;
+    RDFREL_RETURN_NOT_OK(fn(row));
+  }
+  return Status::OK();
+}
+
+namespace {
+void FormatStatsRec(Operator& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(op.name());
+  const OperatorStats& s = op.stats();
+  out->append(": rows=");
+  out->append(std::to_string(s.rows));
+  out->append(" batches=");
+  out->append(std::to_string(s.batches));
+  if (s.ns > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " ms=%.3f",
+                  static_cast<double>(s.ns) / 1e6);
+    out->append(buf);
+  }
+  out->push_back('\n');
+  for (Operator* c : op.children()) FormatStatsRec(*c, depth + 1, out);
+}
+}  // namespace
+
+std::string FormatOperatorStats(Operator& root) {
+  std::string out;
+  FormatStatsRec(root, 0, &out);
+  return out;
+}
 
 // ------------------------------------------------------------- SeqScanOp
 
@@ -23,23 +168,37 @@ SeqScanOp::SeqScanOp(const Table* table, const std::string& alias)
 
 Status SeqScanOp::Open() {
   page_ = 0;
-  slot_ = 0;
+  row_ = 0;
+  cur_page_.reset();
   return Status::OK();
 }
 
-Result<bool> SeqScanOp::Next(Row* out) {
+Result<bool> SeqScanOp::NextImpl(Row* out) {
   const HeapFile& heap = table_->storage().heap();
-  while (page_ < heap.num_pages()) {
-    const Page& pg = heap.page(page_);
-    while (slot_ < pg.num_slots()) {
-      uint32_t s = slot_++;
-      if (!pg.IsLive(s)) continue;
-      RDFREL_ASSIGN_OR_RETURN(std::string_view bytes, pg.Get(s));
-      RDFREL_ASSIGN_OR_RETURN(*out, DeserializeRow(table_->schema(), bytes));
+  while (true) {
+    if (cur_page_ != nullptr && row_ < cur_page_->rows.size()) {
+      *out = cur_page_->rows[row_++];
       return true;
     }
+    if (page_ >= heap.num_pages()) return false;
+    RDFREL_ASSIGN_OR_RETURN(cur_page_,
+                            table_->DecodePage(static_cast<uint32_t>(page_)));
     ++page_;
-    slot_ = 0;
+    row_ = 0;
+  }
+}
+
+Result<bool> SeqScanOp::NextBatchImpl(RowBatch* out) {
+  const HeapFile& heap = table_->storage().heap();
+  while (page_ < heap.num_pages()) {
+    RDFREL_ASSIGN_OR_RETURN(cur_page_,
+                            table_->DecodePage(static_cast<uint32_t>(page_)));
+    ++page_;
+    if (cur_page_->rows.empty()) continue;
+    // One whole page per call, zero copy: the batch points straight into
+    // the decoded page, which cur_page_ keeps alive past this call.
+    out->Borrow(cur_page_->rows.data(), cur_page_->rows.size());
+    return true;
   }
   return false;
 }
@@ -58,9 +217,17 @@ Status IndexScanOp::Open() {
   return Status::OK();
 }
 
-Result<bool> IndexScanOp::Next(Row* out) {
+Result<bool> IndexScanOp::NextImpl(Row* out) {
   if (pos_ >= rids_.size()) return false;
-  RDFREL_ASSIGN_OR_RETURN(*out, table_->Get(rids_[pos_++]));
+  RDFREL_RETURN_NOT_OK(FetchRowInto(*table_, rids_[pos_++], out));
+  return true;
+}
+
+Result<bool> IndexScanOp::NextBatchImpl(RowBatch* out) {
+  if (pos_ >= rids_.size()) return false;
+  while (pos_ < rids_.size() && !out->Full()) {
+    RDFREL_RETURN_NOT_OK(FetchRowInto(*table_, rids_[pos_++], out->AddRow()));
+  }
   return true;
 }
 
@@ -79,9 +246,17 @@ Status MaterializedScanOp::Open() {
   return Status::OK();
 }
 
-Result<bool> MaterializedScanOp::Next(Row* out) {
+Result<bool> MaterializedScanOp::NextImpl(Row* out) {
   if (pos_ >= mat_->rows.size()) return false;
   *out = mat_->rows[pos_++];
+  return true;
+}
+
+Result<bool> MaterializedScanOp::NextBatchImpl(RowBatch* out) {
+  if (pos_ >= mat_->rows.size()) return false;
+  size_t n = std::min(out->capacity(), mat_->rows.size() - pos_);
+  out->Borrow(mat_->rows.data() + pos_, n);
+  pos_ += n;
   return true;
 }
 
@@ -94,12 +269,25 @@ FilterOp::FilterOp(OperatorPtr child, BoundExprPtr predicate)
 
 Status FilterOp::Open() { return child_->Open(); }
 
-Result<bool> FilterOp::Next(Row* out) {
+Result<bool> FilterOp::NextImpl(Row* out) {
   while (true) {
     RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
     RDFREL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *out));
     if (pass) return true;
+  }
+}
+
+Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
+  // The child fills the caller's batch; survivors are marked by a selection
+  // vector, never moved.
+  while (true) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
+    if (!has) return false;
+    RDFREL_RETURN_NOT_OK(EvalPredicateBatch(*predicate_, *out, &sel_));
+    if (sel_.empty()) continue;
+    if (sel_.size() != out->ActiveSize()) out->SetSelection(sel_);
+    return true;
   }
 }
 
@@ -109,19 +297,50 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<BoundExprPtr> exprs,
                      Scope out)
     : child_(std::move(child)), exprs_(std::move(exprs)) {
   scope_ = std::move(out);
+  slots_.reserve(exprs_.size());
+  for (const auto& e : exprs_) slots_.push_back(e->AsSlot());
 }
 
 Status ProjectOp::Open() { return child_->Open(); }
 
-Result<bool> ProjectOp::Next(Row* out) {
-  Row in;
-  RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+Result<bool> ProjectOp::NextImpl(Row* out) {
+  RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(&in_));
   if (!has) return false;
   out->clear();
   out->reserve(exprs_.size());
   for (const auto& e : exprs_) {
-    RDFREL_ASSIGN_OR_RETURN(Value v, e->Evaluate(in));
+    RDFREL_ASSIGN_OR_RETURN(Value v, e->Evaluate(in_));
     out->push_back(std::move(v));
+  }
+  return true;
+}
+
+Result<bool> ProjectOp::NextBatchImpl(RowBatch* out) {
+  RDFREL_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_batch_));
+  if (!has) return false;
+  // Bare slot references copy straight from the input rows during
+  // assembly; only computed expressions materialize a column first.
+  cols_.resize(exprs_.size());
+  for (size_t e = 0; e < exprs_.size(); ++e) {
+    if (slots_[e] < 0) {
+      RDFREL_RETURN_NOT_OK(exprs_[e]->EvaluateBatch(in_batch_, &cols_[e]));
+    }
+  }
+  size_t n = in_batch_.ActiveSize();
+  for (size_t i = 0; i < n; ++i) {
+    const Row& in = in_batch_.Active(i);
+    Row* slot = out->AddRow();
+    slot->resize(exprs_.size());
+    for (size_t e = 0; e < exprs_.size(); ++e) {
+      if (slots_[e] >= 0) {
+        if (static_cast<size_t>(slots_[e]) >= in.size()) {
+          return Status::Internal("slot out of range");
+        }
+        (*slot)[e] = in[slots_[e]];
+      } else {
+        (*slot)[e] = std::move(cols_[e][i]);
+      }
+    }
   }
   return true;
 }
@@ -147,28 +366,21 @@ Status HashJoinOp::Open() {
   RDFREL_RETURN_NOT_OK(left_->Open());
   RDFREL_RETURN_NOT_OK(right_->Open());
   build_.clear();
-  Row row;
-  while (true) {
-    auto has = right_->Next(&row);
-    if (!has.ok()) return has.status();
-    if (!*has) break;
+  RDFREL_RETURN_NOT_OK(ForEachChildRow(right_.get(), [&](const Row& row) {
     std::vector<Value> key;
     key.reserve(right_keys_.size());
-    bool null_key = false;
     for (const auto& k : right_keys_) {
-      auto v = k->Evaluate(row);
-      if (!v.ok()) return v.status();
-      if (v->is_null()) {
-        null_key = true;
-        break;
-      }
-      key.push_back(std::move(*v));
+      RDFREL_ASSIGN_OR_RETURN(Value v, k->Evaluate(row));
+      if (v.is_null()) return Status::OK();  // NULL keys never join
+      key.push_back(std::move(v));
     }
-    if (null_key) continue;  // NULL keys never join
     build_[std::move(key)].push_back(row);
-  }
+    return Status::OK();
+  }));
   left_valid_ = false;
   matches_ = nullptr;
+  probe_.Reset();
+  probe_pos_ = 0;
   return Status::OK();
 }
 
@@ -200,7 +412,7 @@ Result<bool> HashJoinOp::NextLeft() {
   return true;
 }
 
-Result<bool> HashJoinOp::Next(Row* out) {
+Result<bool> HashJoinOp::NextImpl(Row* out) {
   while (true) {
     if (!left_valid_) {
       RDFREL_ASSIGN_OR_RETURN(bool has, NextLeft());
@@ -228,6 +440,69 @@ Result<bool> HashJoinOp::Next(Row* out) {
   }
 }
 
+Result<bool> HashJoinOp::NextBatchImpl(RowBatch* out) {
+  // Pauses between probe rows once `out` reaches capacity; probe_pos_
+  // remembers where to resume, so output batches stay near the target size
+  // (one probe row's duplicate matches may still overshoot slightly)
+  // instead of holding every match of the probe batch.
+  std::vector<Value> key;
+  key.reserve(left_keys_.size());
+  while (!out->Full()) {
+    if (probe_pos_ >= probe_.ActiveSize()) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, left_->NextBatch(&probe_));
+      if (!has) return out->size() > 0;
+      probe_pos_ = 0;
+      key_cols_.resize(left_keys_.size());
+      for (size_t k = 0; k < left_keys_.size(); ++k) {
+        RDFREL_RETURN_NOT_OK(
+            left_keys_[k]->EvaluateBatch(probe_, &key_cols_[k]));
+      }
+    }
+    for (; probe_pos_ < probe_.ActiveSize() && !out->Full(); ++probe_pos_) {
+      const size_t i = probe_pos_;
+      const Row& lrow = probe_.Active(i);
+      key.clear();
+      bool null_key = false;
+      for (size_t k = 0; k < left_keys_.size(); ++k) {
+        const Value& v = key_cols_[k][i];
+        if (v.is_null()) {
+          null_key = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      const std::vector<Row>* matches = nullptr;
+      if (!null_key) {
+        auto it = build_.find(key);
+        if (it != build_.end()) matches = &it->second;
+      }
+      bool emitted = false;
+      if (matches != nullptr) {
+        for (const Row& rrow : *matches) {
+          Row* slot = out->AddRow();
+          *slot = lrow;
+          slot->insert(slot->end(), rrow.begin(), rrow.end());
+          if (residual_) {
+            RDFREL_ASSIGN_OR_RETURN(bool pass,
+                                    EvalPredicate(*residual_, *slot));
+            if (!pass) {
+              out->PopRow();
+              continue;
+            }
+          }
+          emitted = true;
+        }
+      }
+      if (left_outer_ && !emitted) {
+        Row* slot = out->AddRow();
+        *slot = lrow;
+        slot->insert(slot->end(), right_width_, Value::Null());
+      }
+    }
+  }
+  return out->size() > 0;
+}
+
 // ---------------------------------------------------------- IndexNLJoinOp
 
 IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table* inner,
@@ -247,10 +522,12 @@ IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table* inner,
 Status IndexNLJoinOp::Open() {
   RDFREL_RETURN_NOT_OK(outer_->Open());
   outer_valid_ = false;
+  outer_batch_.Reset();
+  outer_pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> IndexNLJoinOp::Next(Row* out) {
+Result<bool> IndexNLJoinOp::NextImpl(Row* out) {
   const size_t inner_width = inner_->schema().num_columns();
   while (true) {
     if (!outer_valid_) {
@@ -264,9 +541,9 @@ Result<bool> IndexNLJoinOp::Next(Row* out) {
     }
     while (rid_pos_ < rids_.size()) {
       RowId rid = rids_[rid_pos_++];
-      RDFREL_ASSIGN_OR_RETURN(Row inner_row, inner_->Get(rid));
+      RDFREL_RETURN_NOT_OK(FetchRowInto(*inner_, rid, &inner_row_));
       *out = outer_row_;
-      out->insert(out->end(), inner_row.begin(), inner_row.end());
+      out->insert(out->end(), inner_row_.begin(), inner_row_.end());
       if (residual_) {
         RDFREL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, *out));
         if (!pass) continue;
@@ -282,6 +559,57 @@ Result<bool> IndexNLJoinOp::Next(Row* out) {
     }
     outer_valid_ = false;
   }
+}
+
+Result<bool> IndexNLJoinOp::ProbeInto(const Row& outer_row, const Value& key,
+                                      RowBatch* out) {
+  bool emitted = false;
+  if (!key.is_null()) {
+    for (RowId rid : index_->Lookup(key)) {
+      RDFREL_RETURN_NOT_OK(FetchRowInto(*inner_, rid, &inner_row_));
+      Row* slot = out->AddRow();
+      *slot = outer_row;
+      slot->insert(slot->end(), inner_row_.begin(), inner_row_.end());
+      if (residual_) {
+        RDFREL_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*residual_, *slot));
+        if (!pass) {
+          out->PopRow();
+          continue;
+        }
+      }
+      emitted = true;
+    }
+  }
+  if (left_outer_ && !emitted) {
+    Row* slot = out->AddRow();
+    *slot = outer_row;
+    slot->insert(slot->end(), inner_->schema().num_columns(), Value::Null());
+    emitted = true;
+  }
+  return emitted;
+}
+
+Result<bool> IndexNLJoinOp::NextBatchImpl(RowBatch* out) {
+  // Bounded like HashJoin: the outer_pos_ cursor pauses the probe loop
+  // between outer rows when `out` fills, so a chain of joins hands
+  // capacity-sized batches downstream instead of one batch holding the
+  // whole multiplied-out result.
+  while (!out->Full()) {
+    if (outer_pos_ >= outer_batch_.ActiveSize()) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, outer_->NextBatch(&outer_batch_));
+      if (!has) return out->size() > 0;
+      outer_pos_ = 0;
+      RDFREL_RETURN_NOT_OK(outer_key_->EvaluateBatch(outer_batch_, &key_col_));
+    }
+    for (; outer_pos_ < outer_batch_.ActiveSize() && !out->Full();
+         ++outer_pos_) {
+      RDFREL_ASSIGN_OR_RETURN(bool emitted,
+                              ProbeInto(outer_batch_.Active(outer_pos_),
+                                        key_col_[outer_pos_], out));
+      (void)emitted;
+    }
+  }
+  return out->size() > 0;
 }
 
 // -------------------------------------------------------- NestedLoopJoinOp
@@ -301,18 +629,15 @@ Status NestedLoopJoinOp::Open() {
   RDFREL_RETURN_NOT_OK(left_->Open());
   RDFREL_RETURN_NOT_OK(right_->Open());
   right_rows_.clear();
-  Row row;
-  while (true) {
-    auto has = right_->Next(&row);
-    if (!has.ok()) return has.status();
-    if (!*has) break;
+  RDFREL_RETURN_NOT_OK(ForEachChildRow(right_.get(), [&](const Row& row) {
     right_rows_.push_back(row);
-  }
+    return Status::OK();
+  }));
   left_valid_ = false;
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinOp::Next(Row* out) {
+Result<bool> NestedLoopJoinOp::NextImpl(Row* out) {
   while (true) {
     if (!left_valid_) {
       RDFREL_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
@@ -353,10 +678,12 @@ UnnestOp::UnnestOp(OperatorPtr child, std::vector<BoundExprPtr> args,
 
 Status UnnestOp::Open() {
   valid_ = false;
+  in_batch_.Reset();
+  in_pos_ = 0;
   return child_->Open();
 }
 
-Result<bool> UnnestOp::Next(Row* out) {
+Result<bool> UnnestOp::NextImpl(Row* out) {
   while (true) {
     if (!valid_) {
       RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(&current_));
@@ -374,6 +701,29 @@ Result<bool> UnnestOp::Next(Row* out) {
   }
 }
 
+Result<bool> UnnestOp::NextBatchImpl(RowBatch* out) {
+  while (!out->Full()) {
+    if (in_pos_ >= in_batch_.ActiveSize()) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_batch_));
+      if (!has) return out->size() > 0;
+      in_pos_ = 0;
+      arg_cols_.resize(args_.size());
+      for (size_t a = 0; a < args_.size(); ++a) {
+        RDFREL_RETURN_NOT_OK(args_[a]->EvaluateBatch(in_batch_, &arg_cols_[a]));
+      }
+    }
+    for (; in_pos_ < in_batch_.ActiveSize() && !out->Full(); ++in_pos_) {
+      const Row& in = in_batch_.Active(in_pos_);
+      for (size_t a = 0; a < args_.size(); ++a) {
+        Row* slot = out->AddRow();
+        *slot = in;
+        slot->push_back(std::move(arg_cols_[a][in_pos_]));
+      }
+    }
+  }
+  return out->size() > 0;
+}
+
 // -------------------------------------------------------------- UnionAllOp
 
 UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
@@ -387,9 +737,25 @@ Status UnionAllOp::Open() {
   return Status::OK();
 }
 
-Result<bool> UnionAllOp::Next(Row* out) {
+std::vector<Operator*> UnionAllOp::children() {
+  std::vector<Operator*> out;
+  out.reserve(children_.size());
+  for (auto& c : children_) out.push_back(c.get());
+  return out;
+}
+
+Result<bool> UnionAllOp::NextImpl(Row* out) {
   while (current_ < children_.size()) {
     RDFREL_ASSIGN_OR_RETURN(bool has, children_[current_]->Next(out));
+    if (has) return true;
+    ++current_;
+  }
+  return false;
+}
+
+Result<bool> UnionAllOp::NextBatchImpl(RowBatch* out) {
+  while (current_ < children_.size()) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, children_[current_]->NextBatch(out));
     if (has) return true;
     ++current_;
   }
@@ -407,11 +773,27 @@ Status DistinctOp::Open() {
   return child_->Open();
 }
 
-Result<bool> DistinctOp::Next(Row* out) {
+Result<bool> DistinctOp::NextImpl(Row* out) {
   while (true) {
     RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;
     if (seen_.insert(*out).second) return true;
+  }
+}
+
+Result<bool> DistinctOp::NextBatchImpl(RowBatch* out) {
+  while (true) {
+    RDFREL_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
+    if (!has) return false;
+    sel_.clear();
+    for (size_t i = 0; i < out->ActiveSize(); ++i) {
+      if (seen_.insert(out->Active(i)).second) {
+        sel_.push_back(out->ActiveIndex(i));
+      }
+    }
+    if (sel_.empty()) continue;
+    if (sel_.size() != out->ActiveSize()) out->SetSelection(sel_);
+    return true;
   }
 }
 
@@ -429,13 +811,10 @@ Status SortOp::Open() {
   RDFREL_RETURN_NOT_OK(child_->Open());
   rows_.clear();
   pos_ = 0;
-  Row row;
-  while (true) {
-    auto has = child_->Next(&row);
-    if (!has.ok()) return has.status();
-    if (!*has) break;
+  RDFREL_RETURN_NOT_OK(ForEachChildRow(child_.get(), [&](const Row& row) {
     rows_.push_back(row);
-  }
+    return Status::OK();
+  }));
   // Precompute sort keys per row to keep the comparator exception-free.
   std::vector<std::vector<Value>> sort_keys(rows_.size());
   for (size_t i = 0; i < rows_.size(); ++i) {
@@ -462,9 +841,17 @@ Status SortOp::Open() {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* out) {
+Result<bool> SortOp::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
+  return true;
+}
+
+Result<bool> SortOp::NextBatchImpl(RowBatch* out) {
+  if (pos_ >= rows_.size()) return false;
+  size_t n = std::min(out->capacity(), rows_.size() - pos_);
+  out->Borrow(rows_.data() + pos_, n);
+  pos_ += n;
   return true;
 }
 
@@ -483,11 +870,51 @@ AggregateOp::AggregateOp(OperatorPtr child, std::vector<BoundExprPtr> keys,
   }
 }
 
+Status AggregateOp::Update(const AggSpec& spec, AggState* st,
+                           const Value& v) {
+  if (spec.distinct && spec.input != nullptr) {
+    if (!st->seen.insert(v).second) return Status::OK();
+  }
+  st->count += 1;
+  switch (spec.func) {
+    case ast::AggFunc::kCount:
+      break;
+    case ast::AggFunc::kSum:
+    case ast::AggFunc::kAvg:
+      if (v.is_string()) {
+        return Status::ExecutionError("SUM/AVG over string values");
+      }
+      if (v.is_int() && st->int_only) {
+        st->isum += v.AsInt();
+      } else {
+        if (st->int_only) {
+          st->dsum = static_cast<double>(st->isum);
+          st->int_only = false;
+        }
+        st->dsum += v.NumericValue();
+      }
+      break;
+    case ast::AggFunc::kMin:
+    case ast::AggFunc::kMax:
+      if (!st->has_value) {
+        st->min_value = v;
+        st->max_value = v;
+      } else {
+        if (v.Compare(st->min_value) < 0) st->min_value = v;
+        if (v.Compare(st->max_value) > 0) st->max_value = v;
+      }
+      break;
+    case ast::AggFunc::kNone:
+      return Status::Internal("kNone aggregate in AggregateOp");
+  }
+  st->has_value = true;
+  return Status::OK();
+}
+
 Status AggregateOp::Accumulate(const Row& in,
                                std::vector<AggState>* states) {
   for (size_t i = 0; i < aggs_.size(); ++i) {
     const AggSpec& spec = aggs_[i];
-    AggState& st = (*states)[i];
     Value v;
     if (spec.input != nullptr) {
       RDFREL_ASSIGN_OR_RETURN(v, spec.input->Evaluate(in));
@@ -495,42 +922,7 @@ Status AggregateOp::Accumulate(const Row& in,
     } else {
       v = Value::Int(1);  // COUNT(*)
     }
-    if (spec.distinct && spec.input != nullptr) {
-      if (!st.seen.insert(v).second) continue;
-    }
-    st.count += 1;
-    switch (spec.func) {
-      case ast::AggFunc::kCount:
-        break;
-      case ast::AggFunc::kSum:
-      case ast::AggFunc::kAvg:
-        if (v.is_string()) {
-          return Status::ExecutionError("SUM/AVG over string values");
-        }
-        if (v.is_int() && st.int_only) {
-          st.isum += v.AsInt();
-        } else {
-          if (st.int_only) {
-            st.dsum = static_cast<double>(st.isum);
-            st.int_only = false;
-          }
-          st.dsum += v.NumericValue();
-        }
-        break;
-      case ast::AggFunc::kMin:
-      case ast::AggFunc::kMax:
-        if (!st.has_value) {
-          st.min_value = v;
-          st.max_value = v;
-        } else {
-          if (v.Compare(st.min_value) < 0) st.min_value = v;
-          if (v.Compare(st.max_value) > 0) st.max_value = v;
-        }
-        break;
-      case ast::AggFunc::kNone:
-        return Status::Internal("kNone aggregate in AggregateOp");
-    }
-    st.has_value = true;
+    RDFREL_RETURN_NOT_OK(Update(spec, &(*states)[i], v));
   }
   return Status::OK();
 }
@@ -565,22 +957,63 @@ Status AggregateOp::Open() {
                      ValueVectorHasher>
       groups;
   std::vector<std::vector<Value>> group_order;
-  Row in;
-  while (true) {
-    auto has = child_->Next(&in);
-    if (!has.ok()) return has.status();
-    if (!*has) break;
+  if (mode_ == ExecMode::kBatch) {
+    // Batched drain: group keys and aggregate inputs evaluate
+    // column-at-a-time; the key buffer is reused so only new groups copy it.
+    RowBatch batch;
+    std::vector<std::vector<Value>> key_cols(keys_.size());
+    std::vector<std::vector<Value>> agg_cols(aggs_.size());
     std::vector<Value> key;
     key.reserve(keys_.size());
-    for (const auto& k : keys_) {
-      auto v = k->Evaluate(in);
-      if (!v.ok()) return v.status();
-      key.push_back(std::move(*v));
+    while (true) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
+      if (!has) break;
+      for (size_t k = 0; k < keys_.size(); ++k) {
+        RDFREL_RETURN_NOT_OK(keys_[k]->EvaluateBatch(batch, &key_cols[k]));
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (aggs_[a].input != nullptr) {
+          RDFREL_RETURN_NOT_OK(
+              aggs_[a].input->EvaluateBatch(batch, &agg_cols[a]));
+        }
+      }
+      const size_t n = batch.ActiveSize();
+      for (size_t r = 0; r < n; ++r) {
+        key.clear();
+        for (size_t k = 0; k < keys_.size(); ++k) {
+          key.push_back(key_cols[k][r]);
+        }
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          it = groups.emplace(key, std::vector<AggState>(aggs_.size())).first;
+          group_order.push_back(key);
+        }
+        std::vector<AggState>& states = it->second;
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          const AggSpec& spec = aggs_[a];
+          if (spec.input != nullptr) {
+            const Value& v = agg_cols[a][r];
+            if (v.is_null()) continue;  // aggregates skip NULL inputs
+            RDFREL_RETURN_NOT_OK(Update(spec, &states[a], v));
+          } else {
+            RDFREL_RETURN_NOT_OK(Update(spec, &states[a], Value::Int(1)));
+          }
+        }
+      }
     }
-    auto [it, inserted] =
-        groups.try_emplace(key, std::vector<AggState>(aggs_.size()));
-    if (inserted) group_order.push_back(key);
-    RDFREL_RETURN_NOT_OK(Accumulate(in, &it->second));
+  } else {
+    RDFREL_RETURN_NOT_OK(ForEachChildRow(child_.get(), [&](const Row& in) {
+      std::vector<Value> key;
+      key.reserve(keys_.size());
+      for (const auto& k : keys_) {
+        RDFREL_ASSIGN_OR_RETURN(Value v, k->Evaluate(in));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] =
+          groups.try_emplace(key, std::vector<AggState>(aggs_.size()));
+      if (inserted) group_order.push_back(key);
+      return Accumulate(in, &it->second);
+    }));
   }
   // SQL global aggregates produce one row over empty input.
   if (keys_.empty() && groups.empty()) {
@@ -599,9 +1032,17 @@ Status AggregateOp::Open() {
   return Status::OK();
 }
 
-Result<bool> AggregateOp::Next(Row* out) {
+Result<bool> AggregateOp::NextImpl(Row* out) {
   if (pos_ >= results_.size()) return false;
   *out = results_[pos_++];
+  return true;
+}
+
+Result<bool> AggregateOp::NextBatchImpl(RowBatch* out) {
+  if (pos_ >= results_.size()) return false;
+  size_t n = std::min(out->capacity(), results_.size() - pos_);
+  out->Borrow(results_.data() + pos_, n);
+  pos_ += n;
   return true;
 }
 
@@ -619,7 +1060,7 @@ Status LimitOp::Open() {
   return child_->Open();
 }
 
-Result<bool> LimitOp::Next(Row* out) {
+Result<bool> LimitOp::NextImpl(Row* out) {
   if (limit_.has_value() && emitted_ >= *limit_) return false;
   while (true) {
     RDFREL_ASSIGN_OR_RETURN(bool has, child_->Next(out));
@@ -633,14 +1074,56 @@ Result<bool> LimitOp::Next(Row* out) {
   }
 }
 
-Result<std::vector<Row>> CollectRows(Operator* op) {
+Result<bool> LimitOp::NextBatchImpl(RowBatch* out) {
+  while (true) {
+    if (limit_.has_value() && emitted_ >= *limit_) return false;
+    RDFREL_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
+    if (!has) return false;
+    size_t n = out->ActiveSize();
+    size_t begin = 0;
+    if (offset_.has_value() && skipped_ < *offset_) {
+      size_t to_skip =
+          std::min(n, static_cast<size_t>(*offset_ - skipped_));
+      skipped_ += static_cast<int64_t>(to_skip);
+      begin = to_skip;
+    }
+    size_t take = n - begin;
+    if (limit_.has_value()) {
+      take = std::min(take, static_cast<size_t>(*limit_ - emitted_));
+    }
+    if (take == 0) continue;  // whole batch consumed by OFFSET
+    emitted_ += static_cast<int64_t>(take);
+    if (begin == 0 && take == n) return true;
+    sel_.clear();
+    sel_.reserve(take);
+    for (size_t i = begin; i < begin + take; ++i) {
+      sel_.push_back(out->ActiveIndex(i));
+    }
+    out->SetSelection(sel_);
+    return true;
+  }
+}
+
+// --------------------------------------------------------------- CollectRows
+
+Result<std::vector<Row>> CollectRows(Operator* op, ExecMode mode) {
+  op->SetExecMode(mode);
   RDFREL_RETURN_NOT_OK(op->Open());
   std::vector<Row> rows;
-  Row row;
-  while (true) {
-    RDFREL_ASSIGN_OR_RETURN(bool has, op->Next(&row));
-    if (!has) break;
-    rows.push_back(row);
+  if (mode == ExecMode::kBatch) {
+    RowBatch batch;
+    while (true) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, op->NextBatch(&batch));
+      if (!has) break;
+      batch.FlushTo(&rows);
+    }
+  } else {
+    Row row;
+    while (true) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, op->Next(&row));
+      if (!has) break;
+      rows.push_back(row);
+    }
   }
   return rows;
 }

@@ -2,11 +2,27 @@
 #define RDFREL_SQL_EXECUTOR_H_
 
 /// \file executor.h
-/// Pull-based physical operators (Volcano-style Open/Next). The planner
-/// assembles these into a tree; Database drives the root to completion.
+/// Pull-based physical operators. Two execution surfaces share one operator
+/// tree:
+///  - the classic Volcano row loop (`Next(Row*)`, one virtual call and one
+///    row per tuple) — kept as the compatibility fallback;
+///  - vectorized batches (`NextBatch(RowBatch*)`, ~1024 rows per call) —
+///    the default drive mode. Scans deserialize a whole heap page per call
+///    into reused row storage, filters attach selection vectors instead of
+///    shuffling rows, projections evaluate expressions column-at-a-time,
+///    and hash joins probe a batch per call. Operators without a native
+///    batch implementation fall back to an adapter that loops the row path,
+///    so the two surfaces can mix freely inside one tree.
+///
+/// `Next`/`NextBatch` are non-virtual wrappers that maintain per-operator
+/// counters (rows out, batches out, and — when EnableTiming is on —
+/// inclusive nanoseconds); `FormatOperatorStats` renders the profile tree
+/// that the stores surface through Explain.
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -15,15 +31,32 @@
 #include "sql/catalog.h"
 #include "sql/expression.h"
 #include "sql/row.h"
+#include "sql/row_batch.h"
 #include "util/status.h"
 
 namespace rdfrel::sql {
+
+/// Which drive surface an execution uses. Blocking operators (sort,
+/// aggregate, join build sides) consult it when materializing their inputs,
+/// so kRow really is row-at-a-time end to end — the differential tests and
+/// the before/after benchmarks depend on that.
+enum class ExecMode {
+  kRow,    ///< Volcano fallback: one Next(Row*) per tuple.
+  kBatch,  ///< vectorized: NextBatch(RowBatch*) per ~1024 tuples (default).
+};
 
 /// A materialized intermediate result (CTE or derived table), shared between
 /// the planner's execution of the CTE and later scans of it.
 struct Materialized {
   Scope scope;             ///< qualifier = the materialized name
   std::vector<Row> rows;
+};
+
+/// Per-operator execution counters (see file comment).
+struct OperatorStats {
+  uint64_t rows = 0;     ///< active rows produced
+  uint64_t batches = 0;  ///< non-empty batches produced
+  uint64_t ns = 0;       ///< inclusive time in Next/NextBatch (timing only)
 };
 
 /// Base class for physical operators.
@@ -33,37 +66,93 @@ class Operator {
 
   /// Prepares (or re-prepares) the operator for a full scan of its output.
   virtual Status Open() = 0;
+
   /// Produces the next row into \p out; returns false at end of stream.
-  virtual Result<bool> Next(Row* out) = 0;
+  Result<bool> Next(Row* out);
+
+  /// Produces the next batch (>= 1 active row) into \p out; returns false
+  /// at end of stream. \p out is reset first; its contents stay valid until
+  /// the next call on this operator.
+  Result<bool> NextBatch(RowBatch* out);
 
   const Scope& scope() const { return scope_; }
 
+  /// Display name for plan profiles, e.g. "SeqScan(dph)".
+  virtual std::string name() const = 0;
+  /// Child operators (profile tree + recursive mode/timing propagation).
+  virtual std::vector<Operator*> children() { return {}; }
+
+  ExecMode exec_mode() const { return mode_; }
+  /// Sets the drive mode on this operator and every descendant. Call before
+  /// Open(): blocking operators materialize their inputs during Open.
+  void SetExecMode(ExecMode mode);
+  /// Turns per-call timing on/off for this subtree (off by default: two
+  /// clock reads per row would distort the row path it measures).
+  void EnableTiming(bool on);
+
+  const OperatorStats& stats() const { return stats_; }
+
  protected:
+  /// Row-at-a-time implementation (every operator has one).
+  virtual Result<bool> NextImpl(Row* out) = 0;
+  /// Batch implementation; the default adapter fills the batch by looping
+  /// NextImpl, so operators convert incrementally.
+  virtual Result<bool> NextBatchImpl(RowBatch* out);
+
+  /// Runs \p child to exhaustion, invoking \p fn per row, honoring mode_.
+  Status ForEachChildRow(Operator* child,
+                         const std::function<Status(const Row&)>& fn);
+
   Scope scope_;
+  ExecMode mode_ = ExecMode::kBatch;
+  bool timing_ = false;
+  OperatorStats stats_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Full-table scan.
+/// Renders the operator tree with its counters, one line per operator:
+///   HashJoin: rows=812 batches=1 ms=0.42
+///     SeqScan(l): rows=50000 batches=49 ms=0.18
+/// (ms appears only after EnableTiming; times are inclusive of children.)
+std::string FormatOperatorStats(Operator& root);
+
+/// Full-table scan. Batch mode deserializes a whole heap page per call into
+/// reused row storage.
 class SeqScanOp final : public Operator {
  public:
   SeqScanOp(const Table* table, const std::string& alias);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "SeqScan(" + table_->name() + ")"; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   const Table* table_;
   size_t page_ = 0;
-  uint32_t slot_ = 0;
+  uint32_t row_ = 0;  ///< next row within cur_page_ (row path)
+  /// Decoded rows of the current page; holding the shared_ptr keeps a
+  /// Borrow'ed batch valid even if the cache entry is invalidated mid-scan.
+  std::shared_ptr<const DecodedPage> cur_page_;
 };
 
 /// Point index lookup: emits rows whose indexed column equals a constant.
+/// Rows deserialize straight from heap cells into the caller's storage (no
+/// intermediate Row materialization per rid).
 class IndexScanOp final : public Operator {
  public:
   IndexScanOp(const Table* table, const std::string& alias,
               const IndexInfo* index, Value key);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override {
+    return "IndexScan(" + table_->name() + ")";
+  }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   const Table* table_;
@@ -74,45 +163,69 @@ class IndexScanOp final : public Operator {
 };
 
 /// Scans a materialized result (CTE / derived table) under a new alias.
+/// Batch mode borrows the cached rows (zero copies); the row path must copy
+/// to satisfy the Next contract.
 class MaterializedScanOp final : public Operator {
  public:
   MaterializedScanOp(std::shared_ptr<const Materialized> mat,
                      const std::string& alias);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "MaterializedScan"; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   std::shared_ptr<const Materialized> mat_;
   size_t pos_ = 0;
 };
 
-/// WHERE filter.
+/// WHERE filter. Batch mode evaluates the predicate over the whole batch
+/// and narrows it with a selection vector — surviving rows are not moved.
 class FilterOp final : public Operator {
  public:
   FilterOp(OperatorPtr child, BoundExprPtr predicate);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "Filter"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   OperatorPtr child_;
   BoundExprPtr predicate_;
+  std::vector<uint32_t> sel_;  ///< scratch selection (reused per batch)
 };
 
-/// Projection: computes output expressions, renames scope.
+/// Projection: computes output expressions, renames scope. Batch mode
+/// evaluates each expression column-at-a-time over the input batch.
 class ProjectOp final : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<BoundExprPtr> exprs, Scope out);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "Project"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   OperatorPtr child_;
   std::vector<BoundExprPtr> exprs_;
+  std::vector<int> slots_;  ///< per-expr: source slot if a bare ref, else -1
+  Row in_;                                ///< row-path input buffer (reused)
+  RowBatch in_batch_;                     ///< batch-path input buffer
+  std::vector<std::vector<Value>> cols_;  ///< per-expression value columns
 };
 
 /// Hash join: builds on the right child, probes with the left. Inner or
 /// left-outer. Residual predicate (if any) evaluated on the concatenated
-/// row before a match counts.
+/// row before a match counts. Batch mode probes a whole left batch per
+/// call, with join keys computed column-at-a-time.
 class HashJoinOp final : public Operator {
  public:
   HashJoinOp(OperatorPtr left, OperatorPtr right,
@@ -120,7 +233,14 @@ class HashJoinOp final : public Operator {
              std::vector<BoundExprPtr> right_keys, bool left_outer,
              BoundExprPtr residual);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "HashJoin"; }
+  std::vector<Operator*> children() override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   Result<bool> NextLeft();
@@ -140,10 +260,16 @@ class HashJoinOp final : public Operator {
   size_t match_pos_ = 0;
   bool left_valid_ = false;
   bool emitted_for_left_ = false;
+
+  RowBatch probe_;                             ///< batch-path probe buffer
+  std::vector<std::vector<Value>> key_cols_;   ///< per-key probe columns
+  size_t probe_pos_ = 0;                       ///< resume cursor into probe_
 };
 
 /// Index nested-loop join: for each outer row, probes the inner table's
 /// index with a key computed from the outer row. Inner or left-outer.
+/// Batch mode probes one outer batch at a time and pauses between outer
+/// rows once the output batch reaches capacity, resuming on the next call.
 class IndexNLJoinOp final : public Operator {
  public:
   IndexNLJoinOp(OperatorPtr outer, const Table* inner,
@@ -151,9 +277,21 @@ class IndexNLJoinOp final : public Operator {
                 BoundExprPtr outer_key, bool left_outer,
                 BoundExprPtr residual);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override {
+    return "IndexNLJoin(" + inner_->name() + ")";
+  }
+  std::vector<Operator*> children() override { return {outer_.get()}; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
+  /// Emits every join result of \p outer_row into \p out; returns whether
+  /// anything (including an outer-padded row) was emitted.
+  Result<bool> ProbeInto(const Row& outer_row, const Value& key,
+                         RowBatch* out);
+
   OperatorPtr outer_;
   const Table* inner_;
   const IndexInfo* index_;
@@ -162,10 +300,15 @@ class IndexNLJoinOp final : public Operator {
   BoundExprPtr residual_;  ///< bound against concatenated scope
 
   Row outer_row_;
+  Row inner_row_;          ///< row-path inner buffer (reused per rid)
   std::vector<RowId> rids_;
   size_t rid_pos_ = 0;
   bool outer_valid_ = false;
   bool emitted_for_outer_ = false;
+
+  RowBatch outer_batch_;                      ///< batch-path outer buffer
+  std::vector<Value> key_col_;                ///< batch-evaluated keys
+  size_t outer_pos_ = 0;                      ///< resume cursor into batch
 };
 
 /// Cross nested-loop join (inner side materialized), with optional residual
@@ -175,7 +318,13 @@ class NestedLoopJoinOp final : public Operator {
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, bool left_outer,
                    BoundExprPtr residual);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "NestedLoopJoin"; }
+  std::vector<Operator*> children() override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr left_;
@@ -199,7 +348,12 @@ class UnnestOp final : public Operator {
   UnnestOp(OperatorPtr child, std::vector<BoundExprPtr> args,
            const std::string& alias, const std::string& column);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "Unnest"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   OperatorPtr child_;
@@ -207,6 +361,9 @@ class UnnestOp final : public Operator {
   Row current_;
   size_t arg_pos_ = 0;
   bool valid_ = false;
+  RowBatch in_batch_;                     ///< batch-path input buffer
+  std::vector<std::vector<Value>> arg_cols_;
+  size_t in_pos_ = 0;                     ///< resume cursor into in_batch_
 };
 
 /// Concatenation of children (UNION ALL). Children must agree on arity;
@@ -215,32 +372,50 @@ class UnionAllOp final : public Operator {
  public:
   explicit UnionAllOp(std::vector<OperatorPtr> children);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "UnionAll"; }
+  std::vector<Operator*> children() override;
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   std::vector<OperatorPtr> children_;
   size_t current_ = 0;
 };
 
-/// Hash-based duplicate elimination.
+/// Hash-based duplicate elimination. Batch mode marks first occurrences in
+/// a selection vector.
 class DistinctOp final : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "Distinct"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   OperatorPtr child_;
   std::unordered_set<std::vector<Value>, ValueVectorHasher> seen_;
+  std::vector<uint32_t> sel_;
 };
 
 /// Full sort (materializing). Key i uses keys_[i], descending per flag.
+/// Batches are served as zero-copy slices of the sorted buffer.
 class SortOp final : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<BoundExprPtr> keys,
          std::vector<bool> descending);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "Sort"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   OperatorPtr child_;
@@ -265,7 +440,12 @@ class AggregateOp final : public Operator {
   AggregateOp(OperatorPtr child, std::vector<BoundExprPtr> keys,
               std::vector<AggSpec> aggs);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "Aggregate"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   struct AggState {
@@ -280,6 +460,8 @@ class AggregateOp final : public Operator {
   };
 
   Status Accumulate(const Row& in, std::vector<AggState>* states);
+  /// Folds one non-null input value into \p st (shared by both drains).
+  Status Update(const AggSpec& spec, AggState* st, const Value& v);
   Value Finalize(const AggSpec& spec, const AggState& st) const;
 
   OperatorPtr child_;
@@ -289,13 +471,18 @@ class AggregateOp final : public Operator {
   size_t pos_ = 0;
 };
 
-/// LIMIT/OFFSET.
+/// LIMIT/OFFSET. Batch mode trims child batches with a selection vector.
 class LimitOp final : public Operator {
  public:
   LimitOp(OperatorPtr child, std::optional<int64_t> limit,
           std::optional<int64_t> offset);
   Status Open() override;
-  Result<bool> Next(Row* out) override;
+  std::string name() const override { return "Limit"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
 
  private:
   OperatorPtr child_;
@@ -303,10 +490,13 @@ class LimitOp final : public Operator {
   std::optional<int64_t> offset_;
   int64_t skipped_ = 0;
   int64_t emitted_ = 0;
+  std::vector<uint32_t> sel_;
 };
 
-/// Runs \p op to completion, collecting rows.
-Result<std::vector<Row>> CollectRows(Operator* op);
+/// Runs \p op to completion, collecting rows. Sets \p mode on the tree
+/// before Open().
+Result<std::vector<Row>> CollectRows(Operator* op,
+                                     ExecMode mode = ExecMode::kBatch);
 
 }  // namespace rdfrel::sql
 

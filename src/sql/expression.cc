@@ -63,12 +63,30 @@ Result<std::optional<bool>> ValueTruth(const Value& v) {
   return std::optional<bool>{v.NumericValue() != 0.0};
 }
 
+Status BoundExpr::EvaluateBatch(const RowBatch& batch,
+                                std::vector<Value>* out) const {
+  out->clear();
+  size_t n = batch.ActiveSize();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RDFREL_ASSIGN_OR_RETURN(Value v, Evaluate(batch.Active(i)));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
 namespace {
 
 class LiteralExpr final : public BoundExpr {
  public:
   explicit LiteralExpr(Value v) : value_(std::move(v)) {}
   Result<Value> Evaluate(const Row&) const override { return value_; }
+  Status EvaluateBatch(const RowBatch& batch,
+                       std::vector<Value>* out) const override {
+    out->assign(batch.ActiveSize(), value_);
+    return Status::OK();
+  }
+  const Value* AsLiteral() const override { return &value_; }
 
  private:
   Value value_;
@@ -83,6 +101,21 @@ class SlotExpr final : public BoundExpr {
     }
     return row[slot_];
   }
+  Status EvaluateBatch(const RowBatch& batch,
+                       std::vector<Value>* out) const override {
+    out->clear();
+    size_t n = batch.ActiveSize();
+    out->reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Row& row = batch.Active(i);
+      if (static_cast<size_t>(slot_) >= row.size()) {
+        return Status::Internal("slot out of range");
+      }
+      out->push_back(row[slot_]);
+    }
+    return Status::OK();
+  }
+  int AsSlot() const override { return slot_; }
 
  private:
   int slot_;
@@ -119,6 +152,111 @@ class BinaryExpr final : public BoundExpr {
 
     RDFREL_ASSIGN_OR_RETURN(Value lv, lhs_->Evaluate(row));
     RDFREL_ASSIGN_OR_RETURN(Value rv, rhs_->Evaluate(row));
+    return Apply(lv, rv);
+  }
+
+  /// Vectorized for everything but AND/OR: children evaluate over the whole
+  /// batch, then the operator combines the flat value vectors. AND/OR keep
+  /// the per-row default so the Kleene shortcut (right side unevaluated when
+  /// the left decides) behaves identically to the row path.
+  Status EvaluateBatch(const RowBatch& batch,
+                       std::vector<Value>* out) const override {
+    using ast::BinaryOp;
+    if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+      return BoundExpr::EvaluateBatch(batch, out);
+    }
+    std::vector<Value> lvals, rvals;
+    RDFREL_RETURN_NOT_OK(lhs_->EvaluateBatch(batch, &lvals));
+    RDFREL_RETURN_NOT_OK(rhs_->EvaluateBatch(batch, &rvals));
+    out->clear();
+    out->reserve(lvals.size());
+    for (size_t i = 0; i < lvals.size(); ++i) {
+      RDFREL_ASSIGN_OR_RETURN(Value v, Apply(lvals[i], rvals[i]));
+      out->push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+
+  /// slot-vs-literal comparisons select directly against the stored rows:
+  /// no operand columns, no boolean Values, no per-row virtual dispatch.
+  /// Semantics mirror Apply exactly (NULL never passes; ordered comparison
+  /// between string and numeric is an error; kEq/kNe tolerate it).
+  Result<bool> FilterBatch(const RowBatch& batch,
+                           std::vector<uint32_t>* passing) const override {
+    using ast::BinaryOp;
+    switch (op_) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        break;
+      default:
+        return false;
+    }
+    int slot = lhs_->AsSlot();
+    const Value* lit = rhs_->AsLiteral();
+    bool flipped = false;  // literal on the left, slot on the right
+    if (slot < 0 || lit == nullptr) {
+      slot = rhs_->AsSlot();
+      lit = lhs_->AsLiteral();
+      flipped = true;
+    }
+    if (slot < 0 || lit == nullptr) return false;
+    passing->clear();
+    const size_t n = batch.ActiveSize();
+    if (lit->is_null()) return true;  // NULL comparand: nothing passes
+    // Decode the literal once; comparisons inline (Compare is symmetric for
+    // same-kind non-null operands, so a flipped comparison just negates).
+    const bool lit_is_string = lit->is_string();
+    const bool lit_is_int = lit->is_int();
+    const int64_t lit_i = lit_is_int ? lit->AsInt() : 0;
+    const double lit_d = lit_is_string ? 0 : lit->NumericValue();
+    for (size_t i = 0; i < n; ++i) {
+      const Row& row = batch.Active(i);
+      if (static_cast<size_t>(slot) >= row.size()) {
+        return Status::Internal("slot out of range");
+      }
+      const Value& v = row[slot];
+      if (v.is_null()) continue;
+      bool pass;
+      if (op_ == BinaryOp::kEq) {
+        pass = v.EqualsNonNull(*lit);
+      } else if (op_ == BinaryOp::kNe) {
+        pass = !v.EqualsNonNull(*lit);
+      } else {
+        if (v.is_string() != lit_is_string) {
+          return Status::ExecutionError(
+              "ordered comparison between string and numeric");
+        }
+        int c;
+        if (lit_is_string) {
+          c = v.Compare(*lit);
+        } else if (lit_is_int && v.is_int()) {
+          const int64_t a = v.AsInt();
+          c = a < lit_i ? -1 : (a > lit_i ? 1 : 0);
+        } else {
+          const double a = v.NumericValue();
+          c = a < lit_d ? -1 : (a > lit_d ? 1 : 0);
+        }
+        if (flipped) c = -c;
+        switch (op_) {
+          case BinaryOp::kLt: pass = c < 0; break;
+          case BinaryOp::kLe: pass = c <= 0; break;
+          case BinaryOp::kGt: pass = c > 0; break;
+          default: pass = c >= 0; break;
+        }
+      }
+      if (pass) passing->push_back(batch.ActiveIndex(i));
+    }
+    return true;
+  }
+
+ private:
+  /// The non-logical operators over two already-computed operand values.
+  Result<Value> Apply(const Value& lv, const Value& rv) const {
+    using ast::BinaryOp;
     if (lv.is_null() || rv.is_null()) return Value::Null();
 
     switch (op_) {
@@ -172,7 +310,6 @@ class BinaryExpr final : public BoundExpr {
     }
   }
 
- private:
   ast::BinaryOp op_;
   BoundExprPtr lhs_;
   BoundExprPtr rhs_;
@@ -325,6 +462,20 @@ Result<bool> EvalPredicate(const BoundExpr& expr, const Row& row) {
   RDFREL_ASSIGN_OR_RETURN(Value v, expr.Evaluate(row));
   RDFREL_ASSIGN_OR_RETURN(std::optional<bool> t, ValueTruth(v));
   return t.has_value() && *t;
+}
+
+Status EvalPredicateBatch(const BoundExpr& expr, const RowBatch& batch,
+                          std::vector<uint32_t>* passing) {
+  RDFREL_ASSIGN_OR_RETURN(bool handled, expr.FilterBatch(batch, passing));
+  if (handled) return Status::OK();
+  std::vector<Value> values;
+  RDFREL_RETURN_NOT_OK(expr.EvaluateBatch(batch, &values));
+  passing->clear();
+  for (size_t i = 0; i < values.size(); ++i) {
+    RDFREL_ASSIGN_OR_RETURN(std::optional<bool> t, ValueTruth(values[i]));
+    if (t.has_value() && *t) passing->push_back(batch.ActiveIndex(i));
+  }
+  return Status::OK();
 }
 
 void CollectConjuncts(const ast::Expr& expr,

@@ -12,6 +12,7 @@
 
 #include "sql/ast.h"
 #include "sql/row.h"
+#include "sql/row_batch.h"
 #include "util/status.h"
 
 namespace rdfrel::sql {
@@ -55,6 +56,33 @@ class BoundExpr {
   /// Evaluates against one row (which must match the Scope this expression
   /// was bound under).
   virtual Result<Value> Evaluate(const Row& row) const = 0;
+
+  /// Evaluates against every *active* row of \p batch, appending one value
+  /// per active row to \p out (cleared first). The default loops Evaluate;
+  /// hot node kinds (slot refs, literals, binary arithmetic/comparison)
+  /// override it to cut per-tuple virtual dispatch.
+  virtual Status EvaluateBatch(const RowBatch& batch,
+                               std::vector<Value>* out) const;
+
+  /// Predicate fast path: when this expression can compute the passing
+  /// *physical* indices of \p batch directly (comparison of a slot against
+  /// a literal — the common filter shape after conjunct splitting), fills
+  /// \p passing and returns true. Returns false when unsupported, in which
+  /// case the caller materializes values via EvaluateBatch instead.
+  virtual Result<bool> FilterBatch(const RowBatch& batch,
+                                   std::vector<uint32_t>* passing) const {
+    (void)batch;
+    (void)passing;
+    return false;
+  }
+
+  /// If this expression is a bare slot reference, its slot; -1 otherwise.
+  /// Lets operators copy column values straight out of input rows without
+  /// an intermediate evaluated column.
+  virtual int AsSlot() const { return -1; }
+
+  /// If this expression is a literal, the constant; nullptr otherwise.
+  virtual const Value* AsLiteral() const { return nullptr; }
 };
 
 using BoundExprPtr = std::unique_ptr<BoundExpr>;
@@ -73,6 +101,12 @@ Result<std::optional<bool>> ValueTruth(const Value& v);
 /// Convenience: evaluates a bound predicate and applies WHERE semantics
 /// (NULL counts as false).
 Result<bool> EvalPredicate(const BoundExpr& expr, const Row& row);
+
+/// Batched EvalPredicate: appends to \p passing (cleared first) the
+/// *physical* index of every active row of \p batch on which the predicate
+/// is true. The result is a valid selection vector for the batch.
+Status EvalPredicateBatch(const BoundExpr& expr, const RowBatch& batch,
+                          std::vector<uint32_t>* passing);
 
 /// Collects the AND-conjuncts of an (unbound) expression tree.
 void CollectConjuncts(const ast::Expr& expr,

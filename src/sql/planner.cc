@@ -42,8 +42,8 @@ struct PendingSource {
 
 class CorePlanner {
  public:
-  CorePlanner(const Catalog& catalog, CteEnv* env)
-      : catalog_(catalog), env_(env) {}
+  CorePlanner(const Catalog& catalog, CteEnv* env, ExecMode mode)
+      : catalog_(catalog), env_(env), mode_(mode) {}
 
   /// Plans one core. When \p order_by is non-null the sort is planted inside
   /// this core (below the final projection trim), so sort keys may reference
@@ -317,9 +317,10 @@ class CorePlanner {
     PendingSource src;
     src.alias = item.alias;
     if (item.kind == FromKind::kSubquery) {
-      RDFREL_ASSIGN_OR_RETURN(OperatorPtr sub,
-                              PlanSelect(catalog_, *item.subquery, env_));
-      RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(sub.get()));
+      RDFREL_ASSIGN_OR_RETURN(
+          OperatorPtr sub, PlanSelect(catalog_, *item.subquery, env_, mode_));
+      RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              CollectRows(sub.get(), mode_));
       auto mat = std::make_shared<Materialized>();
       mat->scope = sub->scope();
       mat->rows = std::move(rows);
@@ -629,6 +630,7 @@ class CorePlanner {
 
   const Catalog& catalog_;
   CteEnv* env_;
+  ExecMode mode_;  ///< drive mode for subquery/CTE materialization
   std::vector<ast::ExprPtr> owned_;
 };
 
@@ -660,12 +662,14 @@ BoundExprPtr CorePlanner::MakeAndExpr(BoundExprPtr a, BoundExprPtr b) {
 }  // namespace
 
 Result<OperatorPtr> PlanSelect(const Catalog& catalog,
-                               const ast::SelectStmt& stmt, CteEnv* env) {
+                               const ast::SelectStmt& stmt, CteEnv* env,
+                               ExecMode mode) {
   // Materialize CTEs in order.
   for (const auto& cte : stmt.ctes) {
     RDFREL_ASSIGN_OR_RETURN(OperatorPtr op,
-                            PlanSelect(catalog, *cte.query, env));
-    RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
+                            PlanSelect(catalog, *cte.query, env, mode));
+    RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                            CollectRows(op.get(), mode));
     auto mat = std::make_shared<Materialized>();
     mat->scope = op->scope();
     mat->rows = std::move(rows);
@@ -681,13 +685,20 @@ Result<OperatorPtr> PlanSelect(const Catalog& catalog,
     OperatorPtr inner;
     std::shared_ptr<void> keepalive;
     Status Open() override { return inner->Open(); }
-    Result<bool> Next(Row* out) override { return inner->Next(out); }
+    std::string name() const override { return "Core"; }
+    std::vector<Operator*> children() override { return {inner.get()}; }
     void SetScope(const Scope& s) { scope_ = s; }
+
+   protected:
+    Result<bool> NextImpl(Row* out) override { return inner->Next(out); }
+    Result<bool> NextBatchImpl(RowBatch* out) override {
+      return inner->NextBatch(out);
+    }
   };
 
   const bool single_core = stmt.cores.size() == 1;
   for (const auto& core : stmt.cores) {
-    auto planner = std::make_shared<CorePlanner>(catalog, env);
+    auto planner = std::make_shared<CorePlanner>(catalog, env, mode);
     RDFREL_ASSIGN_OR_RETURN(
         OperatorPtr op,
         planner->PlanCore(core, single_core && !stmt.order_by.empty()
@@ -734,10 +745,12 @@ Result<OperatorPtr> PlanSelect(const Catalog& catalog,
 }
 
 Result<std::shared_ptr<Materialized>> RunSelect(const Catalog& catalog,
-                                                const ast::SelectStmt& stmt) {
+                                                const ast::SelectStmt& stmt,
+                                                ExecMode mode) {
   CteEnv env;
-  RDFREL_ASSIGN_OR_RETURN(OperatorPtr op, PlanSelect(catalog, stmt, &env));
-  RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get()));
+  RDFREL_ASSIGN_OR_RETURN(OperatorPtr op,
+                          PlanSelect(catalog, stmt, &env, mode));
+  RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get(), mode));
   auto mat = std::make_shared<Materialized>();
   mat->scope = op->scope();
   mat->rows = std::move(rows);

@@ -25,13 +25,16 @@ using CteEnv = std::map<std::string, std::shared_ptr<const Materialized>>;
 /// Plans and materializes every CTE of \p stmt into \p env (in order; later
 /// CTEs may reference earlier ones), then returns the root operator for the
 /// statement body. The returned operator tree borrows \p catalog and the
-/// materialized results in \p env; both must outlive it.
+/// materialized results in \p env; both must outlive it. \p mode drives the
+/// materialization of CTEs and subqueries during planning.
 Result<OperatorPtr> PlanSelect(const Catalog& catalog,
-                               const ast::SelectStmt& stmt, CteEnv* env);
+                               const ast::SelectStmt& stmt, CteEnv* env,
+                               ExecMode mode = ExecMode::kBatch);
 
-/// Executes a planned SELECT to completion.
-Result<std::shared_ptr<Materialized>> RunSelect(const Catalog& catalog,
-                                                const ast::SelectStmt& stmt);
+/// Executes a planned SELECT to completion in the given drive mode.
+Result<std::shared_ptr<Materialized>> RunSelect(
+    const Catalog& catalog, const ast::SelectStmt& stmt,
+    ExecMode mode = ExecMode::kBatch);
 
 }  // namespace rdfrel::sql
 

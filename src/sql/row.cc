@@ -68,6 +68,13 @@ Status SerializeRow(const Schema& schema, const Row& row, std::string* out) {
 }
 
 Result<Row> DeserializeRow(const Schema& schema, std::string_view bytes) {
+  Row row;
+  RDFREL_RETURN_NOT_OK(DeserializeRowInto(schema, bytes, &row));
+  return row;
+}
+
+Status DeserializeRowInto(const Schema& schema, std::string_view bytes,
+                          Row* row) {
   size_t n = schema.num_columns();
   size_t bitmap_bytes = (n + 7) / 8;
   if (bytes.size() < bitmap_bytes) {
@@ -75,15 +82,18 @@ Result<Row> DeserializeRow(const Schema& schema, std::string_view bytes) {
   }
   std::string_view bitmap = bytes.substr(0, bitmap_bytes);
   std::string_view in = bytes.substr(bitmap_bytes);
-  Row row(n);
+  row->resize(n);
   for (size_t i = 0; i < n; ++i) {
     bool present = (bitmap[i / 8] >> (i % 8)) & 1;
-    if (!present) continue;  // stays NULL
+    if (!present) {
+      (*row)[i] = Value::Null();
+      continue;
+    }
     switch (schema.column(i).type) {
       case ValueType::kInt64: {
         uint64_t v;
         if (!GetU64(in, &v)) return Status::Internal("truncated int column");
-        row[i] = Value::Int(static_cast<int64_t>(v));
+        (*row)[i] = Value::Int(static_cast<int64_t>(v));
         break;
       }
       case ValueType::kDouble: {
@@ -93,7 +103,7 @@ Result<Row> DeserializeRow(const Schema& schema, std::string_view bytes) {
         }
         double d;
         std::memcpy(&d, &bits, 8);
-        row[i] = Value::Real(d);
+        (*row)[i] = Value::Real(d);
         break;
       }
       case ValueType::kString: {
@@ -101,7 +111,7 @@ Result<Row> DeserializeRow(const Schema& schema, std::string_view bytes) {
         if (!GetU32(in, &len) || in.size() < len) {
           return Status::Internal("truncated string column");
         }
-        row[i] = Value::Str(std::string(in.substr(0, len)));
+        (*row)[i] = Value::Str(std::string(in.substr(0, len)));
         in.remove_prefix(len);
         break;
       }
@@ -109,7 +119,7 @@ Result<Row> DeserializeRow(const Schema& schema, std::string_view bytes) {
         return Status::Internal("schema column declared NULL type");
     }
   }
-  return row;
+  return Status::OK();
 }
 
 size_t SerializedRowSize(const Schema& schema, const Row& row) {

@@ -27,6 +27,11 @@ Status SerializeRow(const Schema& schema, const Row& row,
 /// Deserializes a row previously produced by SerializeRow.
 Result<Row> DeserializeRow(const Schema& schema, std::string_view bytes);
 
+/// Deserializes into an existing Row, reusing its vector storage (the hot
+/// path of batched scans: no per-tuple Row allocation).
+Status DeserializeRowInto(const Schema& schema, std::string_view bytes,
+                          Row* row);
+
 /// Size in bytes SerializeRow would produce (without serializing).
 size_t SerializedRowSize(const Schema& schema, const Row& row);
 

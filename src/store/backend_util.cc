@@ -50,7 +50,7 @@ Result<opt::ExecNodePtr> OptimizeForBackend(const sparql::Query& query,
 Result<SparqlStore::Explanation> ExplainForBackend(
     const sparql::Query& query, const opt::Statistics& stats,
     const rdf::Dictionary& dict, const QueryOptions& opts,
-    const SqlBuildFn& build) {
+    const SqlBuildFn& build, sql::Database* db) {
   SparqlStore::Explanation ex;
   ex.parse_tree = query.where->ToString();
   opt::CostModel cost(&stats, &dict);
@@ -65,6 +65,10 @@ Result<SparqlStore::Explanation> ExplainForBackend(
   RDFREL_ASSIGN_OR_RETURN(translate::TranslatedQuery tq,
                           build(query, *plan));
   ex.sql = std::move(tq.sql);
+  if (db != nullptr) {
+    // Execute once with profiling to expose per-operator rows/batches/time.
+    RDFREL_RETURN_NOT_OK(db->QueryProfiled(ex.sql, &ex.exec_stats).status());
+  }
   return ex;
 }
 

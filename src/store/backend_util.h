@@ -86,11 +86,12 @@ using SqlBuildFn = std::function<Result<translate::TranslatedQuery>(
 
 /// Shared Explain implementation for backends without star merging:
 /// parse/flow/exec stages from the shared optimizer, plan_tree == exec
-/// tree, SQL from \p build.
+/// tree, SQL from \p build. When \p db is non-null the SQL is also executed
+/// once with profiling on to fill Explanation::exec_stats.
 Result<SparqlStore::Explanation> ExplainForBackend(
     const sparql::Query& query, const opt::Statistics& stats,
     const rdf::Dictionary& dict, const QueryOptions& opts,
-    const SqlBuildFn& build);
+    const SqlBuildFn& build, sql::Database* db = nullptr);
 
 /// Shared translation for baseline backends: optimizer + \p build, wrapped
 /// into a CachedPlan (consuming \p query).

@@ -306,7 +306,7 @@ Result<SparqlStore::Explanation> PredicateStoreBackend::Explain(
                                      options_.max_union_predicates);
     return builder.Build(exec);
   };
-  return ExplainForBackend(query, stats_, dict_, opts, build);
+  return ExplainForBackend(query, stats_, dict_, opts, build, &db_);
 }
 
 }  // namespace rdfrel::store

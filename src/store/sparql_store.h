@@ -63,6 +63,8 @@ class SparqlStore {
     std::string exec_tree;    ///< execution tree (Figure 10)
     std::string plan_tree;    ///< after star merging (Figure 11)
     std::string sql;          ///< generated SQL (Figure 13)
+    std::string exec_stats;   ///< per-operator execution profile
+                              ///< (rows/batches/time per physical operator)
   };
 
   /// Parses, optimizes, translates, executes and decodes a SPARQL query

@@ -188,7 +188,7 @@ Result<SparqlStore::Explanation> TripleStoreBackend::Explain(
     TripleStoreSqlBuilder builder(q, &dict_, lex_table_);
     return builder.Build(exec);
   };
-  return ExplainForBackend(query, stats_, dict_, opts, build);
+  return ExplainForBackend(query, stats_, dict_, opts, build, &db_);
 }
 
 }  // namespace rdfrel::store

@@ -22,12 +22,15 @@ class FixedOp final : public Operator {
     ++open_count_;
     return Status::OK();
   }
-  Result<bool> Next(Row* out) override {
+  std::string name() const override { return "Fixed"; }
+  int open_count() const { return open_count_; }
+
+ protected:
+  Result<bool> NextImpl(Row* out) override {
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
     return true;
   }
-  int open_count() const { return open_count_; }
 
  private:
   std::vector<Row> rows_;
