@@ -46,7 +46,9 @@ void CachedVsUncached(SparqlStore* store,
     // Uncached: every iteration misses (distinct key, identical plan).
     double uncached_ms = TimeOnceMs([&] {
                            for (int r = 0; r < rounds; ++r) {
-                             (void)store->Query(Defeated(nq.sparql, r));
+                             (void)store->Query(
+                                 Defeated(nq.sparql,
+                                          static_cast<uint64_t>(r)));
                            }
                          }) /
                          rounds;

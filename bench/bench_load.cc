@@ -24,10 +24,10 @@ using namespace rdfrel::bench; // NOLINT
 int main() {
   uint64_t universities = static_cast<uint64_t>(15 * ScaleFactor());
   auto w = benchdata::MakeLubm(universities, 4);
-  const uint64_t triples = w.graph.size();
+  const double triples = static_cast<double>(w.graph.size());
   std::printf("== §6 study: insertion / bulk load / update (%llu triples) "
               "==\n\n",
-              static_cast<unsigned long long>(triples));
+              static_cast<unsigned long long>(w.graph.size()));
 
   // 1. Coloring pre-pass cost.
   double color_ms = TimeOnceMs([&] {
@@ -83,7 +83,8 @@ int main() {
     });
     std::printf("\nincremental insert of %zu triples: %.1f ms (%.1f "
                 "Ktriples/s)\n",
-                decoded.size(), ms, decoded.size() / ms);
+                decoded.size(), ms,
+                static_cast<double>(decoded.size()) / ms);
 
     // 4. Deletion of the same triples.
     double del_ms = TimeOnceMs([&] {
@@ -96,7 +97,8 @@ int main() {
     });
     std::printf("deletion of the same %zu triples: %.1f ms (%.1f "
                 "Ktriples/s)\n",
-                decoded.size(), del_ms, decoded.size() / del_ms);
+                decoded.size(), del_ms,
+                static_cast<double>(decoded.size()) / del_ms);
   }
 
   std::printf(

@@ -23,7 +23,8 @@ rdf::Graph UniformFivePredGraph(uint64_t subjects) {
     rdf::Term subject = rdf::Term::Iri("http://n/s" + std::to_string(s));
     for (int p = 0; p < 5; ++p) {
       g.Add({subject, rdf::Term::Iri("http://n/p" + std::to_string(p)),
-             rdf::Term::Literal("v" + std::to_string(s * 5 + p))});
+             rdf::Term::Literal(
+                 "v" + std::to_string(s * 5 + static_cast<uint64_t>(p)))});
     }
   }
   return g;
@@ -91,9 +92,9 @@ int main() {
     std::string point_sql =
         "SELECT T.val0 FROM dph AS T WHERE T.entry = ";
     double point_ms = TimeOnceMs([&] {
-      for (int i = 0; i < 2000; ++i) {
-        auto r = loaded->db.Query(point_sql +
-                                  std::to_string(subject_id(i % subjects)));
+      for (uint64_t i = 0; i < 2000; ++i) {
+        auto r = loaded->db.Query(
+            point_sql + std::to_string(subject_id(i % subjects)));
         if (!r.ok()) std::abort();
       }
     });

@@ -90,14 +90,16 @@ inline ConcurrentRun RunConcurrent(store::SparqlStore* store,
   run.threads = threads;
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> errors{0};
-  const uint64_t per_thread = total_queries / threads;
+  const uint64_t per_thread =
+      total_queries / static_cast<uint64_t>(threads);
   std::vector<std::thread> pool;
-  pool.reserve(threads);
+  pool.reserve(static_cast<size_t>(threads));
   auto start = std::chrono::steady_clock::now();
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
       for (uint64_t i = 0; i < per_thread; ++i) {
-        const std::string& q = queries[(t + i) % queries.size()];
+        const std::string& q =
+            queries[(static_cast<uint64_t>(t) + i) % queries.size()];
         if (store->Query(q).ok()) {
           ok.fetch_add(1, std::memory_order_relaxed);
         } else {

@@ -1,22 +1,25 @@
 #!/usr/bin/env bash
 # Sanitizer + benchmark gate.
 #
-#   1. ThreadSanitizer build, running the concurrency + plan-cache tests
-#      (the reader/writer stress test is the point of this build).
-#   2. Debug + AddressSanitizer build, running the full ctest suite.
-#   3. Release bench smoke: bench_micro_star at a reduced scale must run
-#      to completion and emit machine-readable BENCH_sql.json.
+#   1.  ThreadSanitizer build, running the concurrency + plan-cache tests
+#       (the reader/writer stress test is the point of this build).
+#   2.  Debug + AddressSanitizer build, running the full ctest suite.
+#   2b. UndefinedBehaviorSanitizer build with recovery disabled, running
+#       the full suite: any UB (signed overflow, bad shifts, misaligned
+#       or null access, ...) aborts the test instead of logging.
+#   3.  Release bench smoke: bench_micro_star at a reduced scale must run
+#       to completion and emit machine-readable BENCH_sql.json.
 #
-# Build trees go to build-tsan/, build-asan/ and build-release/ so the
-# default build/ stays untouched. Usage: scripts/check.sh [jobs]
-# (default: nproc)
+# Build trees go to build-tsan/, build-asan/, build-ubsan/ and
+# build-release/ so the default build/ stays untouched.
+# Usage: scripts/check.sh [jobs] (default: nproc)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/3] ThreadSanitizer: concurrency tests =="
+echo "== [1/4] ThreadSanitizer: concurrency tests =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFREL_SANITIZE=thread > /dev/null
@@ -26,7 +29,7 @@ cmake --build build-tsan -j"${JOBS}" --target concurrency_test util_test
     -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest')
 
 echo
-echo "== [2/3] Debug + AddressSanitizer: full suite =="
+echo "== [2/4] Debug + AddressSanitizer: full suite =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRDFREL_SANITIZE=address > /dev/null
@@ -34,7 +37,17 @@ cmake --build build-asan -j"${JOBS}"
 (cd build-asan && ctest --output-on-failure -j"${JOBS}")
 
 echo
-echo "== [3/3] Release bench smoke: BENCH_sql.json =="
+echo "== [2b/4] UndefinedBehaviorSanitizer: full suite =="
+cmake -B build-ubsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRDFREL_SANITIZE=undefined > /dev/null
+cmake --build build-ubsan -j"${JOBS}"
+# -fno-sanitize-recover=all makes any UBSan report fatal, so a green
+# ctest run doubles as a zero-findings guarantee.
+(cd build-ubsan && ctest --output-on-failure -j"${JOBS}")
+
+echo
+echo "== [3/4] Release bench smoke: BENCH_sql.json =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-release -j"${JOBS}" --target bench_micro_star
 (cd build-release &&

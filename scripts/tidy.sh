@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# clang-tidy / clang-format runner.
+#
+#   scripts/tidy.sh                 # clang-tidy over src/ (first-party code)
+#   scripts/tidy.sh --format-check  # clang-format drift check (no rewrite)
+#   scripts/tidy.sh --fix           # clang-tidy with -fix
+#
+# Uses the compile_commands.json exported by the default build tree
+# (configure with `cmake -B build -S .` first). When clang-tidy or
+# clang-format is not installed the corresponding stage is skipped with a
+# notice and exit 0, so the script is safe to call from environments that
+# only carry the gcc toolchain; CI installs both and gets the full gate.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+# First-party sources; build trees and third-party stay out of scope.
+mapfile -t SOURCES < <(find src bench examples -name '*.cc' | sort)
+mapfile -t HEADERS < <(find src bench examples -name '*.h' | sort)
+mapfile -t TEST_SOURCES < <(find tests -name '*.cc' | sort)
+
+if [[ "${1:-}" == "--format-check" ]]; then
+  if ! command -v clang-format > /dev/null 2>&1; then
+    echo "tidy.sh: clang-format not found; skipping format check." >&2
+    exit 0
+  fi
+  echo "== clang-format --dry-run over $((${#SOURCES[@]} + ${#HEADERS[@]} + ${#TEST_SOURCES[@]})) files =="
+  clang-format --dry-run -Werror \
+    "${SOURCES[@]}" "${HEADERS[@]}" "${TEST_SOURCES[@]}"
+  echo "format clean."
+  exit 0
+fi
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "tidy.sh: clang-tidy not found; skipping static analysis." >&2
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "tidy.sh: ${BUILD_DIR}/compile_commands.json missing;" \
+       "run: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 1
+fi
+
+EXTRA_ARGS=()
+if [[ "${1:-}" == "--fix" ]]; then
+  EXTRA_ARGS+=(-fix)
+fi
+
+echo "== clang-tidy over ${#SOURCES[@]} sources (jobs: ${JOBS}) =="
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet \
+    "${EXTRA_ARGS[@]}" "${SOURCES[@]}"
+else
+  printf '%s\n' "${SOURCES[@]}" |
+    xargs -P "${JOBS}" -n 4 clang-tidy -p "${BUILD_DIR}" -quiet \
+      "${EXTRA_ARGS[@]}"
+fi
+echo "tidy clean."

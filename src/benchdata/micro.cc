@@ -57,7 +57,8 @@ Workload MakeMicro(uint64_t num_subjects, uint64_t seed) {
         for (int v = 0; v < 3; ++v) {
           w.graph.Add({subject, P(mv),
                        rdf::Term::Literal(std::string(mv) + "-v" +
-                                          std::to_string(base + v))});
+                                          std::to_string(
+                                              base + static_cast<uint64_t>(v)))});
         }
       }
     }

@@ -19,9 +19,9 @@ void QueryTreeIndex::Walk(const sparql::Pattern* node,
   if (node->kind == sparql::PatternKind::kTriple) {
     leaf_of_triple_[node->triple.id] = node;
     if (node->triple.id > static_cast<int>(triples_.size())) {
-      triples_.resize(node->triple.id);
+      triples_.resize(static_cast<size_t>(node->triple.id));
     }
-    triples_[node->triple.id - 1] = &node->triple;
+    triples_[static_cast<size_t>(node->triple.id - 1)] = &node->triple;
     return;
   }
   for (const auto& c : node->children) Walk(c.get(), node, depth + 1);
@@ -64,7 +64,7 @@ bool QueryTreeIndex::OptionalConnected(int t, int t_prime) const {
 }
 
 const sparql::TriplePattern* QueryTreeIndex::Triple(int id) const {
-  return triples_.at(id - 1);
+  return triples_.at(static_cast<size_t>(id - 1));
 }
 
 // ------------------------------------------------------------- DataFlowGraph
@@ -97,7 +97,8 @@ DataFlowGraph DataFlowGraph::Build(const sparql::Query& query,
 
   g.out_.resize(g.nodes_.size());
   auto add_edge = [&](int from, int to, double w) {
-    g.out_[from].push_back(static_cast<int>(g.edges_.size()));
+    g.out_[static_cast<size_t>(from)].push_back(
+        static_cast<int>(g.edges_.size()));
     g.edges_.push_back(FlowEdge{from, to, w});
   };
 
@@ -139,7 +140,8 @@ DataFlowGraph DataFlowGraph::Build(const sparql::Query& query,
 std::string DataFlowGraph::ToString() const {
   std::string out;
   for (const auto& e : edges_) {
-    out += nodes_[e.from].ToString() + " -> " + nodes_[e.to].ToString() +
+    out += nodes_[static_cast<size_t>(e.from)].ToString() + " -> " +
+           nodes_[static_cast<size_t>(e.to)].ToString() +
            " [" + std::to_string(e.weight) + "]\n";
   }
   return out;

@@ -94,7 +94,9 @@ class DataFlowGraph {
   const QueryTreeIndex& tree() const { return *tree_; }
 
   /// Outgoing edge indexes of a node.
-  const std::vector<int>& OutEdges(int node) const { return out_[node]; }
+  const std::vector<int>& OutEdges(int node) const {
+    return out_[static_cast<size_t>(node)];
+  }
 
   std::string ToString() const;
 

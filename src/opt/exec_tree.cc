@@ -20,7 +20,7 @@ const sparql::TermOrVar& ExecNode::Entry() const {
 }
 
 std::string ExecNode::ToString(int indent) const {
-  std::string pad(indent * 2, ' ');
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string out;
   switch (kind) {
     case ExecKind::kTriple:
@@ -175,20 +175,22 @@ class Builder {
             if (pass == 1 && !u.optional) continue;
             const auto& bound = u.optional ? bound_any : bound_mandatory;
             if (!satisfied(u.required, bound)) continue;
-            if (pick < 0 || u.rank < units[pick].rank) {
+            if (pick < 0 ||
+                u.rank < units[static_cast<size_t>(pick)].rank) {
               pick = static_cast<int>(i);
             }
           }
         }
         if (pick < 0) {
           for (size_t i = 0; i < units.size(); ++i) {
-            if (pick < 0 || units[i].rank < units[pick].rank) {
+            if (pick < 0 ||
+                units[i].rank < units[static_cast<size_t>(pick)].rank) {
               pick = static_cast<int>(i);
             }
           }
         }
       }
-      Unit u = std::move(units[pick]);
+      Unit u = std::move(units[static_cast<size_t>(pick)]);
       units.erase(units.begin() + pick);
       bound_any.insert(u.produced.begin(), u.produced.end());
       if (!u.optional) {

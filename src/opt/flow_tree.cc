@@ -7,12 +7,20 @@
 
 namespace rdfrel::opt {
 
+namespace {
+
+/// Triple ids and node indexes are ints throughout the optimizer; vectors
+/// index by size_t. Centralizes the (always non-negative) cast.
+inline size_t U(int i) { return static_cast<size_t>(i); }
+
+}  // namespace
+
 const FlowChoice& FlowTree::ChoiceFor(int triple_id) const {
-  return choices_[choice_of_triple_.at(triple_id)];
+  return choices_[U(choice_of_triple_.at(U(triple_id)))];
 }
 
 bool FlowTree::IsLeaf(int triple_id) const {
-  return !has_consumer_.at(triple_id);
+  return !has_consumer_.at(U(triple_id));
 }
 
 double FlowTree::TotalCost() const {
@@ -60,42 +68,46 @@ FlowTree GreedyFlowTree(const DataFlowGraph& g) {
   std::vector<int> order(edges.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return edges[a].weight < edges[b].weight;
+    return edges[U(a)].weight < edges[U(b)].weight;
   });
 
   FlowTree tree;
-  tree.choice_of_triple_.assign(num_triples + 1, -1);
-  tree.has_consumer_.assign(num_triples + 1, false);
+  tree.choice_of_triple_.assign(U(num_triples + 1), -1);
+  tree.has_consumer_.assign(U(num_triples + 1), false);
   std::vector<bool> node_in_tree(nodes.size(), false);
   node_in_tree[0] = true;  // root
-  std::vector<bool> triple_covered(num_triples + 1, false);
+  std::vector<bool> triple_covered(U(num_triples + 1), false);
   // Triples on each in-tree node's path from the root (node included).
   std::vector<std::vector<int>> path(nodes.size());
 
   while (static_cast<int>(tree.choices_.size()) < num_triples) {
     bool progressed = false;
     for (int ei : order) {
-      const FlowEdge& e = edges[ei];
-      if (!node_in_tree[e.from]) continue;
-      const FlowNode& target = nodes[e.to];
-      if (node_in_tree[e.to] || triple_covered[target.triple_id]) continue;
-      if (!PathAdmissible(g.tree(), path[e.from], target.triple_id)) {
+      const FlowEdge& e = edges[U(ei)];
+      if (!node_in_tree[U(e.from)]) continue;
+      const FlowNode& target = nodes[U(e.to)];
+      if (node_in_tree[U(e.to)] || triple_covered[U(target.triple_id)]) {
+        continue;
+      }
+      if (!PathAdmissible(g.tree(), path[U(e.from)], target.triple_id)) {
         continue;
       }
       // Add the node.
-      node_in_tree[e.to] = true;
-      triple_covered[target.triple_id] = true;
-      path[e.to] = path[e.from];
-      path[e.to].push_back(target.triple_id);
+      node_in_tree[U(e.to)] = true;
+      triple_covered[U(target.triple_id)] = true;
+      path[U(e.to)] = path[U(e.from)];
+      path[U(e.to)].push_back(target.triple_id);
       FlowChoice c;
       c.triple_id = target.triple_id;
       c.method = target.method;
-      c.parent_triple = nodes[e.from].triple_id;
+      c.parent_triple = nodes[U(e.from)].triple_id;
       c.cost = e.weight;
       c.rank = static_cast<int>(tree.choices_.size());
-      tree.choice_of_triple_[c.triple_id] =
+      tree.choice_of_triple_[U(c.triple_id)] =
           static_cast<int>(tree.choices_.size());
-      if (c.parent_triple != 0) tree.has_consumer_[c.parent_triple] = true;
+      if (c.parent_triple != 0) {
+        tree.has_consumer_[U(c.parent_triple)] = true;
+      }
       tree.choices_.push_back(c);
       progressed = true;
       break;  // restart from the cheapest edge (tree membership changed)
@@ -131,24 +143,24 @@ struct SearchState {
     if (cost >= best_cost) return;  // branch and bound
     const auto& nodes = g->nodes();
     for (const auto& e : g->edges()) {
-      if (!in_tree[e.from]) continue;  // in_tree[0] (root) is always true
-      const FlowNode& target = nodes[e.to];
-      if (in_tree[e.to] || covered[target.triple_id]) continue;
-      if (!PathAdmissible(g->tree(), path[e.from], target.triple_id)) {
+      if (!in_tree[U(e.from)]) continue;  // in_tree[0] (root) always true
+      const FlowNode& target = nodes[U(e.to)];
+      if (in_tree[U(e.to)] || covered[U(target.triple_id)]) continue;
+      if (!PathAdmissible(g->tree(), path[U(e.from)], target.triple_id)) {
         continue;
       }
-      in_tree[e.to] = true;
-      covered[target.triple_id] = true;
-      path[e.to] = path[e.from];
-      path[e.to].push_back(target.triple_id);
+      in_tree[U(e.to)] = true;
+      covered[U(target.triple_id)] = true;
+      path[U(e.to)] = path[U(e.from)];
+      path[U(e.to)].push_back(target.triple_id);
       current.push_back(e.to);
       cost += e.weight;
       Recurse();
       cost -= e.weight;
       current.pop_back();
-      covered[target.triple_id] = false;
-      in_tree[e.to] = false;
-      path[e.to].clear();
+      covered[U(target.triple_id)] = false;
+      in_tree[U(e.to)] = false;
+      path[U(e.to)].clear();
     }
   }
 };
@@ -166,7 +178,7 @@ Result<FlowTree> ExhaustiveFlowTree(const DataFlowGraph& g,
   SearchState s;
   s.g = &g;
   s.num_triples = num_triples;
-  s.covered.assign(num_triples + 1, false);
+  s.covered.assign(U(num_triples + 1), false);
   s.in_tree.assign(g.nodes().size(), false);
   s.in_tree[0] = true;
   s.path.resize(g.nodes().size());
@@ -177,20 +189,20 @@ Result<FlowTree> ExhaustiveFlowTree(const DataFlowGraph& g,
 
   // Reconstruct a FlowTree from the winning node sequence.
   FlowTree tree;
-  tree.choice_of_triple_.assign(num_triples + 1, -1);
-  tree.has_consumer_.assign(num_triples + 1, false);
+  tree.choice_of_triple_.assign(U(num_triples + 1), -1);
+  tree.has_consumer_.assign(U(num_triples + 1), false);
   std::vector<bool> in_tree(g.nodes().size(), false);
   in_tree[0] = true;
   for (int node_idx : s.best_nodes) {
-    const FlowNode& node = g.nodes()[node_idx];
+    const FlowNode& node = g.nodes()[U(node_idx)];
     // Find the cheapest in-tree parent edge for this node (the search
     // counted target cost only, so any valid parent gives the same cost).
     int parent_triple = -1;
     double w = 0;
     for (const auto& e : g.edges()) {
       if (e.to != node_idx) continue;
-      if (e.from == 0 || in_tree[e.from]) {
-        parent_triple = g.nodes()[e.from].triple_id;
+      if (e.from == 0 || in_tree[U(e.from)]) {
+        parent_triple = g.nodes()[U(e.from)].triple_id;
         w = e.weight;
         break;
       }
@@ -202,11 +214,11 @@ Result<FlowTree> ExhaustiveFlowTree(const DataFlowGraph& g,
     c.parent_triple = parent_triple;
     c.cost = w;
     c.rank = static_cast<int>(tree.choices_.size());
-    tree.choice_of_triple_[c.triple_id] =
+    tree.choice_of_triple_[U(c.triple_id)] =
         static_cast<int>(tree.choices_.size());
-    if (parent_triple != 0) tree.has_consumer_[parent_triple] = true;
+    if (parent_triple != 0) tree.has_consumer_[U(parent_triple)] = true;
     tree.choices_.push_back(c);
-    in_tree[node_idx] = true;
+    in_tree[U(node_idx)] = true;
   }
   return tree;
 }
@@ -218,8 +230,8 @@ namespace rdfrel::opt {
 FlowTree ParseOrderFlowTree(const DataFlowGraph& g) {
   int num_triples = g.tree().num_triples();
   FlowTree tree;
-  tree.choice_of_triple_.assign(num_triples + 1, -1);
-  tree.has_consumer_.assign(num_triples + 1, false);
+  tree.choice_of_triple_.assign(U(num_triples + 1), -1);
+  tree.has_consumer_.assign(U(num_triples + 1), false);
 
   std::vector<std::string> bound;  // variables bound so far
   auto is_bound = [&](const std::string& v) {
@@ -242,20 +254,20 @@ FlowTree ParseOrderFlowTree(const DataFlowGraph& g) {
       }
       if (!ok) continue;
       if (best_node < 0 ||
-          n.cost < g.nodes()[best_node].cost) {
+          n.cost < g.nodes()[U(best_node)].cost) {
         best_node = static_cast<int>(i);
       }
     }
     RDFREL_CHECK(best_node >= 0);  // the scan node is always admissible
-    const FlowNode& n = g.nodes()[best_node];
+    const FlowNode& n = g.nodes()[U(best_node)];
     FlowChoice c;
     c.triple_id = t;
     c.method = n.method;
     c.parent_triple = t > 1 ? t - 1 : 0;
     c.cost = n.cost;
     c.rank = t - 1;
-    tree.choice_of_triple_[t] = static_cast<int>(tree.choices_.size());
-    if (t > 1) tree.has_consumer_[t - 1] = true;
+    tree.choice_of_triple_[U(t)] = static_cast<int>(tree.choices_.size());
+    if (t > 1) tree.has_consumer_[U(t - 1)] = true;
     tree.choices_.push_back(c);
     for (const auto& v : ProducedVars(tp, n.method)) {
       if (!is_bound(v)) bound.push_back(v);

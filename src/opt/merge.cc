@@ -170,7 +170,7 @@ class Merger {
           }
           kids[i]->star_triples.push_back(kids[j]->triple);
           kids[i]->star_optional.push_back(false);
-          kids.erase(kids.begin() + j);
+          kids.erase(kids.begin() + static_cast<std::ptrdiff_t>(j));
         } else {
           ++j;
         }
@@ -216,7 +216,7 @@ class Merger {
         }
         kids[i]->star_triples.push_back(inner.triple);
         kids[i]->star_optional.push_back(true);
-        kids.erase(kids.begin() + j);
+        kids.erase(kids.begin() + static_cast<std::ptrdiff_t>(j));
         folded = true;
       }
       if (!folded) ++j;

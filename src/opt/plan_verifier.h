@@ -1,0 +1,80 @@
+#ifndef RDFREL_OPT_PLAN_VERIFIER_H_
+#define RDFREL_OPT_PLAN_VERIFIER_H_
+
+/// \file plan_verifier.h
+/// Structural invariant verification for the optimizer IRs (DESIGN.md §8).
+///
+/// Two verifiers cover the optimizer half of the pipeline:
+///   * VerifyFlowTree / VerifyFlowChoices — the spanning-tree contract of
+///     paper §3.1.1: every triple covered exactly once, every choice fed by
+///     an earlier choice whose lookup binds its required variables, and the
+///     OR / OPTIONAL guards of Definitions 3.6-3.7 respected along the
+///     feeding path.
+///   * VerifyExecTree — the execution/plan-tree contract of §3.1.2 / §3.2:
+///     per-kind structural well-formedness (SIMPLE / AND / OR / OPTIONAL /
+///     STAR), triple coverage, star-merge member constraints, and access
+///     methods referencing real DPH/RPH columns of the active predicate
+///     mapping.
+///
+/// All verifiers return Status::InternalPlanError with a dotted path to the
+/// offending node (e.g. "plan.and[1].opt.t5"); a failure is always a bug in
+/// the optimizer, never user error. Callers gate invocation on
+/// QueryOptions::verify_plans / util::VerifyPlansEnabled().
+
+#include <vector>
+
+#include "opt/data_flow_graph.h"
+#include "opt/exec_tree.h"
+#include "opt/flow_tree.h"
+#include "rdf/dictionary.h"
+#include "schema/predicate_mapping.h"
+#include "util/status.h"
+
+namespace rdfrel::opt {
+
+/// Strictness of flow verification; must match the builder that produced
+/// the tree.
+enum class FlowVerifyLevel {
+  /// Greedy / exhaustive builders: each choice's required variables are
+  /// produced by its *direct* parent, and the OR / OPTIONAL guards hold
+  /// against every triple on the feeding path (PathAdmissible).
+  kStrict,
+  /// Parse-order ablation: choices are chained in parse order without
+  /// data-flow reasoning, so required variables only need to be bound by
+  /// *some* earlier choice and the guards are not enforced.
+  kRelaxed,
+};
+
+/// Verifies a flow tree's choice list against its data flow graph.
+/// \p choices is accepted directly (rather than only a FlowTree) so tests
+/// can hand-build malformed inputs.
+Status VerifyFlowChoices(const DataFlowGraph& g,
+                         const std::vector<FlowChoice>& choices,
+                         FlowVerifyLevel level = FlowVerifyLevel::kStrict);
+
+/// Convenience wrapper over FlowTree::choices().
+Status VerifyFlowTree(const DataFlowGraph& g, const FlowTree& tree,
+                      FlowVerifyLevel level = FlowVerifyLevel::kStrict);
+
+/// Schema context for exec-tree verification. Null members skip the
+/// corresponding checks: baseline backends have no DPH/RPH layout, and the
+/// pre-merge exec tree can be verified without any schema at all.
+struct PlanVerifyContext {
+  const rdf::Dictionary* dict = nullptr;
+  const schema::PredicateMapping* direct = nullptr;   ///< DPH columns
+  const schema::PredicateMapping* reverse = nullptr;  ///< RPH columns
+  uint32_t k_direct = 0;   ///< Db2RdfConfig::k_direct; 0 == unknown
+  uint32_t k_reverse = 0;  ///< Db2RdfConfig::k_reverse; 0 == unknown
+};
+
+/// Verifies an execution / query-plan tree (pre- or post-merge) against its
+/// query: structural well-formedness per node kind, each triple pattern
+/// answered exactly once, star members sharing entry/direction with
+/// constant spill-free predicates, and — when \p ctx carries a schema —
+/// every constant predicate mapping to in-range DPH/RPH columns.
+Status VerifyExecTree(const ExecNode& root, const sparql::Query& query,
+                      const PlanVerifyContext& ctx = {});
+
+}  // namespace rdfrel::opt
+
+#endif  // RDFREL_OPT_PLAN_VERIFIER_H_

@@ -19,17 +19,21 @@ Statistics Statistics::FromGraph(const rdf::Graph& graph, size_t top_k) {
   s.avg_per_subject_ =
       by_subject.empty()
           ? 0
-          : static_cast<double>(s.total_triples_) / by_subject.size();
+          : static_cast<double>(s.total_triples_) /
+                static_cast<double>(by_subject.size());
   s.avg_per_object_ =
       by_object.empty()
           ? 0
-          : static_cast<double>(s.total_triples_) / by_object.size();
+          : static_cast<double>(s.total_triples_) /
+                static_cast<double>(by_object.size());
 
   auto take_top = [top_k](std::unordered_map<uint64_t, uint64_t>& all)
       -> std::unordered_map<uint64_t, uint64_t> {
     if (top_k == 0 || all.size() <= top_k) return std::move(all);
     std::vector<std::pair<uint64_t, uint64_t>> items(all.begin(), all.end());
-    std::nth_element(items.begin(), items.begin() + top_k, items.end(),
+    std::nth_element(items.begin(),
+                     items.begin() + static_cast<std::ptrdiff_t>(top_k),
+                     items.end(),
                      [](const auto& a, const auto& b) {
                        return a.second > b.second;
                      });

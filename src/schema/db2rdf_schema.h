@@ -70,10 +70,10 @@ class Db2RdfSchema {
 
   /// Column *indexes* within the DPH/RPH schema (entry=0, spill=1, then
   /// pred/val pairs).
-  static constexpr int kEntrySlot = 0;
-  static constexpr int kSpillSlot = 1;
-  static int PredSlot(uint32_t i) { return 2 + 2 * static_cast<int>(i); }
-  static int ValSlot(uint32_t i) { return 3 + 2 * static_cast<int>(i); }
+  static constexpr size_t kEntrySlot = 0;
+  static constexpr size_t kSpillSlot = 1;
+  static size_t PredSlot(uint32_t i) { return 2 + 2 * static_cast<size_t>(i); }
+  static size_t ValSlot(uint32_t i) { return 3 + 2 * static_cast<size_t>(i); }
 
   /// Allocates a fresh multi-value list id (negative, process-unique within
   /// this schema instance).

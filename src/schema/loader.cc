@@ -65,7 +65,7 @@ size_t PlaceIntoRows(std::vector<Row>* rows, uint32_t k, uint64_t entity,
   for (size_t ri = 0; ri < rows->size(); ++ri) {
     Row& row = (*rows)[ri];
     for (uint32_t c : candidates) {
-      int ps = Db2RdfSchema::PredSlot(c);
+      size_t ps = Db2RdfSchema::PredSlot(c);
       if (row[ps].is_null()) {
         row[ps] = Value::Int(static_cast<int64_t>(pred));
         row[Db2RdfSchema::ValSlot(c)] = Value::Int(val);
@@ -207,8 +207,8 @@ Status Loader::InsertTriple(const rdf::Dictionary& dict,
     for (sql::RowId rid : rids) {
       RDFREL_ASSIGN_OR_RETURN(Row row, dir.primary->Get(rid));
       for (uint32_t c : candidates) {
-        int ps = Db2RdfSchema::PredSlot(c);
-        int vs = Db2RdfSchema::ValSlot(c);
+        size_t ps = Db2RdfSchema::PredSlot(c);
+        size_t vs = Db2RdfSchema::ValSlot(c);
         if (row[ps].is_null() ||
             row[ps].AsInt() != static_cast<int64_t>(pred)) {
           continue;
@@ -265,7 +265,7 @@ Status Loader::InsertTriple(const rdf::Dictionary& dict,
     for (size_t i = 0; i < rids.size() && !handled; ++i) {
       RDFREL_ASSIGN_OR_RETURN(Row row, dir.primary->Get(rids[i]));
       for (uint32_t c : candidates) {
-        int ps = Db2RdfSchema::PredSlot(c);
+        size_t ps = Db2RdfSchema::PredSlot(c);
         if (!row[ps].is_null()) continue;
         row[ps] = Value::Int(static_cast<int64_t>(pred));
         row[Db2RdfSchema::ValSlot(c)] =
@@ -342,8 +342,8 @@ Status Loader::DeleteTriple(const rdf::Dictionary& dict,
     for (sql::RowId rid : rids) {
       RDFREL_ASSIGN_OR_RETURN(Row row, dir.primary->Get(rid));
       for (uint32_t c : candidates) {
-        int ps = Db2RdfSchema::PredSlot(c);
-        int vs = Db2RdfSchema::ValSlot(c);
+        size_t ps = Db2RdfSchema::PredSlot(c);
+        size_t vs = Db2RdfSchema::ValSlot(c);
         if (row[ps].is_null() ||
             row[ps].AsInt() != static_cast<int64_t>(pred)) {
           continue;

@@ -68,7 +68,7 @@ void Pattern::CollectVariables(std::vector<std::string>* out) const {
 }
 
 std::string Pattern::ToString(int indent) const {
-  std::string pad(indent * 2, ' ');
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
   switch (kind) {
     case PatternKind::kTriple:
       return pad + "t" + std::to_string(triple.id) + ": " +

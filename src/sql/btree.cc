@@ -47,9 +47,9 @@ BPlusTree::Node* BPlusTree::FindLeaf(const Value& key) const {
   Node* n = root_;
   while (!n->is_leaf) {
     // children[i] holds keys < keys[i]; child[i+1] holds keys >= keys[i].
-    size_t i = std::upper_bound(n->keys.begin(), n->keys.end(), key,
-                                ValueLess) -
-               n->keys.begin();
+    auto i = static_cast<size_t>(
+        std::upper_bound(n->keys.begin(), n->keys.end(), key, ValueLess) -
+        n->keys.begin());
     n = n->children[i];
   }
   return n;
@@ -81,7 +81,9 @@ void BPlusTree::SplitLeaf(Node* leaf) {
   auto* right = new Node();
   right->is_leaf = true;
   size_t mid = leaf->entries.size() / 2;
-  right->entries.assign(std::make_move_iterator(leaf->entries.begin() + mid),
+  right->entries.assign(
+      std::make_move_iterator(leaf->entries.begin() +
+                              static_cast<std::ptrdiff_t>(mid)),
                         std::make_move_iterator(leaf->entries.end()));
   leaf->entries.resize(mid);
 
@@ -106,7 +108,7 @@ void BPlusTree::InsertIntoParent(Node* left, Value sep, Node* right) {
   Node* parent = left->parent;
   auto pos = std::find(parent->children.begin(), parent->children.end(), left);
   RDFREL_CHECK(pos != parent->children.end());
-  size_t idx = pos - parent->children.begin();
+  auto idx = pos - parent->children.begin();
   parent->keys.insert(parent->keys.begin() + idx, std::move(sep));
   parent->children.insert(parent->children.begin() + idx + 1, right);
   right->parent = parent;
@@ -118,9 +120,10 @@ void BPlusTree::SplitInternal(Node* node) {
   size_t mid = node->keys.size() / 2;
   Value sep = std::move(node->keys[mid]);
 
-  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+  const auto smid = static_cast<std::ptrdiff_t>(mid);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + smid + 1),
                      std::make_move_iterator(node->keys.end()));
-  right->children.assign(node->children.begin() + mid + 1,
+  right->children.assign(node->children.begin() + smid + 1,
                          node->children.end());
   for (Node* c : right->children) c->parent = right;
 
@@ -170,11 +173,12 @@ void BPlusTree::Range(
   size_t start = 0;
   if (lo.has_value()) {
     leaf = FindLeaf(*lo);
-    start = std::lower_bound(leaf->entries.begin(), leaf->entries.end(), *lo,
-                             [](const LeafEntry& e, const Value& k) {
-                               return ValueLess(e.key, k);
-                             }) -
-            leaf->entries.begin();
+    start = static_cast<size_t>(
+        std::lower_bound(leaf->entries.begin(), leaf->entries.end(), *lo,
+                         [](const LeafEntry& e, const Value& k) {
+                           return ValueLess(e.key, k);
+                         }) -
+        leaf->entries.begin());
   } else {
     Node* n = root_;
     while (!n->is_leaf) n = n->children.front();

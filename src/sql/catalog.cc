@@ -54,7 +54,7 @@ const IndexInfo* Table::FindIndexByName(const std::string& index_name) const {
 }
 
 void Table::IndexInsert(IndexInfo* idx, const Row& row, RowId rid) {
-  const Value& key = row[idx->column];
+  const Value& key = row[static_cast<size_t>(idx->column)];
   if (key.is_null()) return;  // NULLs are not indexed
   if (idx->kind == IndexKind::kBTree) {
     idx->btree->Insert(key, rid);
@@ -64,7 +64,7 @@ void Table::IndexInsert(IndexInfo* idx, const Row& row, RowId rid) {
 }
 
 void Table::IndexRemove(IndexInfo* idx, const Row& row, RowId rid) {
-  const Value& key = row[idx->column];
+  const Value& key = row[static_cast<size_t>(idx->column)];
   if (key.is_null()) return;
   if (idx->kind == IndexKind::kBTree) {
     idx->btree->Remove(key, rid);

@@ -114,11 +114,12 @@ Status Database::ExecInsert(const ast::InsertStmt& ins) {
                               BindExpr(*exprs[i], empty_scope));
       RDFREL_ASSIGN_OR_RETURN(Value v, b->Evaluate(no_row));
       // Widen ints into double columns at the boundary.
-      if (schema.column(positions[i]).type == ValueType::kDouble &&
+      const auto pos = static_cast<size_t>(positions[i]);
+      if (schema.column(pos).type == ValueType::kDouble &&
           v.is_int()) {
         v = Value::Real(static_cast<double>(v.AsInt()));
       }
-      row[positions[i]] = std::move(v);
+      row[pos] = std::move(v);
     }
     RDFREL_RETURN_NOT_OK(t->Insert(row).status());
   }

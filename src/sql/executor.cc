@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include "sql/operator_verifier.h"
+#include "util/verify.h"
+
 namespace rdfrel::sql {
 
 namespace {
@@ -67,20 +70,25 @@ Result<bool> Operator::Next(Row* out) {
 
 Result<bool> Operator::NextBatch(RowBatch* out) {
   out->Reset();
+  bool has = false;
   if (!timing_) {
-    RDFREL_ASSIGN_OR_RETURN(bool has, NextBatchImpl(out));
-    if (has) {
-      stats_.rows += out->ActiveSize();
-      ++stats_.batches;
-    }
-    return has;
+    RDFREL_ASSIGN_OR_RETURN(has, NextBatchImpl(out));
+  } else {
+    uint64_t start = NowNs();
+    Result<bool> r = NextBatchImpl(out);
+    stats_.ns += NowNs() - start;
+    if (!r.ok()) return r;
+    has = *r;
   }
-  uint64_t start = NowNs();
-  Result<bool> has = NextBatchImpl(out);
-  stats_.ns += NowNs() - start;
-  if (has.ok() && *has) {
+  if (has) {
     stats_.rows += out->ActiveSize();
     ++stats_.batches;
+    if (util::VerifyPlansEnabled()) {
+      Status st = VerifyRowBatch(*out);
+      if (!st.ok()) {
+        return Status::InternalPlanError(name() + ": " + st.message());
+      }
+    }
   }
   return has;
 }
@@ -336,7 +344,7 @@ Result<bool> ProjectOp::NextBatchImpl(RowBatch* out) {
         if (static_cast<size_t>(slots_[e]) >= in.size()) {
           return Status::Internal("slot out of range");
         }
-        (*slot)[e] = in[slots_[e]];
+        (*slot)[e] = in[static_cast<size_t>(slots_[e])];
       } else {
         (*slot)[e] = std::move(cols_[e][i]);
       }
@@ -1102,6 +1110,215 @@ Result<bool> LimitOp::NextBatchImpl(RowBatch* out) {
     out->SetSelection(sel_);
     return true;
   }
+}
+
+// ---------------------------------------------------------------- VerifySelf
+// Per-operator invariants for VerifyOperatorTree (DESIGN.md §8). Each
+// returns a bare message; the tree walker prefixes the dotted path.
+
+Status SeqScanOp::VerifySelf() const {
+  if (scope_.size() != table_->schema().num_columns()) {
+    return Status::InternalPlanError(
+        "scope arity " + std::to_string(scope_.size()) +
+        " != table column count " +
+        std::to_string(table_->schema().num_columns()));
+  }
+  return Status::OK();
+}
+
+Status IndexScanOp::VerifySelf() const {
+  if (scope_.size() != table_->schema().num_columns()) {
+    return Status::InternalPlanError(
+        "scope arity " + std::to_string(scope_.size()) +
+        " != table column count " +
+        std::to_string(table_->schema().num_columns()));
+  }
+  if (index_ == nullptr) {
+    return Status::InternalPlanError("index scan without an index");
+  }
+  return Status::OK();
+}
+
+Status MaterializedScanOp::VerifySelf() const {
+  if (scope_.size() != mat_->scope.size()) {
+    return Status::InternalPlanError(
+        "scope arity " + std::to_string(scope_.size()) +
+        " != materialized arity " + std::to_string(mat_->scope.size()));
+  }
+  return Status::OK();
+}
+
+Status FilterOp::VerifySelf() const {
+  if (predicate_ == nullptr) {
+    return Status::InternalPlanError("filter without a predicate");
+  }
+  if (scope_.size() != child_->scope().size()) {
+    return Status::InternalPlanError("filter changes scope arity");
+  }
+  return CheckExprSlots(*predicate_, child_->scope().size(), "predicate");
+}
+
+Status ProjectOp::VerifySelf() const {
+  if (exprs_.size() != scope_.size()) {
+    return Status::InternalPlanError(
+        std::to_string(exprs_.size()) + " expressions for scope arity " +
+        std::to_string(scope_.size()));
+  }
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    std::string what = "projection " + std::to_string(i);
+    RDFREL_RETURN_NOT_OK(
+        CheckExprSlots(*exprs_[i], child_->scope().size(), what.c_str()));
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::VerifySelf() const {
+  if (left_keys_.empty() || left_keys_.size() != right_keys_.size()) {
+    return Status::InternalPlanError(
+        "join key arity mismatch: " + std::to_string(left_keys_.size()) +
+        " left vs " + std::to_string(right_keys_.size()) + " right");
+  }
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    std::string what = "left key " + std::to_string(i);
+    RDFREL_RETURN_NOT_OK(CheckExprSlots(*left_keys_[i],
+                                        left_->scope().size(), what.c_str()));
+    what = "right key " + std::to_string(i);
+    RDFREL_RETURN_NOT_OK(CheckExprSlots(
+        *right_keys_[i], right_->scope().size(), what.c_str()));
+  }
+  if (scope_.size() != left_->scope().size() + right_->scope().size()) {
+    return Status::InternalPlanError(
+        "scope arity " + std::to_string(scope_.size()) +
+        " != left + right arities");
+  }
+  if (residual_ != nullptr) {
+    RDFREL_RETURN_NOT_OK(
+        CheckExprSlots(*residual_, scope_.size(), "residual"));
+  }
+  return Status::OK();
+}
+
+Status IndexNLJoinOp::VerifySelf() const {
+  if (outer_key_ == nullptr) {
+    return Status::InternalPlanError("index join without an outer key");
+  }
+  if (index_ == nullptr) {
+    return Status::InternalPlanError("index join without an index");
+  }
+  RDFREL_RETURN_NOT_OK(
+      CheckExprSlots(*outer_key_, outer_->scope().size(), "outer key"));
+  if (scope_.size() !=
+      outer_->scope().size() + inner_->schema().num_columns()) {
+    return Status::InternalPlanError(
+        "scope arity " + std::to_string(scope_.size()) +
+        " != outer + inner arities");
+  }
+  if (residual_ != nullptr) {
+    RDFREL_RETURN_NOT_OK(
+        CheckExprSlots(*residual_, scope_.size(), "residual"));
+  }
+  return Status::OK();
+}
+
+Status NestedLoopJoinOp::VerifySelf() const {
+  if (scope_.size() != left_->scope().size() + right_->scope().size()) {
+    return Status::InternalPlanError(
+        "scope arity " + std::to_string(scope_.size()) +
+        " != left + right arities");
+  }
+  if (residual_ != nullptr) {
+    RDFREL_RETURN_NOT_OK(
+        CheckExprSlots(*residual_, scope_.size(), "residual"));
+  }
+  return Status::OK();
+}
+
+Status UnnestOp::VerifySelf() const {
+  if (args_.empty()) {
+    return Status::InternalPlanError("unnest with no arguments");
+  }
+  for (size_t i = 0; i < args_.size(); ++i) {
+    std::string what = "argument " + std::to_string(i);
+    RDFREL_RETURN_NOT_OK(
+        CheckExprSlots(*args_[i], child_->scope().size(), what.c_str()));
+  }
+  if (scope_.size() != child_->scope().size() + 1) {
+    return Status::InternalPlanError(
+        "scope arity " + std::to_string(scope_.size()) +
+        " != child arity + 1");
+  }
+  return Status::OK();
+}
+
+Status UnionAllOp::VerifySelf() const {
+  if (children_.empty()) {
+    return Status::InternalPlanError("union with no branches");
+  }
+  for (const auto& c : children_) {
+    if (c->scope().size() != scope_.size()) {
+      return Status::InternalPlanError(
+          "branch arity " + std::to_string(c->scope().size()) +
+          " != union arity " + std::to_string(scope_.size()));
+    }
+  }
+  return Status::OK();
+}
+
+Status DistinctOp::VerifySelf() const {
+  if (scope_.size() != child_->scope().size()) {
+    return Status::InternalPlanError("distinct changes scope arity");
+  }
+  return Status::OK();
+}
+
+Status SortOp::VerifySelf() const {
+  if (keys_.size() != descending_.size()) {
+    return Status::InternalPlanError(
+        std::to_string(keys_.size()) + " keys vs " +
+        std::to_string(descending_.size()) + " direction flags");
+  }
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    std::string what = "sort key " + std::to_string(i);
+    RDFREL_RETURN_NOT_OK(
+        CheckExprSlots(*keys_[i], child_->scope().size(), what.c_str()));
+  }
+  if (scope_.size() != child_->scope().size()) {
+    return Status::InternalPlanError("sort changes scope arity");
+  }
+  return Status::OK();
+}
+
+Status AggregateOp::VerifySelf() const {
+  if (scope_.size() != keys_.size() + aggs_.size()) {
+    return Status::InternalPlanError(
+        "scope arity " + std::to_string(scope_.size()) +
+        " != keys + aggregates");
+  }
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    std::string what = "group key " + std::to_string(i);
+    RDFREL_RETURN_NOT_OK(
+        CheckExprSlots(*keys_[i], child_->scope().size(), what.c_str()));
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (aggs_[i].input == nullptr) continue;  // COUNT(*)
+    std::string what = "aggregate input " + std::to_string(i);
+    RDFREL_RETURN_NOT_OK(CheckExprSlots(
+        *aggs_[i].input, child_->scope().size(), what.c_str()));
+  }
+  return Status::OK();
+}
+
+Status LimitOp::VerifySelf() const {
+  if (limit_.has_value() && *limit_ < 0) {
+    return Status::InternalPlanError("negative LIMIT");
+  }
+  if (offset_.has_value() && *offset_ < 0) {
+    return Status::InternalPlanError("negative OFFSET");
+  }
+  if (scope_.size() != child_->scope().size()) {
+    return Status::InternalPlanError("limit changes scope arity");
+  }
+  return Status::OK();
 }
 
 // --------------------------------------------------------------- CollectRows

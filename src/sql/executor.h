@@ -82,6 +82,13 @@ class Operator {
   /// Child operators (profile tree + recursive mode/timing propagation).
   virtual std::vector<Operator*> children() { return {}; }
 
+  /// Structural self-check for the operator verifier (DESIGN.md §8):
+  /// expression slots in bounds of child scopes, join key arity agreement,
+  /// scope widths consistent across the operator boundary. Children are
+  /// verified separately by VerifyOperatorTree, which prefixes failures
+  /// with the operator's dotted path.
+  virtual Status VerifySelf() const { return Status::OK(); }
+
   ExecMode exec_mode() const { return mode_; }
   /// Sets the drive mode on this operator and every descendant. Call before
   /// Open(): blocking operators materialize their inputs during Open.
@@ -124,6 +131,7 @@ class SeqScanOp final : public Operator {
   SeqScanOp(const Table* table, const std::string& alias);
   Status Open() override;
   std::string name() const override { return "SeqScan(" + table_->name() + ")"; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -149,6 +157,7 @@ class IndexScanOp final : public Operator {
   std::string name() const override {
     return "IndexScan(" + table_->name() + ")";
   }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -171,6 +180,7 @@ class MaterializedScanOp final : public Operator {
                      const std::string& alias);
   Status Open() override;
   std::string name() const override { return "MaterializedScan"; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -189,6 +199,7 @@ class FilterOp final : public Operator {
   Status Open() override;
   std::string name() const override { return "Filter"; }
   std::vector<Operator*> children() override { return {child_.get()}; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -208,6 +219,7 @@ class ProjectOp final : public Operator {
   Status Open() override;
   std::string name() const override { return "Project"; }
   std::vector<Operator*> children() override { return {child_.get()}; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -237,6 +249,7 @@ class HashJoinOp final : public Operator {
   std::vector<Operator*> children() override {
     return {left_.get(), right_.get()};
   }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -281,6 +294,7 @@ class IndexNLJoinOp final : public Operator {
     return "IndexNLJoin(" + inner_->name() + ")";
   }
   std::vector<Operator*> children() override { return {outer_.get()}; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -322,6 +336,7 @@ class NestedLoopJoinOp final : public Operator {
   std::vector<Operator*> children() override {
     return {left_.get(), right_.get()};
   }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -350,6 +365,7 @@ class UnnestOp final : public Operator {
   Status Open() override;
   std::string name() const override { return "Unnest"; }
   std::vector<Operator*> children() override { return {child_.get()}; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -374,6 +390,7 @@ class UnionAllOp final : public Operator {
   Status Open() override;
   std::string name() const override { return "UnionAll"; }
   std::vector<Operator*> children() override;
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -392,6 +409,7 @@ class DistinctOp final : public Operator {
   Status Open() override;
   std::string name() const override { return "Distinct"; }
   std::vector<Operator*> children() override { return {child_.get()}; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -412,6 +430,7 @@ class SortOp final : public Operator {
   Status Open() override;
   std::string name() const override { return "Sort"; }
   std::vector<Operator*> children() override { return {child_.get()}; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -442,6 +461,7 @@ class AggregateOp final : public Operator {
   Status Open() override;
   std::string name() const override { return "Aggregate"; }
   std::vector<Operator*> children() override { return {child_.get()}; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;
@@ -479,6 +499,7 @@ class LimitOp final : public Operator {
   Status Open() override;
   std::string name() const override { return "Limit"; }
   std::vector<Operator*> children() override { return {child_.get()}; }
+  Status VerifySelf() const override;
 
  protected:
   Result<bool> NextImpl(Row* out) override;

@@ -99,7 +99,7 @@ class SlotExpr final : public BoundExpr {
     if (static_cast<size_t>(slot_) >= row.size()) {
       return Status::Internal("slot out of range");
     }
-    return row[slot_];
+    return row[static_cast<size_t>(slot_)];
   }
   Status EvaluateBatch(const RowBatch& batch,
                        std::vector<Value>* out) const override {
@@ -111,11 +111,14 @@ class SlotExpr final : public BoundExpr {
       if (static_cast<size_t>(slot_) >= row.size()) {
         return Status::Internal("slot out of range");
       }
-      out->push_back(row[slot_]);
+      out->push_back(row[static_cast<size_t>(slot_)]);
     }
     return Status::OK();
   }
   int AsSlot() const override { return slot_; }
+  void CollectSlots(std::vector<int>* out) const override {
+    out->push_back(slot_);
+  }
 
  private:
   int slot_;
@@ -218,7 +221,7 @@ class BinaryExpr final : public BoundExpr {
       if (static_cast<size_t>(slot) >= row.size()) {
         return Status::Internal("slot out of range");
       }
-      const Value& v = row[slot];
+      const Value& v = row[static_cast<size_t>(slot)];
       if (v.is_null()) continue;
       bool pass;
       if (op_ == BinaryOp::kEq) {
@@ -251,6 +254,11 @@ class BinaryExpr final : public BoundExpr {
       if (pass) passing->push_back(batch.ActiveIndex(i));
     }
     return true;
+  }
+
+  void CollectSlots(std::vector<int>* out) const override {
+    lhs_->CollectSlots(out);
+    rhs_->CollectSlots(out);
   }
 
  private:
@@ -324,6 +332,9 @@ class NotExpr final : public BoundExpr {
     if (!t.has_value()) return Value::Null();
     return Value::Bool(!*t);
   }
+  void CollectSlots(std::vector<int>* out) const override {
+    child_->CollectSlots(out);
+  }
 
  private:
   BoundExprPtr child_;
@@ -339,6 +350,9 @@ class NegExpr final : public BoundExpr {
     if (v.is_double()) return Value::Real(-v.AsDouble());
     return Status::ExecutionError("negation of string value");
   }
+  void CollectSlots(std::vector<int>* out) const override {
+    child_->CollectSlots(out);
+  }
 
  private:
   BoundExprPtr child_;
@@ -352,6 +366,9 @@ class IsNullExpr final : public BoundExpr {
     RDFREL_ASSIGN_OR_RETURN(Value v, child_->Evaluate(row));
     bool is_null = v.is_null();
     return Value::Bool(negated_ ? !is_null : is_null);
+  }
+  void CollectSlots(std::vector<int>* out) const override {
+    child_->CollectSlots(out);
   }
 
  private:
@@ -373,6 +390,13 @@ class CaseExpr final : public BoundExpr {
     if (else_) return else_->Evaluate(row);
     return Value::Null();
   }
+  void CollectSlots(std::vector<int>* out) const override {
+    for (const auto& [when, then] : branches_) {
+      when->CollectSlots(out);
+      then->CollectSlots(out);
+    }
+    if (else_) else_->CollectSlots(out);
+  }
 
  private:
   std::vector<std::pair<BoundExprPtr, BoundExprPtr>> branches_;
@@ -389,6 +413,9 @@ class CoalesceExpr final : public BoundExpr {
       if (!v.is_null()) return v;
     }
     return Value::Null();
+  }
+  void CollectSlots(std::vector<int>* out) const override {
+    for (const auto& a : args_) a->CollectSlots(out);
   }
 
  private:

@@ -83,6 +83,11 @@ class BoundExpr {
 
   /// If this expression is a literal, the constant; nullptr otherwise.
   virtual const Value* AsLiteral() const { return nullptr; }
+
+  /// Appends every input slot this expression reads to \p out (duplicates
+  /// allowed). The operator verifier uses this to bounds-check expressions
+  /// against their operator's input scope.
+  virtual void CollectSlots(std::vector<int>* out) const { (void)out; }
 };
 
 using BoundExprPtr = std::unique_ptr<BoundExpr>;

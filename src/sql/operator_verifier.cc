@@ -1,0 +1,68 @@
+#include "sql/operator_verifier.h"
+
+#include <string>
+#include <vector>
+
+namespace rdfrel::sql {
+
+Status VerifyRowBatch(const RowBatch& batch) {
+  if (!batch.has_selection()) return Status::OK();
+  const std::vector<uint32_t>& sel = batch.selection();
+  const size_t n = batch.size();
+  for (size_t i = 0; i < sel.size(); ++i) {
+    if (sel[i] >= n) {
+      return Status::InternalPlanError(
+          "selection[" + std::to_string(i) + "] = " +
+          std::to_string(sel[i]) + " out of bounds for batch of " +
+          std::to_string(n) + " rows");
+    }
+    if (i > 0 && sel[i] <= sel[i - 1]) {
+      return Status::InternalPlanError(
+          "selection[" + std::to_string(i) + "] = " +
+          std::to_string(sel[i]) + " not strictly ascending after " +
+          std::to_string(sel[i - 1]));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckExprSlots(const BoundExpr& expr, size_t input_arity,
+                      const char* what) {
+  std::vector<int> slots;
+  expr.CollectSlots(&slots);
+  for (int s : slots) {
+    if (s < 0 || static_cast<size_t>(s) >= input_arity) {
+      return Status::InternalPlanError(
+          std::string(what) + " reads slot " + std::to_string(s) +
+          " outside input arity " + std::to_string(input_arity));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status VerifyNode(Operator& op, const std::string& path) {
+  Status self = op.VerifySelf();
+  if (!self.ok()) {
+    return Status::InternalPlanError(path + ": " + self.message());
+  }
+  std::vector<Operator*> kids = op.children();
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (kids[i] == nullptr) {
+      return Status::InternalPlanError(path + ": null child " +
+                                       std::to_string(i));
+    }
+    RDFREL_RETURN_NOT_OK(VerifyNode(
+        *kids[i], path + "." + std::to_string(i) + "." + kids[i]->name()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyOperatorTree(Operator& root) {
+  return VerifyNode(root, root.name());
+}
+
+}  // namespace rdfrel::sql

@@ -1,0 +1,43 @@
+#ifndef RDFREL_SQL_OPERATOR_VERIFIER_H_
+#define RDFREL_SQL_OPERATOR_VERIFIER_H_
+
+/// \file operator_verifier.h
+/// Invariant verification for the physical operator layer (DESIGN.md §8),
+/// the SQL-side counterpart of opt/plan_verifier.h:
+///   * VerifyOperatorTree — walks a planned operator tree calling each
+///     operator's VerifySelf(): expression slots in bounds of the child
+///     scope, join key arity agreement, Unnest input arity, scope widths
+///     consistent across operator boundaries.
+///   * VerifyRowBatch — the RowBatch contract every producer must uphold:
+///     a selection vector holds strictly ascending physical indices within
+///     the batch. Operator::NextBatch re-checks every produced batch while
+///     verification is enabled.
+///
+/// Failures return Status::InternalPlanError with a dotted path to the
+/// offending operator (e.g. "HashJoin.0.Filter"); a failure is always a
+/// planner/executor bug, never user error.
+
+#include "sql/executor.h"
+#include "sql/expression.h"
+#include "sql/row_batch.h"
+#include "util/status.h"
+
+namespace rdfrel::sql {
+
+/// Checks the selection-vector contract of \p batch: strictly ascending
+/// physical indices, all within [0, batch.size()).
+Status VerifyRowBatch(const RowBatch& batch);
+
+/// Recursively verifies \p root and every descendant via VerifySelf(),
+/// prefixing failures with the dotted path of operator names.
+Status VerifyOperatorTree(Operator& root);
+
+/// Helper for VerifySelf implementations: every slot \p expr reads must be
+/// within [0, input_arity). \p what names the expression's role in the
+/// error ("predicate", "left key 0", ...).
+Status CheckExprSlots(const BoundExpr& expr, size_t input_arity,
+                      const char* what);
+
+}  // namespace rdfrel::sql
+
+#endif  // RDFREL_SQL_OPERATOR_VERIFIER_H_

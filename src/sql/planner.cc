@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "sql/operator_verifier.h"
 #include "util/string_util.h"
+#include "util/verify.h"
 
 namespace rdfrel::sql {
 
@@ -650,6 +652,11 @@ class BoundAnd final : public BoundExpr {
     return Value::Null();
   }
 
+  void CollectSlots(std::vector<int>* out) const override {
+    a_->CollectSlots(out);
+    b_->CollectSlots(out);
+  }
+
  private:
   BoundExprPtr a_;
   BoundExprPtr b_;
@@ -688,6 +695,12 @@ Result<OperatorPtr> PlanSelect(const Catalog& catalog,
     std::string name() const override { return "Core"; }
     std::vector<Operator*> children() override { return {inner.get()}; }
     void SetScope(const Scope& s) { scope_ = s; }
+    Status VerifySelf() const override {
+      if (scope_.size() != inner->scope().size()) {
+        return Status::InternalPlanError("core wrapper changes scope arity");
+      }
+      return Status::OK();
+    }
 
    protected:
     Result<bool> NextImpl(Row* out) override { return inner->Next(out); }
@@ -740,6 +753,11 @@ Result<OperatorPtr> PlanSelect(const Catalog& catalog,
   if (stmt.limit.has_value() || stmt.offset.has_value()) {
     root = std::make_unique<LimitOp>(std::move(root), stmt.limit,
                                      stmt.offset);
+  }
+  // Post-planning invariant gate (DESIGN.md §8). CTE subplans were already
+  // verified when their recursive PlanSelect returned.
+  if (util::VerifyPlansEnabled()) {
+    RDFREL_RETURN_NOT_OK(VerifyOperatorTree(*root));
   }
   return root;
 }

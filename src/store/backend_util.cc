@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "opt/flow_tree.h"
+#include "opt/plan_verifier.h"
+#include "util/verify.h"
 
 namespace rdfrel::store {
 
@@ -16,6 +18,7 @@ std::string PlanCacheKey(std::string_view sparql, const QueryOptions& opts) {
   key.push_back(static_cast<char>('0' + static_cast<int>(opts.flow)));
   key.push_back(opts.late_fusing ? '1' : '0');
   key.push_back(opts.merging ? '1' : '0');
+  key.push_back(opts.verify_plans ? '1' : '0');
   return key;
 }
 
@@ -40,11 +43,26 @@ Result<opt::ExecNodePtr> OptimizeForBackend(const sparql::Query& query,
                                             const opt::Statistics& stats,
                                             const rdf::Dictionary& dict,
                                             const QueryOptions& opts) {
+  const bool verify = opts.verify_plans || util::VerifyPlansEnabled();
   opt::CostModel cost(&stats, &dict);
   opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
   RDFREL_ASSIGN_OR_RETURN(opt::FlowTree flow,
                           BuildFlowTree(dfg, opts.flow));
-  return opt::BuildExecTree(query, flow, opts.late_fusing);
+  if (verify) {
+    RDFREL_RETURN_NOT_OK(opt::VerifyFlowTree(
+        dfg, flow,
+        opts.flow == FlowMode::kParseOrder
+            ? opt::FlowVerifyLevel::kRelaxed
+            : opt::FlowVerifyLevel::kStrict));
+  }
+  RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
+                          opt::BuildExecTree(query, flow, opts.late_fusing));
+  if (verify) {
+    // Baseline layouts have no DPH/RPH schema; the structural checks still
+    // apply with an empty context.
+    RDFREL_RETURN_NOT_OK(opt::VerifyExecTree(*plan, query, {}));
+  }
+  return plan;
 }
 
 Result<SparqlStore::Explanation> ExplainForBackend(

@@ -8,6 +8,8 @@
 #include "opt/exec_tree.h"
 #include "opt/flow_tree.h"
 #include "opt/merge.h"
+#include "opt/plan_verifier.h"
+#include "util/verify.h"
 #include "schema/hash_mapping.h"
 #include "sparql/parser.h"
 #include <sstream>
@@ -220,6 +222,7 @@ Status RdfStore::EnsureClosuresFor(const sparql::Query& query) {
 Result<std::string> RdfStore::Translate(
     const sparql::Query& query, const QueryOptions& opts,
     std::vector<const sparql::FilterExpr*>* post_filters) const {
+  const bool verify = opts.verify_plans || util::VerifyPlansEnabled();
   opt::CostModel cost(&stats_, &dict_);
   opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
   opt::FlowTree flow;
@@ -235,9 +238,27 @@ Result<std::string> RdfStore::Translate(
       flow = opt::ParseOrderFlowTree(dfg);
       break;
   }
+  if (verify) {
+    // The parse-order ablation deliberately ignores the data-flow guards,
+    // so it is held only to the relaxed bound-by-an-earlier-choice contract.
+    RDFREL_RETURN_NOT_OK(opt::VerifyFlowTree(
+        dfg, flow,
+        opts.flow == FlowMode::kParseOrder
+            ? opt::FlowVerifyLevel::kRelaxed
+            : opt::FlowVerifyLevel::kStrict));
+  }
+  opt::PlanVerifyContext vctx;
+  vctx.dict = &dict_;
+  vctx.direct = direct_.get();
+  vctx.reverse = reverse_.get();
+  vctx.k_direct = schema_->config().k_direct;
+  vctx.k_reverse = schema_->config().k_reverse;
   RDFREL_ASSIGN_OR_RETURN(opt::ExecNodePtr plan,
                           opt::BuildExecTree(query, flow,
                                              opts.late_fusing));
+  if (verify) {
+    RDFREL_RETURN_NOT_OK(opt::VerifyExecTree(*plan, query, vctx));
+  }
   if (opts.merging) {
     opt::SpillCheck spill = [this](const sparql::TriplePattern& t,
                                    opt::AccessMethod m) {
@@ -249,6 +270,9 @@ Result<std::string> RdfStore::Translate(
       return spilled.count(pid) > 0;
     };
     plan = opt::MergeExecTree(std::move(plan), dfg.tree(), spill);
+    if (verify) {
+      RDFREL_RETURN_NOT_OK(opt::VerifyExecTree(*plan, query, vctx));
+    }
   }
 
   // Look up the pre-materialized closure tables for transitive

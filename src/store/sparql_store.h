@@ -44,10 +44,14 @@ struct QueryOptions {
   FlowMode flow = FlowMode::kGreedy;
   bool late_fusing = true;
   bool merging = true;
+  /// Runs the plan/IR invariant verifiers (DESIGN.md §8) on every
+  /// intermediate representation of this query. ORed with the process-wide
+  /// gate (Debug builds, RDFREL_VERIFY_PLANS=1, util::SetVerifyPlans).
+  bool verify_plans = false;
 
   friend bool operator==(const QueryOptions& a, const QueryOptions& b) {
     return a.flow == b.flow && a.late_fusing == b.late_fusing &&
-           a.merging == b.merging;
+           a.merging == b.merging && a.verify_plans == b.verify_plans;
   }
 };
 

@@ -4,7 +4,8 @@ namespace rdfrel {
 
 uint64_t Fnv1a64(std::string_view data) {
   uint64_t h = 0xcbf29ce484222325ull;
-  for (unsigned char c : data) {
+  for (char ch : data) {
+    auto c = static_cast<unsigned char>(ch);
     h ^= c;
     h *= 0x100000001b3ull;
   }

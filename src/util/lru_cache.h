@@ -35,7 +35,8 @@ struct CacheStats {
 
   double hit_rate() const {
     uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
   }
 };
 

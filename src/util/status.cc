@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "CapacityExceeded";
     case StatusCode::kInvalidQuery:
       return "InvalidQuery";
+    case StatusCode::kInternalPlanError:
+      return "InternalPlanError";
   }
   return "Unknown";
 }

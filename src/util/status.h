@@ -28,6 +28,11 @@ enum class StatusCode : uint8_t {
   kCapacityExceeded,  ///< Storage limits (page, row width) exceeded.
   kInvalidQuery,      ///< Query is well-formed text but semantically
                       ///< invalid (undeclared prefix, bad aggregate use).
+  kInternalPlanError,  ///< A plan/IR invariant verifier rejected a flow
+                       ///< tree, exec tree, or operator tree. Always a bug
+                       ///< in the optimizer/planner, never user error. The
+                       ///< message carries a dotted path to the offending
+                       ///< node.
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -75,6 +80,9 @@ class Status {
   static Status InvalidQuery(std::string msg) {
     return Status(StatusCode::kInvalidQuery, std::move(msg));
   }
+  static Status InternalPlanError(std::string msg) {
+    return Status(StatusCode::kInternalPlanError, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -103,6 +111,9 @@ class Status {
   }
   bool IsInvalidQuery() const {
     return code() == StatusCode::kInvalidQuery;
+  }
+  bool IsInternalPlanError() const {
+    return code() == StatusCode::kInternalPlanError;
   }
 
  private:

@@ -1,0 +1,41 @@
+#include "util/verify.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rdfrel::util {
+
+namespace {
+
+// -1 = no override (use build/env default), 0 = forced off, 1 = forced on.
+std::atomic<int> g_override{-1};
+
+bool DefaultEnabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  const char* env = std::getenv("RDFREL_VERIFY_PLANS");
+  return env != nullptr && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "") != 0;
+#endif
+}
+
+}  // namespace
+
+bool VerifyPlansEnabled() {
+  int v = g_override.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  // The environment never changes mid-process; computing this repeatedly is
+  // cheap and keeps the function safe to call before main().
+  static const bool kDefault = DefaultEnabled();
+  return kDefault;
+}
+
+void SetVerifyPlans(bool enabled) {
+  g_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ResetVerifyPlans() { g_override.store(-1, std::memory_order_relaxed); }
+
+}  // namespace rdfrel::util

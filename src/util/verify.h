@@ -1,0 +1,25 @@
+#ifndef RDFREL_UTIL_VERIFY_H_
+#define RDFREL_UTIL_VERIFY_H_
+
+/// \file verify.h
+/// Process-wide gate for the plan/IR invariant verifiers (DESIGN.md §8).
+///
+/// Verification runs unconditionally in Debug builds (NDEBUG undefined).
+/// In optimized builds it is off by default and can be switched on either
+/// per query (QueryOptions::verify_plans), per process via the environment
+/// variable RDFREL_VERIFY_PLANS=1, or programmatically via SetVerifyPlans.
+
+namespace rdfrel::util {
+
+/// True when the plan/operator verifiers should run for this process.
+/// Thread-safe; the environment is read once on first use.
+bool VerifyPlansEnabled();
+
+/// Overrides the process-wide default (tests, embedding applications).
+/// Thread-safe. ResetVerifyPlans restores the build/env-derived default.
+void SetVerifyPlans(bool enabled);
+void ResetVerifyPlans();
+
+}  // namespace rdfrel::util
+
+#endif  // RDFREL_UTIL_VERIFY_H_

@@ -66,8 +66,8 @@ TEST_P(WorkloadTest, AllQueriesParseAndAgreeAcrossBackends) {
 INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadTest,
                          ::testing::Values("micro", "lubm", "sp2bench",
                                            "dbpedia", "prbench"),
-                         [](const auto& info) {
-                           return std::string(info.param);
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
                          });
 
 TEST(WorkloadDetailTest, MicroClassMixMatchesTable1) {
@@ -104,7 +104,7 @@ TEST(WorkloadDetailTest, LubmDeterministicAndTyped) {
   EXPECT_EQ(a.queries.size(), 12u);
   // Avg out-degree should be modest (LUBM ~6).
   double avg = static_cast<double>(a.graph.size()) /
-               a.graph.DistinctSubjects().size();
+               static_cast<double>(a.graph.DistinctSubjects().size());
   EXPECT_GT(avg, 3.0);
   EXPECT_LT(avg, 9.0);
 }
@@ -113,8 +113,9 @@ TEST(WorkloadDetailTest, DbpediaSkewAndPredicates) {
   Workload w = MakeDbpedia(2000, 500, 3);
   EXPECT_EQ(w.queries.size(), 20u);
   EXPECT_GT(w.graph.DistinctPredicates().size(), 100u);
-  double avg_out = static_cast<double>(w.graph.size()) /
-                   w.graph.DistinctSubjects().size();
+  double avg_out =
+      static_cast<double>(w.graph.size()) /
+      static_cast<double>(w.graph.DistinctSubjects().size());
   EXPECT_GT(avg_out, 8.0);   // paper: ~14
   EXPECT_LT(avg_out, 25.0);
 }

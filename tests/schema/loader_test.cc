@@ -91,9 +91,9 @@ TEST(LoaderTest, BulkLoadShredsFigure1) {
   EXPECT_EQ(stats->dph_rows, 4u + stats->dph_spill_rows);
 
   auto& dict = g.dictionary();
-  int64_t flint = dict.Lookup(Term::Iri("Flint"));
-  int64_t born = dict.Lookup(Term::Iri("born"));
-  int64_t y1850 = dict.Lookup(Term::Literal("1850"));
+  int64_t flint = static_cast<int64_t>(dict.Lookup(Term::Iri("Flint")));
+  int64_t born = static_cast<int64_t>(dict.Lookup(Term::Iri("born")));
+  int64_t y1850 = static_cast<int64_t>(dict.Lookup(Term::Literal("1850")));
   auto val = FindVal(f.schema->dph(), 16, flint, born);
   ASSERT_TRUE(val.has_value());
   EXPECT_EQ(*val, y1850);
@@ -104,8 +104,8 @@ TEST(LoaderTest, MultiValuedPredicateGoesToSecondary) {
   rdf::Graph g = PaperFigure1Graph();
   ASSERT_TRUE(f.loader->BulkLoad(g).ok());
   auto& dict = g.dictionary();
-  int64_t ibm = dict.Lookup(Term::Iri("IBM"));
-  int64_t industry = dict.Lookup(Term::Iri("industry"));
+  int64_t ibm = static_cast<int64_t>(dict.Lookup(Term::Iri("IBM")));
+  int64_t industry = static_cast<int64_t>(dict.Lookup(Term::Iri("industry")));
   auto val = FindVal(f.schema->dph(), 16, ibm, industry);
   ASSERT_TRUE(val.has_value());
   ASSERT_TRUE(Db2RdfSchema::IsLid(*val)) << *val;
@@ -115,7 +115,7 @@ TEST(LoaderTest, MultiValuedPredicateGoesToSecondary) {
       static_cast<int64_t>(dict.Lookup(Term::Literal("Hardware"))),
       static_cast<int64_t>(dict.Lookup(Term::Literal("Services")))};
   EXPECT_EQ(elems, expect);
-  EXPECT_TRUE(f.schema->multivalued_direct().count(industry) > 0);
+  EXPECT_TRUE(f.schema->multivalued_direct().count(static_cast<uint64_t>(industry)) > 0);
 }
 
 TEST(LoaderTest, ReverseSideMirrors) {
@@ -124,14 +124,14 @@ TEST(LoaderTest, ReverseSideMirrors) {
   ASSERT_TRUE(f.loader->BulkLoad(g).ok());
   auto& dict = g.dictionary();
   // Reverse: who founded Google? RPH entry Google, pred founder -> Page.
-  int64_t google = dict.Lookup(Term::Iri("Google"));
-  int64_t founder = dict.Lookup(Term::Iri("founder"));
+  int64_t google = static_cast<int64_t>(dict.Lookup(Term::Iri("Google")));
+  int64_t founder = static_cast<int64_t>(dict.Lookup(Term::Iri("founder")));
   auto val = FindVal(f.schema->rph(), 16, google, founder);
   ASSERT_TRUE(val.has_value());
   EXPECT_EQ(*val, static_cast<int64_t>(dict.Lookup(Term::Iri("Page"))));
   // Software's industry (reverse) is multi-valued: IBM and Google.
-  int64_t software = dict.Lookup(Term::Literal("Software"));
-  int64_t industry = dict.Lookup(Term::Iri("industry"));
+  int64_t software = static_cast<int64_t>(dict.Lookup(Term::Literal("Software")));
+  int64_t industry = static_cast<int64_t>(dict.Lookup(Term::Iri("industry")));
   auto rval = FindVal(f.schema->rph(), 16, software, industry);
   ASSERT_TRUE(rval.has_value());
   ASSERT_TRUE(Db2RdfSchema::IsLid(*rval));
@@ -150,7 +150,7 @@ TEST(LoaderTest, TinyKForcesSpills) {
   EXPECT_FALSE(f.schema->spilled_direct().empty());
   // Data must still be complete: Page's 4 predicates all findable.
   auto& dict = g.dictionary();
-  int64_t page = dict.Lookup(Term::Iri("Page"));
+  int64_t page = static_cast<int64_t>(dict.Lookup(Term::Iri("Page")));
   for (const char* p : {"born", "founder", "board", "home"}) {
     auto val = FindVal(f.schema->dph(), 2, page,
                        static_cast<int64_t>(dict.Lookup(Term::Iri(p))));
@@ -175,7 +175,6 @@ TEST(LoaderTest, IncrementalMatchesBulk) {
     ASSERT_TRUE(incr.loader->InsertTriple(g.dictionary(), t).ok());
   }
   // Same values retrievable from both stores for every triple.
-  auto& dict = g.dictionary();
   for (const auto& t : g.triples()) {
     for (auto* f : {&bulk, &incr}) {
       auto val = FindVal(f->schema->dph(), 16,
@@ -200,9 +199,9 @@ TEST(LoaderTest, IncrementalSingleToMultiConversion) {
   g.Add({Term::Iri("s"), Term::Iri("p"), Term::Iri("o1")});
   ASSERT_TRUE(f.loader->BulkLoad(g).ok());
   auto& dict = g.dictionary();
-  int64_t s = dict.Lookup(Term::Iri("s"));
-  int64_t p = dict.Lookup(Term::Iri("p"));
-  int64_t o1 = dict.Lookup(Term::Iri("o1"));
+  int64_t s = static_cast<int64_t>(dict.Lookup(Term::Iri("s")));
+  int64_t p = static_cast<int64_t>(dict.Lookup(Term::Iri("p")));
+  int64_t o1 = static_cast<int64_t>(dict.Lookup(Term::Iri("o1")));
   // Initially single-valued.
   auto val = FindVal(f.schema->dph(), 16, s, p);
   ASSERT_TRUE(val.has_value());
@@ -220,7 +219,7 @@ TEST(LoaderTest, IncrementalSingleToMultiConversion) {
   ASSERT_TRUE(Db2RdfSchema::IsLid(*val));
   auto elems = ListElements(f.schema->ds(), *val);
   EXPECT_EQ(elems.size(), 2u);
-  EXPECT_TRUE(f.schema->multivalued_direct().count(p) > 0);
+  EXPECT_TRUE(f.schema->multivalued_direct().count(static_cast<uint64_t>(p)) > 0);
 
   // Third object appends to the same list.
   uint64_t o3 = g.dictionary().Encode(Term::Iri("o3"));

@@ -43,7 +43,7 @@ TEST(BPlusTreeTest, DuplicateKeysAccumulate) {
 
 TEST(BPlusTreeTest, SplitsGrowHeight) {
   BPlusTree t(/*fanout=*/4);
-  for (int i = 0; i < 100; ++i) t.Insert(Value::Int(i), Rid(i));
+  for (uint32_t i = 0; i < 100; ++i) t.Insert(Value::Int(i), Rid(i));
   EXPECT_GT(t.height(), 1u);
   EXPECT_TRUE(t.CheckInvariants().ok());
   for (int i = 0; i < 100; ++i) {
@@ -54,7 +54,8 @@ TEST(BPlusTreeTest, SplitsGrowHeight) {
 TEST(BPlusTreeTest, StringKeys) {
   BPlusTree t(4);
   for (int i = 0; i < 50; ++i) {
-    t.Insert(Value::Str("key" + std::to_string(i)), Rid(i));
+    t.Insert(Value::Str("key" + std::to_string(i)),
+             Rid(static_cast<uint32_t>(i)));
   }
   EXPECT_TRUE(t.CheckInvariants().ok());
   EXPECT_EQ(t.Lookup(Value::Str("key42")).size(), 1u);
@@ -76,7 +77,7 @@ TEST(BPlusTreeTest, RemovePostings) {
 
 TEST(BPlusTreeTest, RangeScanInclusive) {
   BPlusTree t(4);
-  for (int i = 0; i < 100; i += 2) t.Insert(Value::Int(i), Rid(i));
+  for (uint32_t i = 0; i < 100; i += 2) t.Insert(Value::Int(i), Rid(i));
   std::vector<int64_t> seen;
   t.Range(Value::Int(10), Value::Int(20), [&](const Value& k, RowId) {
     seen.push_back(k.AsInt());
@@ -87,7 +88,7 @@ TEST(BPlusTreeTest, RangeScanInclusive) {
 
 TEST(BPlusTreeTest, RangeUnboundedAndEarlyStop) {
   BPlusTree t(4);
-  for (int i = 0; i < 30; ++i) t.Insert(Value::Int(i), Rid(i));
+  for (uint32_t i = 0; i < 30; ++i) t.Insert(Value::Int(i), Rid(i));
   int count = 0;
   t.Range(std::nullopt, std::nullopt, [&](const Value&, RowId) {
     return ++count < 7;
@@ -98,7 +99,9 @@ TEST(BPlusTreeTest, RangeUnboundedAndEarlyStop) {
 TEST(BPlusTreeTest, ScanAllOrdered) {
   BPlusTree t(4);
   std::vector<int> keys = {42, 7, 19, 3, 88, 61, 5, 70, 1, 33};
-  for (int k : keys) t.Insert(Value::Int(k), Rid(k));
+  for (int k : keys) {
+    t.Insert(Value::Int(k), Rid(static_cast<uint32_t>(k)));
+  }
   std::vector<int64_t> seen;
   t.ScanAll([&](const Value& k, RowId) {
     seen.push_back(k.AsInt());
@@ -127,7 +130,8 @@ TEST_P(BTreePropertyTest, RandomInsertRemoveMatchesReferenceSet) {
 
   // Random inserts (with duplicates).
   for (int i = 0; i < p.num_keys; ++i) {
-    int64_t key = static_cast<int64_t>(rng.Uniform(p.num_keys / 2 + 1));
+    int64_t key = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(p.num_keys / 2 + 1)));
     uint32_t rid = static_cast<uint32_t>(rng.Uniform(1000));
     t.Insert(Value::Int(key), Rid(rid));
     reference.insert({key, rid});
@@ -168,10 +172,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(BTreeParam{4, 200, 1}, BTreeParam{4, 2000, 2},
                       BTreeParam{8, 2000, 3}, BTreeParam{64, 2000, 4},
                       BTreeParam{64, 20000, 5}, BTreeParam{5, 999, 6}),
-    [](const ::testing::TestParamInfo<BTreeParam>& info) {
-      return "fanout" + std::to_string(info.param.fanout) + "_n" +
-             std::to_string(info.param.num_keys) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<BTreeParam>& param_info) {
+      return "fanout" + std::to_string(param_info.param.fanout) + "_n" +
+             std::to_string(param_info.param.num_keys) + "_s" +
+             std::to_string(param_info.param.seed);
     });
 
 }  // namespace

@@ -145,7 +145,7 @@ TEST(HeapFileTest, SpansPages) {
     rids.push_back(*r);
   }
   EXPECT_GT(h.num_pages(), 1u);
-  for (int i = 0; i < 100; ++i) {
+  for (size_t i = 0; i < 100; ++i) {
     auto cell = h.Get(rids[i]);
     ASSERT_TRUE(cell.ok());
     EXPECT_EQ(*cell, "payload-" + std::to_string(i));

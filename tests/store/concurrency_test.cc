@@ -235,7 +235,8 @@ TEST(ConcurrencyTest, ReadersAndWriterStress) {
   for (int t = 0; t < kReaders; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kReadIters; ++i) {
-        const std::string& q = queries[(t + i) % queries.size()];
+        const std::string& q =
+            queries[static_cast<size_t>(t + i) % queries.size()];
         auto r = store->Query(q);
         // Results legitimately change under the writer; only hard errors
         // count as failures.

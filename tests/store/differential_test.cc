@@ -222,11 +222,11 @@ INSTANTIATE_TEST_SUITE_P(
         DiffParam{10, 8, false, 2},
         DiffParam{11, 2, true, 2},
         DiffParam{12, 0, true, 1}),
-    [](const ::testing::TestParamInfo<DiffParam>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_k" +
-             std::to_string(info.param.k) +
-             (info.param.use_coloring ? "_color" : "_hash") + "_f" +
-             std::to_string(info.param.hash_fns);
+    [](const ::testing::TestParamInfo<DiffParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_k" +
+             std::to_string(param_info.param.k) +
+             (param_info.param.use_coloring ? "_color" : "_hash") + "_f" +
+             std::to_string(param_info.param.hash_fns);
     });
 
 }  // namespace

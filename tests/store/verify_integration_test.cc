@@ -1,0 +1,81 @@
+/// Integration gate for the static verification layer (DESIGN.md §8):
+/// every query of every benchdata workload must plan and execute cleanly
+/// with plan/IR verification forced on, across flow modes and both the
+/// DB2RDF and baseline backends. Any kInternalPlanError here means an
+/// optimizer or executor invariant regressed.
+
+#include <gtest/gtest.h>
+
+#include "benchdata/dbpedia.h"
+#include "benchdata/lubm.h"
+#include "benchdata/micro.h"
+#include "benchdata/prbench.h"
+#include "benchdata/sp2bench.h"
+#include "store/rdf_store.h"
+#include "store/triple_store_backend.h"
+
+namespace rdfrel::store {
+namespace {
+
+benchdata::Workload MakeSmall(const std::string& name) {
+  if (name == "micro") return benchdata::MakeMicro(400, 7);
+  if (name == "lubm") return benchdata::MakeLubm(2, 7);
+  if (name == "sp2bench") return benchdata::MakeSp2Bench(4, 7);
+  if (name == "dbpedia") return benchdata::MakeDbpedia(400, 300, 7);
+  if (name == "prbench") return benchdata::MakePrbench(2, 7);
+  return {};
+}
+
+class WorkloadVerifierTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadVerifierTest, AllQueriesVerifyCleanlyAcrossFlowModes) {
+  benchdata::Workload w = MakeSmall(GetParam());
+  ASSERT_FALSE(w.queries.empty());
+  benchdata::Workload w2 = MakeSmall(GetParam());
+
+  auto db2rdf = RdfStore::Load(std::move(w.graph));
+  ASSERT_TRUE(db2rdf.ok()) << db2rdf.status().ToString();
+  auto triple = TripleStoreBackend::Load(std::move(w2.graph));
+  ASSERT_TRUE(triple.ok()) << triple.status().ToString();
+
+  // Greedy exercises the strict flow checks; parse-order exercises the
+  // relaxed level the ablation mode is held to. Exhaustive is exponential
+  // in pattern count, so workload-scale queries stick to the two scalable
+  // modes (optimizer_test covers exhaustive on small queries).
+  for (FlowMode flow : {FlowMode::kGreedy, FlowMode::kParseOrder}) {
+    QueryOptions opts;
+    opts.flow = flow;
+    opts.verify_plans = true;
+    for (const auto& q : w.queries) {
+      auto a = (*db2rdf)->QueryWith(q.sparql, opts);
+      EXPECT_TRUE(a.ok()) << w.name << "/" << q.id << " (db2rdf, flow "
+                          << static_cast<int>(flow)
+                          << "): " << a.status().ToString();
+      auto b = (*triple)->QueryWith(q.sparql, opts);
+      EXPECT_TRUE(b.ok()) << w.name << "/" << q.id << " (triple, flow "
+                          << static_cast<int>(flow)
+                          << "): " << b.status().ToString();
+    }
+  }
+
+  // Unmerged / early-fused plan shapes go through the same verifiers.
+  QueryOptions unmerged;
+  unmerged.merging = false;
+  unmerged.late_fusing = false;
+  unmerged.verify_plans = true;
+  for (const auto& q : w.queries) {
+    auto a = (*db2rdf)->QueryWith(q.sparql, unmerged);
+    EXPECT_TRUE(a.ok()) << w.name << "/" << q.id
+                        << " (unmerged): " << a.status().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadVerifierTest,
+                         ::testing::Values("micro", "lubm", "sp2bench",
+                                           "dbpedia", "prbench"),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace rdfrel::store
