@@ -7,7 +7,11 @@
 #   2b. UndefinedBehaviorSanitizer build with recovery disabled, running
 #       the full suite: any UB (signed overflow, bad shifts, misaligned
 #       or null access, ...) aborts the test instead of logging.
-#   3.  Release bench smoke: bench_micro_star at a reduced scale must run
+#   3.  Crash-recovery gate: the PersistTest suites (WAL framing, snapshot
+#       CRCs, kill-at-any-point fault injection, snapshot fallback) run
+#       explicitly under both Debug+ASan and UBSan, so a durability
+#       regression is named in the output rather than buried in a full run.
+#   4.  Release bench smoke: bench_micro_star at a reduced scale must run
 #       to completion and emit machine-readable BENCH_sql.json.
 #
 # Build trees go to build-tsan/, build-asan/, build-ubsan/ and
@@ -19,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/4] ThreadSanitizer: concurrency tests =="
+echo "== [1/5] ThreadSanitizer: concurrency tests =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFREL_SANITIZE=thread > /dev/null
@@ -29,7 +33,7 @@ cmake --build build-tsan -j"${JOBS}" --target concurrency_test util_test
     -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest')
 
 echo
-echo "== [2/4] Debug + AddressSanitizer: full suite =="
+echo "== [2/5] Debug + AddressSanitizer: full suite =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRDFREL_SANITIZE=address > /dev/null
@@ -37,7 +41,7 @@ cmake --build build-asan -j"${JOBS}"
 (cd build-asan && ctest --output-on-failure -j"${JOBS}")
 
 echo
-echo "== [2b/4] UndefinedBehaviorSanitizer: full suite =="
+echo "== [2b/5] UndefinedBehaviorSanitizer: full suite =="
 cmake -B build-ubsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRDFREL_SANITIZE=undefined > /dev/null
@@ -47,7 +51,14 @@ cmake --build build-ubsan -j"${JOBS}"
 (cd build-ubsan && ctest --output-on-failure -j"${JOBS}")
 
 echo
-echo "== [3/4] Release bench smoke: BENCH_sql.json =="
+echo "== [3/5] Crash-recovery gate: PersistTest under ASan and UBSan =="
+# The trees were built above; this re-runs just the persistence layer so
+# durability failures surface as their own stage.
+(cd build-asan && ctest --output-on-failure -j"${JOBS}" -R 'PersistTest')
+(cd build-ubsan && ctest --output-on-failure -j"${JOBS}" -R 'PersistTest')
+
+echo
+echo "== [4/5] Release bench smoke: BENCH_sql.json =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-release -j"${JOBS}" --target bench_micro_star
 (cd build-release &&

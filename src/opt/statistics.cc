@@ -89,4 +89,22 @@ uint64_t Statistics::CountByPredicate(uint64_t id) const {
   return it == predicate_counts_.end() ? 0 : it->second;
 }
 
+Statistics Statistics::FromParts(
+    uint64_t total_triples, uint64_t distinct_subjects,
+    uint64_t distinct_objects, double avg_per_subject, double avg_per_object,
+    std::unordered_map<uint64_t, uint64_t> top_subjects,
+    std::unordered_map<uint64_t, uint64_t> top_objects,
+    std::unordered_map<uint64_t, uint64_t> predicate_counts) {
+  Statistics s;
+  s.total_triples_ = total_triples;
+  s.distinct_subjects_ = distinct_subjects;
+  s.distinct_objects_ = distinct_objects;
+  s.avg_per_subject_ = avg_per_subject;
+  s.avg_per_object_ = avg_per_object;
+  s.top_subjects_ = std::move(top_subjects);
+  s.top_objects_ = std::move(top_objects);
+  s.predicate_counts_ = std::move(predicate_counts);
+  return s;
+}
+
 }  // namespace rdfrel::opt

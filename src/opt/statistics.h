@@ -44,6 +44,25 @@ class Statistics {
   void AddTriple(const rdf::EncodedTriple& t);
   void RemoveTriple(const rdf::EncodedTriple& t);
 
+  /// Raw internals, exposed for snapshot serialization.
+  const std::unordered_map<uint64_t, uint64_t>& top_subject_counts() const {
+    return top_subjects_;
+  }
+  const std::unordered_map<uint64_t, uint64_t>& top_object_counts() const {
+    return top_objects_;
+  }
+  const std::unordered_map<uint64_t, uint64_t>& predicate_count_map() const {
+    return predicate_counts_;
+  }
+
+  /// Rebuilds a Statistics from snapshot fields (inverse of the accessors).
+  static Statistics FromParts(
+      uint64_t total_triples, uint64_t distinct_subjects,
+      uint64_t distinct_objects, double avg_per_subject, double avg_per_object,
+      std::unordered_map<uint64_t, uint64_t> top_subjects,
+      std::unordered_map<uint64_t, uint64_t> top_objects,
+      std::unordered_map<uint64_t, uint64_t> predicate_counts);
+
  private:
   uint64_t total_triples_ = 0;
   uint64_t distinct_subjects_ = 0;

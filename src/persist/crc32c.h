@@ -1,0 +1,28 @@
+#ifndef RDFREL_PERSIST_CRC32C_H_
+#define RDFREL_PERSIST_CRC32C_H_
+
+/// \file crc32c.h
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+/// checksum every snapshot section and WAL record carries. Software
+/// table-driven implementation; the polynomial matches what iSCSI, ext4,
+/// RocksDB and LevelDB use, so on-disk artifacts are checkable with
+/// standard tools.
+
+#include <cstdint>
+#include <string_view>
+
+namespace rdfrel::persist {
+
+/// CRC32C of \p data, seeded with \p init (pass a previous crc to extend a
+/// running checksum over concatenated chunks).
+uint32_t Crc32c(std::string_view data, uint32_t init = 0);
+
+/// Masked CRC in the RocksDB/LevelDB style: storing a CRC of bytes that
+/// themselves embed CRCs is error-prone, so persisted checksums are
+/// rotated+offset. Verification unmasks before comparing.
+uint32_t MaskCrc(uint32_t crc);
+uint32_t UnmaskCrc(uint32_t masked);
+
+}  // namespace rdfrel::persist
+
+#endif  // RDFREL_PERSIST_CRC32C_H_

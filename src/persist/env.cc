@@ -1,0 +1,277 @@
+#include "persist/env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace rdfrel::persist {
+
+namespace {
+
+Status IoError(const std::string& context) {
+  return Status::Internal(context + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return IoError("write " + path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return IoError("fsync " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return IoError("close " + path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return IoError("open " + path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("file " + path);
+      return IoError("open " + path);
+    }
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return IoError("read " + path);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::NotFound("file " + path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return IoError("opendir " + dir);
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return IoError("mkdir " + dir);
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return IoError("unlink " + path);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return IoError("rename " + from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return IoError("truncate " + path);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+
+class MemWritableFile final : public WritableFile {
+ public:
+  MemWritableFile(MemEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    env_->files_[path_].append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  MemEnv* env_;
+  std::string path_;
+};
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (truncate) {
+      files_[path].clear();
+    } else {
+      files_.try_emplace(path);  // append mode creates if missing
+    }
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(this, path));
+}
+
+Result<std::string> MemEnv::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("file " + path);
+  return it->second;
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(path) > 0) return true;
+  return std::find(dirs_.begin(), dirs_.end(), path) != dirs_.end();
+}
+
+Result<uint64_t> MemEnv::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("file " + path);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, content] : files_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(std::move(rest));
+  }
+  return names;
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(dirs_.begin(), dirs_.end(), dir) == dirs_.end()) {
+    dirs_.push_back(dir);
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("file " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("file " + path);
+  if (size < it->second.size()) it->second.resize(size);
+  return Status::OK();
+}
+
+std::map<std::string, std::string> MemEnv::CopyFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_;
+}
+
+void MemEnv::RestoreFiles(std::map<std::string, std::string> files) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_ = std::move(files);
+}
+
+void MemEnv::SetFile(const std::string& path, std::string content) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = std::move(content);
+}
+
+}  // namespace rdfrel::persist

@@ -1,0 +1,107 @@
+#ifndef RDFREL_PERSIST_ENV_H_
+#define RDFREL_PERSIST_ENV_H_
+
+/// \file env.h
+/// The file-system boundary of the persistence layer, in the LevelDB/RocksDB
+/// Env idiom: everything durable goes through this narrow interface so tests
+/// can substitute an in-memory file system (MemEnv) and wrap either one in
+/// the fault-injection env (fail_fs.h) that drops, truncates or bit-flips
+/// writes at a chosen byte offset.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdfrel::persist {
+
+/// A sequential, append-only output file. Append buffers in the OS (or in
+/// memory); nothing is durable until Sync returns OK.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  /// Forces buffered bytes to stable storage (fsync or the env's analogue).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Minimal file-system interface. Paths use '/' separators; directories are
+/// only one level deep in practice (one store directory).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens \p path for writing. \p truncate replaces any existing content;
+  /// otherwise writes append to the existing bytes.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the whole file into a string.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Base names of the files directly inside \p dir (no subdirectories).
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically replaces \p to with \p from (POSIX rename semantics); the
+  /// publish step of snapshot writing.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Cuts \p path down to \p size bytes (tests use this to model torn
+  /// tails post hoc).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// The process-wide POSIX-backed env.
+  static Env* Default();
+};
+
+/// A fully in-memory Env for tests: deterministic, fast, and trivially
+/// copyable so a recovery test can clone the "disk" at any point. Sync is a
+/// no-op (everything written is already "durable"). Thread-safe.
+class MemEnv final : public Env {
+ public:
+  MemEnv() = default;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDirIfMissing(const std::string& dir) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+
+  /// Snapshot of the whole file map (path -> bytes), for cloning a "disk"
+  /// state in tests.
+  std::map<std::string, std::string> CopyFiles() const;
+  /// Replaces the file map (restoring a cloned state).
+  void RestoreFiles(std::map<std::string, std::string> files);
+  /// Direct mutation for corruption tests.
+  void SetFile(const std::string& path, std::string content);
+
+ private:
+  friend class MemWritableFile;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+  std::vector<std::string> dirs_;
+};
+
+}  // namespace rdfrel::persist
+
+#endif  // RDFREL_PERSIST_ENV_H_

@@ -1,0 +1,100 @@
+#include "persist/fail_fs.h"
+
+namespace rdfrel::persist {
+
+/// The wrapping writable file: applies the env's FaultSpec to its own
+/// logical write stream, then forwards whatever survives to the base file.
+class FaultInjectionFile final : public WritableFile {
+ public:
+  FaultInjectionFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base,
+                     std::string path, uint64_t start_offset)
+      : env_(env),
+        base_(std::move(base)),
+        path_(std::move(path)),
+        logical_offset_(start_offset) {}
+
+  Status Append(std::string_view data) override {
+    env_->writes_.fetch_add(1);
+    env_->bytes_.fetch_add(data.size());
+
+    FaultSpec spec;
+    {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      spec = env_->spec_;
+    }
+    const uint64_t start = logical_offset_;
+    const uint64_t end = start + data.size();
+    logical_offset_ = end;
+
+    const bool applies =
+        spec.mode != FaultSpec::Mode::kNone &&
+        path_.find(spec.path_substr) != std::string::npos &&
+        spec.offset >= start && spec.offset < end;
+
+    switch (spec.mode) {
+      case FaultSpec::Mode::kNone:
+        break;
+      case FaultSpec::Mode::kTruncateAfter: {
+        // Everything at logical offset >= spec.offset is lost, for this
+        // write and every later one.
+        if (path_.find(spec.path_substr) == std::string::npos) break;
+        if (start >= spec.offset) {
+          env_->faults_.fetch_add(1);
+          return Status::OK();  // entire write swallowed
+        }
+        if (end > spec.offset) {
+          env_->faults_.fetch_add(1);
+          return base_->Append(data.substr(0, spec.offset - start));
+        }
+        break;
+      }
+      case FaultSpec::Mode::kDropWrite: {
+        if (applies) {
+          env_->faults_.fetch_add(1);
+          return Status::OK();  // whole Append vanishes
+        }
+        break;
+      }
+      case FaultSpec::Mode::kBitFlip: {
+        if (applies) {
+          env_->faults_.fetch_add(1);
+          std::string mutated(data);
+          mutated[spec.offset - start] ^= 1;
+          return base_->Append(mutated);
+        }
+        break;
+      }
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    env_->syncs_.fetch_add(1);
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+  uint64_t logical_offset_;
+};
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  // Logical offsets count from the start of the file content the writer
+  // sees, so an append-mode open resumes at the current size.
+  uint64_t start = 0;
+  if (!truncate) {
+    auto size = base_->FileSize(path);
+    if (size.ok()) start = *size;
+  }
+  RDFREL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                          base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultInjectionFile>(
+      this, std::move(base), path, start));
+}
+
+}  // namespace rdfrel::persist

@@ -1,0 +1,318 @@
+#include "persist/manager.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "persist/coding.h"
+
+namespace rdfrel::persist {
+
+namespace {
+
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".snap";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".log";
+
+std::string SeqToString(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%010" PRIu64, seq);
+  return buf;
+}
+
+/// Parses "<prefix><digits><suffix>" file names; nullopt otherwise.
+std::optional<uint64_t> ParseSeq(std::string_view name, std::string_view prefix,
+                                 std::string_view suffix) {
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.substr(0, prefix.size()) != prefix) return std::nullopt;
+  if (name.substr(name.size() - suffix.size()) != suffix) return std::nullopt;
+  std::string_view digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  uint64_t seq = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+std::string EncodeMeta(const std::string& backend_kind, uint64_t seq,
+                       uint64_t next_lsn) {
+  std::string out;
+  PutString(&out, backend_kind);
+  PutU64(&out, seq);
+  PutU64(&out, next_lsn);
+  return out;
+}
+
+struct SnapshotMeta {
+  std::string backend_kind;
+  uint64_t seq = 0;
+  uint64_t next_lsn = 1;
+};
+
+Result<SnapshotMeta> DecodeMeta(const SnapshotSections& sections) {
+  auto it = sections.find(static_cast<uint32_t>(SnapshotSection::kMeta));
+  if (it == sections.end()) {
+    return Status::DataLoss("snapshot has no meta section");
+  }
+  ByteReader r(it->second);
+  SnapshotMeta meta;
+  RDFREL_ASSIGN_OR_RETURN(meta.backend_kind, r.ReadString());
+  RDFREL_ASSIGN_OR_RETURN(meta.seq, r.ReadU64());
+  RDFREL_ASSIGN_OR_RETURN(meta.next_lsn, r.ReadU64());
+  return meta;
+}
+
+}  // namespace
+
+std::string PersistenceManager::SnapshotPath(const std::string& dir,
+                                             uint64_t seq) {
+  return dir + "/" + kSnapshotPrefix + SeqToString(seq) + kSnapshotSuffix;
+}
+
+std::string PersistenceManager::WalPath(const std::string& dir, uint64_t seq) {
+  return dir + "/" + kWalPrefix + SeqToString(seq) + kWalSuffix;
+}
+
+PersistenceManager::PersistenceManager(Env* env, std::string dir,
+                                       std::string backend_kind,
+                                       WalOptions wal_options)
+    : env_(env),
+      dir_(std::move(dir)),
+      backend_kind_(std::move(backend_kind)),
+      wal_options_(wal_options) {}
+
+PersistenceManager::~PersistenceManager() { Close(); }
+
+Result<std::unique_ptr<PersistenceManager>> PersistenceManager::Create(
+    Env* env, const std::string& dir, const std::string& backend_kind,
+    const SnapshotSections& sections, const WalOptions& wal_options) {
+  RDFREL_RETURN_NOT_OK(env->CreateDirIfMissing(dir));
+  RDFREL_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  for (const auto& name : names) {
+    if (ParseSeq(name, kSnapshotPrefix, kSnapshotSuffix) ||
+        ParseSeq(name, kWalPrefix, kWalSuffix)) {
+      return Status::AlreadyExists("store directory is not empty: " + dir +
+                                   " (use Open to recover it)");
+    }
+  }
+  std::unique_ptr<PersistenceManager> mgr(
+      new PersistenceManager(env, dir, backend_kind, wal_options));
+  RDFREL_RETURN_NOT_OK(mgr->Rotate(/*seq=*/1, /*next_lsn=*/1, sections));
+  return mgr;
+}
+
+Result<RecoveryPlan> PersistenceManager::ScanForRecovery(
+    Env* env, const std::string& dir) {
+  RDFREL_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+
+  std::vector<uint64_t> snapshot_seqs;
+  uint64_t max_seen = 0;
+  for (const auto& name : names) {
+    if (auto seq = ParseSeq(name, kSnapshotPrefix, kSnapshotSuffix)) {
+      snapshot_seqs.push_back(*seq);
+      max_seen = std::max(max_seen, *seq);
+    }
+    if (auto seq = ParseSeq(name, kWalPrefix, kWalSuffix)) {
+      max_seen = std::max(max_seen, *seq);
+    }
+  }
+  if (snapshot_seqs.empty()) {
+    return Status::NotFound("no snapshot in store directory: " + dir);
+  }
+  std::sort(snapshot_seqs.rbegin(), snapshot_seqs.rend());
+
+  // Newest snapshot first; on integrity failure fall back once.
+  RecoveryPlan plan;
+  plan.dir = dir;
+  plan.max_seen_seq = max_seen;
+  SnapshotMeta meta;
+  std::string first_error;
+  bool chosen = false;
+  const size_t candidates = std::min<size_t>(2, snapshot_seqs.size());
+  for (size_t i = 0; i < candidates && !chosen; ++i) {
+    const uint64_t seq = snapshot_seqs[i];
+    auto sections = ReadSnapshotFile(env, SnapshotPath(dir, seq));
+    Result<SnapshotMeta> m =
+        sections.ok() ? DecodeMeta(*sections)
+                      : Result<SnapshotMeta>(sections.status());
+    if (m.ok() && m->seq != seq) {
+      m = Status::DataLoss("snapshot meta seq mismatch in " +
+                           SnapshotPath(dir, seq));
+    }
+    if (!m.ok()) {
+      if (first_error.empty()) first_error = m.status().ToString();
+      continue;
+    }
+    meta = *std::move(m);
+    plan.snapshot_seq = seq;
+    plan.sections = *std::move(sections);
+    plan.used_fallback_snapshot = i > 0;
+    chosen = true;
+  }
+  if (!chosen) {
+    return Status::DataLoss("no valid snapshot in " + dir + " (newest: " +
+                            first_error + ")");
+  }
+  plan.backend_kind = meta.backend_kind;
+  plan.sections.erase(static_cast<uint32_t>(SnapshotSection::kMeta));
+
+  // Replay the WAL chain from the chosen generation forward. LSNs chain
+  // across files; any tear or discontinuity ends the trusted prefix and
+  // everything after it is ignored.
+  uint64_t expected_lsn = meta.next_lsn;
+  for (uint64_t seq = plan.snapshot_seq; seq <= max_seen; ++seq) {
+    const std::string path = WalPath(dir, seq);
+    if (!env->FileExists(path)) {
+      if (seq == plan.snapshot_seq) continue;  // checkpoint crashed pre-WAL
+      break;
+    }
+    auto replay = ReadWalFile(env, path, expected_lsn);
+    if (!replay.ok()) break;  // untrusted header: end of the chain
+    for (auto& rec : replay->records) {
+      plan.records.push_back(std::move(rec));
+    }
+    if (!replay->records.empty()) {
+      expected_lsn = plan.records.back().lsn + 1;
+    }
+    if (replay->torn) {
+      plan.torn_tail_bytes = replay->file_bytes - replay->valid_bytes;
+      break;
+    }
+  }
+  plan.next_lsn = expected_lsn;
+  return plan;
+}
+
+Result<std::unique_ptr<PersistenceManager>> PersistenceManager::Resume(
+    Env* env, const std::string& dir, const RecoveryPlan& plan,
+    const SnapshotSections& sections, const WalOptions& wal_options) {
+  std::unique_ptr<PersistenceManager> mgr(
+      new PersistenceManager(env, dir, plan.backend_kind, wal_options));
+  mgr->stats_.replayed_records = plan.records.size();
+  mgr->stats_.torn_tail_bytes = plan.torn_tail_bytes;
+  RDFREL_RETURN_NOT_OK(
+      mgr->Rotate(plan.max_seen_seq + 1, plan.next_lsn, sections));
+  mgr->Retire(plan.snapshot_seq, plan.max_seen_seq + 1);
+  return mgr;
+}
+
+Status PersistenceManager::Rotate(uint64_t seq, uint64_t next_lsn,
+                                  const SnapshotSections& sections) {
+  // Ordering matters for crash consistency:
+  //   1. close the old WAL (all acked records durable),
+  //   2. publish the snapshot (atomic rename),
+  //   3. open the new WAL.
+  // A crash between any two steps leaves a recoverable directory: a
+  // published snapshot with no WAL file simply has nothing to replay.
+  if (wal_) {
+    RDFREL_RETURN_NOT_OK(wal_->Close());
+    AbsorbWalCounters();
+    wal_.reset();
+  }
+  SnapshotSections with_meta = sections;
+  with_meta[static_cast<uint32_t>(SnapshotSection::kMeta)] =
+      EncodeMeta(backend_kind_, seq, next_lsn);
+  RDFREL_RETURN_NOT_OK(
+      WriteSnapshotFile(env_, SnapshotPath(dir_, seq), with_meta));
+  RDFREL_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Create(env_, WalPath(dir_, seq), next_lsn,
+                              wal_options_));
+  current_seq_ = seq;
+  ++stats_.snapshots_written;
+  stats_.last_checkpoint_lsn = next_lsn == 0 ? 0 : next_lsn - 1;
+  return Status::OK();
+}
+
+void PersistenceManager::Retire(uint64_t keep_a, uint64_t keep_b) {
+  auto names = env_->ListDir(dir_);
+  if (!names.ok()) return;  // retention is best-effort
+  for (const auto& name : *names) {
+    auto seq = ParseSeq(name, kSnapshotPrefix, kSnapshotSuffix);
+    if (!seq) seq = ParseSeq(name, kWalPrefix, kWalSuffix);
+    if (!seq || *seq == keep_a || *seq == keep_b) continue;
+    env_->RemoveFile(dir_ + "/" + name);
+  }
+}
+
+void PersistenceManager::AbsorbWalCounters() {
+  if (!wal_) return;
+  stats_.wal_records += wal_->appended_records();
+  stats_.wal_bytes += wal_->appended_bytes();
+  stats_.fsyncs += wal_->fsyncs();
+  stats_.group_commit_batches += wal_->group_commit_batches();
+  // group_commit_records feeds the average; stash it in the numerator.
+  group_records_ += wal_->group_commit_records();
+}
+
+Result<uint64_t> PersistenceManager::LogRecord(WalRecordType type,
+                                               std::string_view payload) {
+  if (closed_ || !wal_) return Status::Internal("persistence is closed");
+  return wal_->Append(static_cast<uint8_t>(type), payload);
+}
+
+Result<uint64_t> PersistenceManager::LogRecordAsync(WalRecordType type,
+                                                    std::string_view payload) {
+  if (closed_ || !wal_) return Status::Internal("persistence is closed");
+  return wal_->AppendAsync(static_cast<uint8_t>(type), payload);
+}
+
+Status PersistenceManager::WaitDurable(uint64_t lsn) {
+  if (closed_ || !wal_) return Status::Internal("persistence is closed");
+  return wal_->WaitDurable(lsn);
+}
+
+Status PersistenceManager::Checkpoint(const SnapshotSections& sections) {
+  if (closed_) return Status::Internal("persistence is closed");
+  const uint64_t prev = current_seq_;
+  RDFREL_RETURN_NOT_OK(Rotate(prev + 1, wal_ ? wal_->next_lsn() : 1,
+                              sections));
+  Retire(prev, prev + 1);
+  return Status::OK();
+}
+
+Status PersistenceManager::Flush() {
+  if (closed_ || !wal_) return Status::OK();
+  return wal_->Sync();
+}
+
+Status PersistenceManager::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (!wal_) return Status::OK();
+  Status s = wal_->Close();
+  AbsorbWalCounters();
+  wal_.reset();
+  return s;
+}
+
+PersistStats PersistenceManager::stats() const {
+  PersistStats out = stats_;
+  uint64_t group_records = group_records_;
+  if (wal_) {
+    out.wal_records += wal_->appended_records();
+    out.wal_bytes += wal_->appended_bytes();
+    out.fsyncs += wal_->fsyncs();
+    out.group_commit_batches += wal_->group_commit_batches();
+    group_records += wal_->group_commit_records();
+    out.last_lsn = wal_->next_lsn() - 1;
+  } else {
+    out.last_lsn = stats_.last_checkpoint_lsn;
+  }
+  if (out.group_commit_batches > 0) {
+    out.avg_group_commit_batch =
+        static_cast<double>(group_records) /
+        static_cast<double>(out.group_commit_batches);
+  }
+  return out;
+}
+
+uint64_t PersistenceManager::next_lsn() const {
+  return wal_ ? wal_->next_lsn() : 1;
+}
+
+}  // namespace rdfrel::persist

@@ -1,0 +1,138 @@
+#ifndef RDFREL_PERSIST_MANAGER_H_
+#define RDFREL_PERSIST_MANAGER_H_
+
+/// \file manager.h
+/// Orchestrates snapshots + WAL inside one store directory.
+///
+/// Directory layout (seq is a zero-padded generation number):
+///   snapshot-<seq>.snap   full state as of generation <seq>
+///   wal-<seq>.log         mutations committed after snapshot <seq>
+///
+/// Invariants:
+///  * LSNs are globally monotonic: wal-<s+1> starts where wal-<s> ended.
+///  * A checkpoint closes the current WAL, writes snapshot-<s+1>, opens
+///    wal-<s+1>, then retires generations older than <s> (two snapshot
+///    generations are always retained).
+///  * Recovery picks the newest snapshot that passes CRC verification,
+///    falling back to the previous one, then replays every later WAL file
+///    in order. A torn tail (or LSN discontinuity) ends replay; trailing
+///    files past the tear are untrusted and ignored.
+///  * Recovery always finishes with a fresh checkpoint (see Resume), so a
+///    torn WAL never needs in-place truncation and known-corrupt files are
+///    swept out of the fallback chain.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "persist/env.h"
+#include "persist/persist_stats.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "util/status.h"
+
+namespace rdfrel::persist {
+
+/// WAL record types understood by the stores.
+enum class WalRecordType : uint8_t {
+  kInsertBatch = 1,
+  kDeleteBatch = 2,
+};
+
+/// What ScanForRecovery found: the snapshot to rebuild from and the
+/// committed WAL suffix to replay on top of it.
+struct RecoveryPlan {
+  std::string dir;  ///< directory the plan was scanned from
+  std::string backend_kind;
+  uint64_t snapshot_seq = 0;   ///< generation the sections came from
+  uint64_t max_seen_seq = 0;   ///< newest generation present on disk
+  SnapshotSections sections;   ///< chosen snapshot's payload sections
+  std::vector<WalRecord> records;  ///< LSN-continuous records to replay
+  uint64_t next_lsn = 1;       ///< first LSN for post-recovery mutations
+  uint64_t torn_tail_bytes = 0;
+  bool used_fallback_snapshot = false;
+};
+
+class PersistenceManager {
+ public:
+  /// Initializes persistence in \p dir (created if missing) for a store in
+  /// the state described by \p sections: writes snapshot generation 1 and
+  /// opens wal-1 at LSN 1. kMeta in \p sections is ignored — the manager
+  /// owns that section.
+  static Result<std::unique_ptr<PersistenceManager>> Create(
+      Env* env, const std::string& dir, const std::string& backend_kind,
+      const SnapshotSections& sections, const WalOptions& wal_options);
+
+  /// Scans \p dir and builds the recovery plan. Fails with kDataLoss when
+  /// no snapshot passes verification.
+  static Result<RecoveryPlan> ScanForRecovery(Env* env, const std::string& dir);
+
+  /// Completes recovery: \p sections must describe the store state after
+  /// replaying \p plan. Writes a fresh checkpoint generation, opens its
+  /// WAL, and retires every file outside {chosen generation, new
+  /// generation} — including known-corrupt snapshots.
+  static Result<std::unique_ptr<PersistenceManager>> Resume(
+      Env* env, const std::string& dir, const RecoveryPlan& plan,
+      const SnapshotSections& sections, const WalOptions& wal_options);
+
+  ~PersistenceManager();
+
+  /// Appends one committed mutation to the WAL; returns its LSN once
+  /// durable per the configured sync mode.
+  Result<uint64_t> LogRecord(WalRecordType type, std::string_view payload);
+
+  /// Append without waiting for durability; pair with WaitDurable. Lets a
+  /// store log under its writer lock but wait for the fsync outside it, so
+  /// concurrent committers share group-commit batches.
+  Result<uint64_t> LogRecordAsync(WalRecordType type,
+                                  std::string_view payload);
+  Status WaitDurable(uint64_t lsn);
+
+  /// Rotates: snapshot of \p sections as the next generation, fresh WAL,
+  /// retire generations older than the one just closed.
+  Status Checkpoint(const SnapshotSections& sections);
+
+  /// Forces the WAL durable up to the last appended record.
+  Status Flush();
+
+  /// Flushes and closes the WAL. Idempotent.
+  Status Close();
+
+  PersistStats stats() const;
+  uint64_t next_lsn() const;
+  const std::string& dir() const { return dir_; }
+
+  static std::string SnapshotPath(const std::string& dir, uint64_t seq);
+  static std::string WalPath(const std::string& dir, uint64_t seq);
+
+ private:
+  PersistenceManager(Env* env, std::string dir, std::string backend_kind,
+                     WalOptions wal_options);
+
+  /// Writes snapshot \p seq (meta + sections) and opens wal-<seq> starting
+  /// at \p next_lsn, replacing the current writer.
+  Status Rotate(uint64_t seq, uint64_t next_lsn,
+                const SnapshotSections& sections);
+  /// Deletes snapshot/WAL files whose generation is in neither keep slot.
+  void Retire(uint64_t keep_a, uint64_t keep_b);
+  void AbsorbWalCounters();
+
+  Env* env_;
+  std::string dir_;
+  std::string backend_kind_;
+  WalOptions wal_options_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t current_seq_ = 0;
+  bool closed_ = false;
+
+  PersistStats stats_;
+  /// Records covered by retired writers' group-commit batches (numerator
+  /// of the average; stats_.group_commit_batches is the denominator).
+  uint64_t group_records_ = 0;
+};
+
+}  // namespace rdfrel::persist
+
+#endif  // RDFREL_PERSIST_MANAGER_H_

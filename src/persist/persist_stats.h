@@ -1,0 +1,43 @@
+#ifndef RDFREL_PERSIST_PERSIST_STATS_H_
+#define RDFREL_PERSIST_PERSIST_STATS_H_
+
+/// \file persist_stats.h
+/// Observability counters of the durability layer, exposed through
+/// SparqlStore::persist_stats() next to the cache stats. Header-only so the
+/// store interface can carry it without linking the persistence library.
+
+#include <cstdint>
+#include <string>
+
+namespace rdfrel::persist {
+
+struct PersistStats {
+  uint64_t wal_records = 0;  ///< records appended this session
+  uint64_t wal_bytes = 0;    ///< bytes appended this session (incl. framing)
+  uint64_t fsyncs = 0;       ///< WAL fsyncs issued
+  uint64_t group_commit_batches = 0;  ///< fsync batches covering >= 1 record
+  /// Mean records amortized per fsync batch (group commit effectiveness).
+  double avg_group_commit_batch = 0.0;
+  uint64_t last_lsn = 0;             ///< newest durable log sequence number
+  uint64_t last_checkpoint_lsn = 0;  ///< LSN covered by the newest snapshot
+  uint64_t snapshots_written = 0;    ///< checkpoints taken this session
+  uint64_t replayed_records = 0;     ///< WAL records re-applied at Open
+  uint64_t torn_tail_bytes = 0;      ///< bytes dropped as torn tail at Open
+
+  std::string ToString() const {
+    return "wal_records=" + std::to_string(wal_records) +
+           " wal_bytes=" + std::to_string(wal_bytes) +
+           " fsyncs=" + std::to_string(fsyncs) +
+           " group_commit_batches=" + std::to_string(group_commit_batches) +
+           " avg_group_commit_batch=" + std::to_string(avg_group_commit_batch) +
+           " last_lsn=" + std::to_string(last_lsn) +
+           " last_checkpoint_lsn=" + std::to_string(last_checkpoint_lsn) +
+           " snapshots_written=" + std::to_string(snapshots_written) +
+           " replayed_records=" + std::to_string(replayed_records) +
+           " torn_tail_bytes=" + std::to_string(torn_tail_bytes);
+  }
+};
+
+}  // namespace rdfrel::persist
+
+#endif  // RDFREL_PERSIST_PERSIST_STATS_H_

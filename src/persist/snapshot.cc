@@ -1,0 +1,98 @@
+#include "persist/snapshot.h"
+
+#include "persist/coding.h"
+#include "persist/crc32c.h"
+
+namespace rdfrel::persist {
+
+namespace {
+
+constexpr char kMagic[] = "RDFSNAP\x01";  // 8 bytes
+constexpr size_t kMagicLen = 8;
+constexpr uint32_t kFormatVersion = 1;
+constexpr char kEndMarker[] = "END!";
+constexpr size_t kEndMarkerLen = 4;
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotSections& sections) {
+  std::string out;
+  out.append(kMagic, kMagicLen);
+  PutU32(&out, kFormatVersion);
+  PutU32(&out, static_cast<uint32_t>(sections.size()));
+  for (const auto& [id, payload] : sections) {
+    PutU32(&out, id);
+    PutU64(&out, payload.size());
+    out.append(payload);
+    PutU32(&out, MaskCrc(Crc32c(payload)));
+  }
+  uint32_t file_crc = Crc32c(out);
+  out.append(kEndMarker, kEndMarkerLen);
+  PutU32(&out, MaskCrc(file_crc));
+  return out;
+}
+
+Result<SnapshotSections> DecodeSnapshot(std::string_view file) {
+  ByteReader r(file);
+  {
+    auto magic = r.ReadRaw(kMagicLen);
+    if (!magic.ok() || *magic != std::string_view(kMagic, kMagicLen)) {
+      return Status::DataLoss("snapshot magic mismatch");
+    }
+  }
+  RDFREL_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return Status::DataLoss("unsupported snapshot format version " +
+                            std::to_string(version));
+  }
+  RDFREL_ASSIGN_OR_RETURN(uint32_t num_sections, r.ReadU32());
+
+  SnapshotSections sections;
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    RDFREL_ASSIGN_OR_RETURN(uint32_t id, r.ReadU32());
+    RDFREL_ASSIGN_OR_RETURN(uint64_t len, r.ReadU64());
+    if (len > r.remaining()) {
+      return Status::DataLoss("snapshot section " + std::to_string(id) +
+                              " truncated");
+    }
+    RDFREL_ASSIGN_OR_RETURN(std::string_view payload, r.ReadRaw(len));
+    RDFREL_ASSIGN_OR_RETURN(uint32_t stored, r.ReadU32());
+    if (UnmaskCrc(stored) != Crc32c(payload)) {
+      return Status::DataLoss("snapshot section " + std::to_string(id) +
+                              " failed CRC32C check");
+    }
+    sections[id] = std::string(payload);
+  }
+
+  const size_t body_end = r.position();
+  RDFREL_ASSIGN_OR_RETURN(std::string_view marker, r.ReadRaw(kEndMarkerLen));
+  if (marker != std::string_view(kEndMarker, kEndMarkerLen)) {
+    return Status::DataLoss("snapshot end marker missing");
+  }
+  RDFREL_ASSIGN_OR_RETURN(uint32_t stored_file_crc, r.ReadU32());
+  if (UnmaskCrc(stored_file_crc) != Crc32c(file.substr(0, body_end))) {
+    return Status::DataLoss("snapshot file-level CRC32C mismatch");
+  }
+  if (!r.AtEnd()) {
+    return Status::DataLoss("trailing garbage after snapshot footer");
+  }
+  return sections;
+}
+
+Status WriteSnapshotFile(Env* env, const std::string& path,
+                         const SnapshotSections& sections) {
+  const std::string tmp = path + ".tmp";
+  RDFREL_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                          env->NewWritableFile(tmp, /*truncate=*/true));
+  RDFREL_RETURN_NOT_OK(f->Append(EncodeSnapshot(sections)));
+  RDFREL_RETURN_NOT_OK(f->Sync());
+  RDFREL_RETURN_NOT_OK(f->Close());
+  return env->RenameFile(tmp, path);
+}
+
+Result<SnapshotSections> ReadSnapshotFile(Env* env, const std::string& path) {
+  RDFREL_ASSIGN_OR_RETURN(std::string file, env->ReadFile(path));
+  return DecodeSnapshot(file);
+}
+
+}  // namespace rdfrel::persist

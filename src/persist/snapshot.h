@@ -1,0 +1,56 @@
+#ifndef RDFREL_PERSIST_SNAPSHOT_H_
+#define RDFREL_PERSIST_SNAPSHOT_H_
+
+/// \file snapshot.h
+/// The versioned binary snapshot file: a header, then a sequence of typed
+/// sections, each independently CRC32C-protected, then an end marker.
+///
+///   header:  "RDFSNAP\x01" (8 bytes) | u32 format version | u32 #sections
+///   section: u32 section id | u64 payload length | payload | u32 masked crc
+///   footer:  "END!" | u32 masked crc over header+all sections
+///
+/// A snapshot is written to a temporary name, synced, then atomically
+/// renamed into place, so a half-written snapshot is never picked up by
+/// recovery. Any CRC mismatch, short read, or bad marker parses as
+/// kDataLoss — recovery then falls back to the previous snapshot.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "persist/env.h"
+#include "util/status.h"
+
+namespace rdfrel::persist {
+
+/// Section ids. Every store backend writes kMeta; the rest are
+/// backend-defined but shared across the bundled backends.
+enum class SnapshotSection : uint32_t {
+  kMeta = 1,        ///< backend kind, LSN watermark, WAL linkage
+  kDictionary = 2,  ///< RDF term dictionary, id order preserved
+  kStatistics = 3,  ///< optimizer statistics
+  kCatalog = 4,     ///< relational tables: schema + index metadata + rows
+  kBackend = 5,     ///< backend-specific state (mappings, spill sets, ...)
+};
+
+/// An in-memory snapshot: section id -> payload bytes.
+using SnapshotSections = std::map<uint32_t, std::string>;
+
+/// Serializes \p sections into the on-disk snapshot format.
+std::string EncodeSnapshot(const SnapshotSections& sections);
+
+/// Parses and verifies a snapshot file image. Returns kDataLoss on any
+/// integrity failure (bad magic, version, CRC, truncation).
+Result<SnapshotSections> DecodeSnapshot(std::string_view file);
+
+/// Writes \p sections to \p path via write-temp + fsync + rename.
+Status WriteSnapshotFile(Env* env, const std::string& path,
+                         const SnapshotSections& sections);
+
+/// Reads and verifies the snapshot at \p path.
+Result<SnapshotSections> ReadSnapshotFile(Env* env, const std::string& path);
+
+}  // namespace rdfrel::persist
+
+#endif  // RDFREL_PERSIST_SNAPSHOT_H_

@@ -1,0 +1,306 @@
+#include "persist/wal.h"
+
+#include <chrono>
+#include <utility>
+
+#include "persist/coding.h"
+#include "persist/crc32c.h"
+
+namespace rdfrel::persist {
+
+namespace {
+
+constexpr char kMagic[] = "RDFWAL\x01\x00";  // 8 bytes
+constexpr size_t kMagicLen = 8;
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kHeaderLen = kMagicLen + 4 + 8;
+constexpr size_t kFrameOverhead = 4 + 4;  // u32 length + u32 masked crc
+
+std::string EncodeHeader(uint64_t start_lsn) {
+  std::string out;
+  out.append(kMagic, kMagicLen);
+  PutU32(&out, kFormatVersion);
+  PutU64(&out, start_lsn);
+  return out;
+}
+
+std::string EncodeFrame(uint64_t lsn, uint8_t type, std::string_view payload) {
+  std::string body;
+  body.reserve(9 + payload.size());
+  PutU64(&body, lsn);
+  PutU8(&body, type);
+  body.append(payload);
+
+  std::string frame;
+  frame.reserve(kFrameOverhead + body.size());
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  PutU32(&frame, MaskCrc(Crc32c(body)));
+  frame.append(body);
+  return frame;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(Env* env,
+                                                     const std::string& path,
+                                                     uint64_t start_lsn,
+                                                     const WalOptions& options) {
+  std::unique_ptr<WalWriter> w(new WalWriter(env, path, start_lsn, options));
+  RDFREL_ASSIGN_OR_RETURN(w->file_,
+                          env->NewWritableFile(path, /*truncate=*/true));
+  RDFREL_RETURN_NOT_OK(w->file_->Append(EncodeHeader(start_lsn)));
+  // The header must be durable before any commit is acknowledged, or a torn
+  // header could invalidate records a committer already saw as synced.
+  if (options.sync != WalSync::kNone) {
+    RDFREL_RETURN_NOT_OK(w->file_->Sync());
+  }
+  if (options.sync == WalSync::kGroupCommit) {
+    w->flusher_ = std::thread([p = w.get()] { p->FlusherLoop(); });
+  }
+  return w;
+}
+
+WalWriter::WalWriter(Env* env, std::string path, const uint64_t start_lsn,
+                     const WalOptions& options)
+    : env_(env),
+      path_(std::move(path)),
+      options_(options),
+      next_lsn_(start_lsn),
+      durable_lsn_(start_lsn == 0 ? 0 : start_lsn - 1) {}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::WriteLocked(std::string_view frame) {
+  RDFREL_RETURN_NOT_OK(file_->Append(frame));
+  if (options_.sync == WalSync::kEveryRecord) {
+    RDFREL_RETURN_NOT_OK(file_->Sync());
+    ++fsyncs_;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::AppendAsync(uint8_t type,
+                                        std::string_view payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return Status::Internal("WAL writer is closed");
+  if (!io_error_.ok()) return io_error_;
+
+  const uint64_t lsn = next_lsn_++;
+  std::string frame = EncodeFrame(lsn, type, payload);
+  appended_bytes_ += frame.size();
+  ++appended_records_;
+
+  if (options_.sync != WalSync::kGroupCommit) {
+    Status s = WriteLocked(frame);
+    if (!s.ok()) {
+      io_error_ = s;
+      return s;
+    }
+    durable_lsn_ = lsn;
+    return lsn;
+  }
+
+  // Group commit: hand the frame to the flusher; durability comes later.
+  pending_.append(frame);
+  pending_last_lsn_ = lsn;
+  ++pending_records_;
+  flusher_cv_.notify_one();
+  return lsn;
+}
+
+Status WalWriter::WaitDurable(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.sync != WalSync::kGroupCommit) {
+    // Inline modes are durable (or deliberately not) by the time
+    // AppendAsync returned; only a sticky error is reportable.
+    return durable_lsn_ >= lsn ? Status::OK() : io_error_;
+  }
+  durable_cv_.wait(lock,
+                   [&] { return durable_lsn_ >= lsn || !io_error_.ok(); });
+  if (durable_lsn_ < lsn) return io_error_;
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::Append(uint8_t type, std::string_view payload) {
+  RDFREL_ASSIGN_OR_RETURN(uint64_t lsn, AppendAsync(type, payload));
+  RDFREL_RETURN_NOT_OK(WaitDurable(lsn));
+  return lsn;
+}
+
+void WalWriter::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval =
+      std::chrono::milliseconds(options_.group_commit_interval_ms);
+  while (true) {
+    if (pending_.empty()) {
+      if (stop_) return;
+      flusher_cv_.wait_for(lock, interval,
+                           [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+    }
+    std::string batch = std::move(pending_);
+    pending_.clear();
+    const uint64_t batch_lsn = pending_last_lsn_;
+    const uint64_t batch_records = pending_records_;
+    pending_records_ = 0;
+
+    // I/O happens without the lock so appenders can keep queueing — that is
+    // what lets one fsync absorb the records that arrive meanwhile.
+    lock.unlock();
+    Status s = file_->Append(batch);
+    if (s.ok()) s = file_->Sync();
+    lock.lock();
+
+    if (!s.ok()) {
+      io_error_ = s;
+      durable_cv_.notify_all();
+      return;
+    }
+    durable_lsn_ = batch_lsn;
+    ++fsyncs_;
+    ++group_batches_;
+    group_batch_records_ += batch_records;
+    durable_cv_.notify_all();
+  }
+}
+
+Status WalWriter::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return Status::Internal("WAL writer is closed");
+  if (!io_error_.ok()) return io_error_;
+  if (options_.sync == WalSync::kGroupCommit) {
+    if (next_lsn_ == 0) return Status::OK();
+    const uint64_t target = next_lsn_ - 1;
+    flusher_cv_.notify_one();
+    durable_cv_.wait(lock,
+                     [&] { return durable_lsn_ >= target || !io_error_.ok(); });
+    return io_error_;
+  }
+  Status s = file_->Sync();
+  if (!s.ok()) {
+    io_error_ = s;
+    return s;
+  }
+  ++fsyncs_;
+  if (next_lsn_ > 0) durable_lsn_ = next_lsn_ - 1;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return Status::OK();
+    closed_ = true;
+    stop_ = true;
+    flusher_cv_.notify_one();
+  }
+  if (flusher_.joinable()) flusher_.join();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  Status s = io_error_;
+  if (s.ok() && !pending_.empty()) {
+    // kGroupCommit whose flusher died early never leaves pending data with
+    // io_error_ clear, but be safe: flush the remainder inline.
+    s = file_->Append(pending_);
+    pending_.clear();
+  }
+  if (s.ok() && options_.sync != WalSync::kNone) {
+    s = file_->Sync();
+    if (s.ok()) ++fsyncs_;
+  }
+  Status close_s = file_->Close();
+  if (s.ok()) s = close_s;
+  if (!s.ok()) io_error_ = s;
+  return s;
+}
+
+uint64_t WalWriter::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+uint64_t WalWriter::appended_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_records_;
+}
+uint64_t WalWriter::appended_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_bytes_;
+}
+uint64_t WalWriter::fsyncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fsyncs_;
+}
+uint64_t WalWriter::group_commit_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return group_batches_;
+}
+uint64_t WalWriter::group_commit_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return group_batch_records_;
+}
+
+Result<WalReplayResult> ReadWalFile(Env* env, const std::string& path,
+                                    uint64_t expected_first_lsn) {
+  RDFREL_ASSIGN_OR_RETURN(std::string file, env->ReadFile(path));
+
+  WalReplayResult out;
+  out.file_bytes = file.size();
+
+  if (file.size() < kHeaderLen ||
+      std::string_view(file).substr(0, kMagicLen) !=
+          std::string_view(kMagic, kMagicLen)) {
+    return Status::DataLoss("WAL header unreadable: " + path);
+  }
+  {
+    ByteReader hdr(std::string_view(file).substr(kMagicLen));
+    RDFREL_ASSIGN_OR_RETURN(uint32_t version, hdr.ReadU32());
+    if (version != kFormatVersion) {
+      return Status::DataLoss("unsupported WAL format version " +
+                              std::to_string(version));
+    }
+    RDFREL_ASSIGN_OR_RETURN(uint64_t start_lsn, hdr.ReadU64());
+    if (start_lsn != expected_first_lsn) {
+      return Status::DataLoss(
+          "WAL start LSN " + std::to_string(start_lsn) + " does not match " +
+          "expected " + std::to_string(expected_first_lsn) + ": " + path);
+    }
+  }
+
+  size_t offset = kHeaderLen;
+  uint64_t expected_lsn = expected_first_lsn;
+  while (offset < file.size()) {
+    // Any malformed frame from here on is a torn tail, not an error.
+    if (file.size() - offset < kFrameOverhead) break;
+    ByteReader frame(std::string_view(file).substr(offset));
+    uint32_t len = frame.ReadU32().value();
+    uint32_t stored_crc = frame.ReadU32().value();
+    if (len < 9 || len > frame.remaining()) break;
+    std::string_view body = frame.ReadRaw(len).value();
+    if (UnmaskCrc(stored_crc) != Crc32c(body)) break;
+
+    ByteReader br(body);
+    uint64_t lsn = br.ReadU64().value();
+    uint8_t type = br.ReadU8().value();
+    // An LSN gap means a middle record went missing while a later frame
+    // survived — the later frame cannot be trusted to represent a
+    // contiguous committed prefix, so stop here.
+    if (lsn != expected_lsn) break;
+
+    WalRecord rec;
+    rec.lsn = lsn;
+    rec.type = type;
+    rec.payload = std::string(body.substr(9));
+    out.records.push_back(std::move(rec));
+    ++expected_lsn;
+    offset += kFrameOverhead + len;
+  }
+
+  out.valid_bytes = offset;
+  out.torn = offset < file.size();
+  return out;
+}
+
+}  // namespace rdfrel::persist

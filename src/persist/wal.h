@@ -1,0 +1,153 @@
+#ifndef RDFREL_PERSIST_WAL_H_
+#define RDFREL_PERSIST_WAL_H_
+
+/// \file wal.h
+/// The append-only write-ahead log. One WAL file covers the mutations since
+/// one checkpoint; a store directory holds the WAL files of the retained
+/// snapshot generations (see manager.h).
+///
+/// File layout:
+///   header: "RDFWAL\x01\x00" (8 bytes) | u32 version | u64 start LSN
+///   record: u32 payload length | u32 masked CRC32C(payload) | payload
+///   payload: u64 LSN | u8 record type | body
+///
+/// LSNs are globally monotonic across files; the reader enforces exact
+/// continuity (start LSN, then +1 per record), so a dropped middle record
+/// is detected — replay stops at the gap instead of silently skipping a
+/// committed mutation. A short or CRC-failing tail is a *torn tail*:
+/// replay returns the valid prefix plus the byte offset where trust ends.
+///
+/// Durability modes:
+///   kEveryRecord — fsync inline on each append (slowest, strongest).
+///   kGroupCommit — appends enqueue and block until a background flusher
+///                  writes + fsyncs the accumulated batch; concurrent or
+///                  bursty commits amortize one fsync across many records
+///                  (the classic group commit).
+///   kNone        — append without fsync; durability only at checkpoint /
+///                  explicit Sync (benchmarks, bulk loads).
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "persist/env.h"
+#include "util/status.h"
+
+namespace rdfrel::persist {
+
+enum class WalSync {
+  kEveryRecord,
+  kGroupCommit,
+  kNone,
+};
+
+struct WalOptions {
+  WalSync sync = WalSync::kGroupCommit;
+  /// Max time the group-commit flusher sleeps before draining the pending
+  /// batch; a new append wakes it immediately when it is idle.
+  int group_commit_interval_ms = 2;
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Appender over one WAL file. Thread-safe.
+class WalWriter {
+ public:
+  /// Creates a fresh WAL file at \p path whose first record will carry
+  /// \p start_lsn. Overwrites any existing file.
+  static Result<std::unique_ptr<WalWriter>> Create(Env* env,
+                                                   const std::string& path,
+                                                   uint64_t start_lsn,
+                                                   const WalOptions& options);
+
+  ~WalWriter();
+
+  /// Appends one record; returns its LSN once the record is durable to the
+  /// degree the sync mode promises. Equivalent to AppendAsync + WaitDurable.
+  Result<uint64_t> Append(uint8_t type, std::string_view payload);
+
+  /// Appends one record and returns its LSN immediately, WITHOUT waiting
+  /// for durability (in kGroupCommit the frame is merely enqueued). Callers
+  /// that log while holding an unrelated lock use this, release the lock,
+  /// then WaitDurable — that is what lets concurrent committers share one
+  /// fsync.
+  Result<uint64_t> AppendAsync(uint8_t type, std::string_view payload);
+
+  /// Blocks until \p lsn is durable per the sync mode (no-op for kNone).
+  Status WaitDurable(uint64_t lsn);
+
+  /// Forces everything appended so far to storage.
+  Status Sync();
+
+  /// Flushes, syncs and closes; the writer is unusable afterwards.
+  Status Close();
+
+  uint64_t next_lsn() const;
+  uint64_t appended_records() const;
+  uint64_t appended_bytes() const;
+  uint64_t fsyncs() const;
+  uint64_t group_commit_batches() const;
+  /// Total records across all group-commit batches (for the average).
+  uint64_t group_commit_records() const;
+
+ private:
+  WalWriter(Env* env, std::string path, uint64_t start_lsn,
+            const WalOptions& options);
+
+  Status WriteLocked(std::string_view frame);
+  void FlusherLoop();
+
+  Env* env_;
+  std::string path_;
+  WalOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable flusher_cv_;   // wakes the flusher
+  std::condition_variable durable_cv_;   // wakes committers
+  std::unique_ptr<WritableFile> file_;
+  std::string pending_;                  // frames awaiting the flusher
+  uint64_t pending_last_lsn_ = 0;
+  uint64_t pending_records_ = 0;
+  uint64_t next_lsn_;
+  uint64_t durable_lsn_ = 0;
+  Status io_error_;                      // sticky first I/O failure
+  bool stop_ = false;
+  bool closed_ = false;
+
+  uint64_t appended_records_ = 0;
+  uint64_t appended_bytes_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t group_batches_ = 0;
+  uint64_t group_batch_records_ = 0;
+
+  std::thread flusher_;
+};
+
+/// Result of scanning one WAL file.
+struct WalReplayResult {
+  std::vector<WalRecord> records;  ///< the valid, LSN-continuous prefix
+  uint64_t valid_bytes = 0;        ///< file offset where trust ends
+  uint64_t file_bytes = 0;         ///< actual file size
+  bool torn = false;               ///< true when a tail was discarded
+};
+
+/// Reads the WAL at \p path, verifying framing, CRCs and LSN continuity
+/// starting from \p expected_first_lsn. Corruption never fails the call —
+/// it terminates the valid prefix (that is the torn-tail contract). Only a
+/// missing file or an unreadable/mismatched header yields an error.
+Result<WalReplayResult> ReadWalFile(Env* env, const std::string& path,
+                                    uint64_t expected_first_lsn);
+
+}  // namespace rdfrel::persist
+
+#endif  // RDFREL_PERSIST_WAL_H_

@@ -57,6 +57,9 @@ class ColoringMapping final : public PredicateMapping {
     return result_.assignment.count(pred_id) > 0;
   }
   const ColoringResult& result() const { return result_; }
+  /// The hash fallback for punted/unseen predicates; exposed so the
+  /// persistence layer can record its parameters.
+  const HashMapping& fallback() const { return fallback_; }
 
  private:
   ColoringResult result_;

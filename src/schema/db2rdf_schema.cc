@@ -53,4 +53,26 @@ Result<std::unique_ptr<Db2RdfSchema>> Db2RdfSchema::Create(
   return schema;
 }
 
+Result<std::unique_ptr<Db2RdfSchema>> Db2RdfSchema::Attach(
+    sql::Database* db, const Db2RdfConfig& config) {
+  if (config.k_direct == 0 || config.k_reverse == 0) {
+    return Status::InvalidArgument("k_direct/k_reverse must be positive");
+  }
+  auto schema = std::unique_ptr<Db2RdfSchema>(new Db2RdfSchema());
+  schema->config_ = config;
+  auto& cat = db->catalog();
+  RDFREL_ASSIGN_OR_RETURN(schema->dph_, cat.GetTable(schema->dph_name()));
+  RDFREL_ASSIGN_OR_RETURN(schema->ds_, cat.GetTable(schema->ds_name()));
+  RDFREL_ASSIGN_OR_RETURN(schema->rph_, cat.GetTable(schema->rph_name()));
+  RDFREL_ASSIGN_OR_RETURN(schema->rs_, cat.GetTable(schema->rs_name()));
+  const size_t want_direct = 2 + 2 * static_cast<size_t>(config.k_direct);
+  const size_t want_reverse = 2 + 2 * static_cast<size_t>(config.k_reverse);
+  if (schema->dph_->schema().num_columns() != want_direct ||
+      schema->rph_->schema().num_columns() != want_reverse) {
+    return Status::DataLoss(
+        "restored DPH/RPH column count does not match the snapshot config");
+  }
+  return schema;
+}
+
 }  // namespace rdfrel::schema

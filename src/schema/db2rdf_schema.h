@@ -44,6 +44,12 @@ class Db2RdfSchema {
   static Result<std::unique_ptr<Db2RdfSchema>> Create(
       sql::Database* db, const Db2RdfConfig& config);
 
+  /// Binds to the four tables already present in \p db (the recovery path:
+  /// the catalog was restored from a snapshot first). Fails with NotFound
+  /// when any of them is missing.
+  static Result<std::unique_ptr<Db2RdfSchema>> Attach(
+      sql::Database* db, const Db2RdfConfig& config);
+
   const Db2RdfConfig& config() const { return config_; }
 
   sql::Table* dph() { return dph_; }
@@ -80,6 +86,11 @@ class Db2RdfSchema {
   int64_t AllocateLid() { return next_lid_--; }
   /// True when \p v is a list id (refers to DS/RS).
   static bool IsLid(int64_t v) { return v < 0; }
+
+  /// Lid watermark, persisted/restored by snapshots so recovered stores
+  /// never reuse a live list id.
+  int64_t next_lid() const { return next_lid_; }
+  void set_next_lid(int64_t lid) { next_lid_ = lid; }
 
   /// Predicates involved in spills (stored on a row other than an entity's
   /// first row), per direction. The translator consults these to decide

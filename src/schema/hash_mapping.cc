@@ -8,7 +8,7 @@ namespace rdfrel::schema {
 
 HashMapping::HashMapping(uint32_t num_columns, uint32_t num_functions,
                          uint64_t seed)
-    : num_columns_(num_columns) {
+    : num_columns_(num_columns), seed_(seed) {
   RDFREL_CHECK(num_columns > 0);
   RDFREL_CHECK(num_functions >= 1);
   fns_.reserve(num_functions);

@@ -24,9 +24,14 @@ class HashMapping final : public PredicateMapping {
   std::vector<uint32_t> Columns(const PredicateRef& pred) const override;
   uint32_t num_columns() const override { return num_columns_; }
   uint32_t num_functions() const { return static_cast<uint32_t>(fns_.size()); }
+  /// The family seed this mapping was constructed with; together with
+  /// num_columns/num_functions it fully determines the mapping, which is
+  /// what lets a snapshot persist it by parameters alone.
+  uint64_t seed() const { return seed_; }
 
  private:
   uint32_t num_columns_;
+  uint64_t seed_;
   std::vector<SeededHash> fns_;
 };
 

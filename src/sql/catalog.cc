@@ -107,9 +107,11 @@ Result<std::shared_ptr<const DecodedPage>> Table::DecodePage(
   {
     std::shared_lock<std::shared_mutex> lock(decoded_mu_);
     if (page < decoded_pages_.size() && decoded_pages_[page] != nullptr) {
+      decoded_hits_.fetch_add(1, std::memory_order_relaxed);
       return decoded_pages_[page];
     }
   }
+  decoded_misses_.fetch_add(1, std::memory_order_relaxed);
   // Decode outside the lock; a racing decode of the same page just loses
   // the store below (keep-first) and its copy dies with the caller.
   const Page& pg = storage_.heap().page(page);
@@ -140,7 +142,20 @@ void Table::InvalidateDecodedPage(uint32_t page) {
   if (page < decoded_pages_.size() && decoded_pages_[page] != nullptr) {
     decoded_rows_ -= decoded_pages_[page]->rows.size();
     decoded_pages_[page].reset();
+    decoded_evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+util::CacheStats Table::decoded_page_stats() const {
+  util::CacheStats s;
+  s.hits = decoded_hits_.load(std::memory_order_relaxed);
+  s.misses = decoded_misses_.load(std::memory_order_relaxed);
+  s.evictions = decoded_evictions_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(decoded_mu_);
+  for (const auto& dp : decoded_pages_) {
+    if (dp != nullptr) ++s.entries;
+  }
+  return s;
 }
 
 Status Table::Scan(
@@ -180,6 +195,18 @@ std::vector<std::string> Catalog::TableNames() const {
   names.reserve(tables_.size());
   for (const auto& [k, t] : tables_) names.push_back(t->name());
   return names;
+}
+
+util::CacheStats Catalog::page_cache_stats() const {
+  util::CacheStats out;
+  for (const auto& [k, t] : tables_) {
+    util::CacheStats s = t->decoded_page_stats();
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.entries += s.entries;
+  }
+  return out;
 }
 
 }  // namespace rdfrel::sql

@@ -5,6 +5,7 @@
 /// The catalog: named tables, each owning storage plus secondary indexes
 /// that are kept consistent through the Table mutation API.
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -14,6 +15,7 @@
 #include "sql/btree.h"
 #include "sql/hash_index.h"
 #include "sql/table_storage.h"
+#include "util/lru_cache.h"
 #include "util/status.h"
 
 namespace rdfrel::sql {
@@ -86,6 +88,10 @@ class Table {
   /// pages. Safe for concurrent readers. \p page must be < num_pages().
   Result<std::shared_ptr<const DecodedPage>> DecodePage(uint32_t page) const;
 
+  /// Hit/miss/invalidation counters of the decoded-page cache (hits serve
+  /// a cached page; invalidations by mutations count as evictions).
+  util::CacheStats decoded_page_stats() const;
+
  private:
   void IndexInsert(IndexInfo* idx, const Row& row, RowId rid);
   void IndexRemove(IndexInfo* idx, const Row& row, RowId rid);
@@ -99,6 +105,9 @@ class Table {
   mutable std::shared_mutex decoded_mu_;
   mutable std::vector<std::shared_ptr<const DecodedPage>> decoded_pages_;
   mutable size_t decoded_rows_ = 0;  ///< rows held by decoded_pages_
+  mutable std::atomic<uint64_t> decoded_hits_{0};
+  mutable std::atomic<uint64_t> decoded_misses_{0};
+  mutable std::atomic<uint64_t> decoded_evictions_{0};
 };
 
 /// Named-table registry.
@@ -116,6 +125,9 @@ class Catalog {
   Status DropTable(const std::string& name);
 
   std::vector<std::string> TableNames() const;
+
+  /// Decoded-page cache counters summed over every table.
+  util::CacheStats page_cache_stats() const;
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;  // lower-case name

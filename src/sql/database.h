@@ -53,6 +53,11 @@ class Database {
   ExecMode exec_mode() const { return exec_mode_; }
   void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
 
+  /// Decoded-page cache counters summed over the catalog's tables.
+  util::CacheStats page_cache_stats() const {
+    return catalog_.page_cache_stats();
+  }
+
  private:
   Status ExecCreateTable(const ast::CreateTableStmt& ct);
   Status ExecCreateIndex(const ast::CreateIndexStmt& ci);

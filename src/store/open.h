@@ -1,0 +1,26 @@
+#ifndef RDFREL_STORE_OPEN_H_
+#define RDFREL_STORE_OPEN_H_
+
+/// \file open.h
+/// Backend-agnostic recovery entry point: scans a persisted store
+/// directory, reads the backend kind out of the snapshot metadata and
+/// dispatches to the matching backend's OpenFromPlan.
+
+#include <memory>
+#include <string>
+
+#include "store/sparql_store.h"
+#include "util/status.h"
+
+namespace rdfrel::store {
+
+/// Opens whichever store kind \p dir holds ("db2rdf", "triple" or
+/// "predicate"). Recovery semantics are the backend's: newest valid
+/// snapshot (fallback on corruption), committed WAL suffix replayed, torn
+/// tail discarded, fresh checkpoint written.
+Result<std::unique_ptr<SparqlStore>> OpenStore(
+    const std::string& dir, const PersistOptions& persist_opts = {});
+
+}  // namespace rdfrel::store
+
+#endif  // RDFREL_STORE_OPEN_H_

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "opt/statistics.h"
+#include "persist/manager.h"
 #include "rdf/graph.h"
 #include "sql/database.h"
 #include "store/backend_util.h"
@@ -34,8 +35,24 @@ struct PredicateStoreOptions {
 /// and translated plans are memoized in the shared PlanCache.
 class PredicateStoreBackend final : public SparqlStore {
  public:
+  static constexpr const char* kBackendKind = "predicate";
+
   static Result<std::unique_ptr<PredicateStoreBackend>> Load(
       rdf::Graph graph, const PredicateStoreOptions& options = {});
+
+  /// Opens a persisted predicate store. The backend is immutable after
+  /// Load, so recovery is snapshot-only (its WAL is always empty).
+  static Result<std::unique_ptr<PredicateStoreBackend>> Open(
+      const std::string& dir, const PersistOptions& persist_opts = {},
+      const PredicateStoreOptions& options = {});
+  static Result<std::unique_ptr<PredicateStoreBackend>> OpenFromPlan(
+      persist::RecoveryPlan plan, const PersistOptions& persist_opts,
+      const PredicateStoreOptions& options);
+
+  /// Writes the initial snapshot generation into \p dir.
+  Status EnablePersistence(const std::string& dir,
+                           const PersistOptions& opts = {});
+  bool persistent() const { return persist_ != nullptr; }
 
   Result<ResultSet> QueryWith(std::string_view sparql,
                               const QueryOptions& opts) override;
@@ -49,11 +66,22 @@ class PredicateStoreBackend final : public SparqlStore {
   std::string name() const override { return "Predicate-oriented"; }
   const rdf::Dictionary& dictionary() const override { return dict_; }
 
+  // Durability surface (SparqlStore):
+  Status Checkpoint() override;
+  Status Flush() override;
+  Status Close() override;
+  persist::PersistStats persist_stats() const override;
+  util::CacheStats page_cache_stats() const override {
+    return db_.page_cache_stats();
+  }
+
   sql::Database& database() { return db_; }
   size_t num_predicate_tables() const { return tables_.size(); }
 
  private:
   PredicateStoreBackend() = default;
+
+  Result<persist::SnapshotSections> SnapshotState() const;
 
   Result<std::shared_ptr<const CachedPlan>> BuildPlan(
       sparql::Query query, const QueryOptions& opts);
@@ -67,6 +95,7 @@ class PredicateStoreBackend final : public SparqlStore {
   std::unordered_map<uint64_t, std::string> tables_;  // pred id -> table
   PredicateStoreOptions options_;
   PlanCache plan_cache_;
+  std::unique_ptr<persist::PersistenceManager> persist_;
 };
 
 }  // namespace rdfrel::store

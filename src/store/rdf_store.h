@@ -17,8 +17,10 @@
 #include <shared_mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "opt/statistics.h"
+#include "persist/manager.h"
 #include "rdf/graph.h"
 #include "schema/coloring_mapping.h"
 #include "schema/loader.h"
@@ -54,10 +56,36 @@ struct RdfStoreOptions {
 
 class RdfStore final : public SparqlStore {
  public:
+  /// The backend-kind tag written into snapshot metadata.
+  static constexpr const char* kBackendKind = "db2rdf";
+
   /// Builds a store from \p graph (consumed: its dictionary moves into the
   /// store).
   static Result<std::unique_ptr<RdfStore>> Load(
       rdf::Graph graph, const RdfStoreOptions& options = {});
+
+  /// Opens a persisted store directory: loads the newest valid snapshot
+  /// (falling back to the previous on corruption), replays the committed
+  /// WAL suffix — truncating a torn tail — and finishes recovery with a
+  /// fresh checkpoint. With persist_opts.verify_on_recovery a verified
+  /// probe query gates the result.
+  static Result<std::unique_ptr<RdfStore>> Open(
+      const std::string& dir, const PersistOptions& persist_opts = {},
+      const RdfStoreOptions& options = {});
+
+  /// Recovery entry point shared with the store::OpenStore dispatcher:
+  /// rebuilds a store from an already-scanned RecoveryPlan.
+  static Result<std::unique_ptr<RdfStore>> OpenFromPlan(
+      persist::RecoveryPlan plan, const PersistOptions& persist_opts,
+      const RdfStoreOptions& options);
+
+  /// Attaches durability to this (so far in-memory) store: writes the
+  /// initial snapshot generation into \p dir and starts logging every
+  /// committed mutation to its WAL.
+  Status EnablePersistence(const std::string& dir,
+                           const PersistOptions& opts = {});
+
+  bool persistent() const { return persist_ != nullptr; }
 
   // SparqlStore read surface (thread-safe; see file comment):
   Result<ResultSet> QueryWith(std::string_view sparql,
@@ -79,11 +107,29 @@ class RdfStore final : public SparqlStore {
                                 const QueryOptions& opts = {});
 
   /// Inserts one triple incrementally. Takes the writer lock; invalidates
-  /// the plan cache and materialized closure tables.
+  /// the plan cache and materialized closure tables. With persistence
+  /// attached, returns only once the mutation is WAL-durable per the
+  /// configured sync mode.
   Status Insert(const rdf::Triple& triple);
-  /// Deletes one triple (NotFound when absent). Same invalidation as
-  /// Insert.
+  /// Deletes one triple (NotFound when absent). Same invalidation and
+  /// durability as Insert.
   Status Delete(const rdf::Triple& triple);
+
+  /// Batch mutations: applied under one writer lock acquisition and logged
+  /// as a single WAL record. On mid-batch failure the already-applied
+  /// prefix stays applied (and is the part that was logged) and the first
+  /// error is returned.
+  Status InsertBatch(const std::vector<rdf::Triple>& triples);
+  Status DeleteBatch(const std::vector<rdf::Triple>& triples);
+
+  // Durability surface (SparqlStore):
+  Status Checkpoint() override;
+  Status Flush() override;
+  Status Close() override;
+  persist::PersistStats persist_stats() const override;
+  util::CacheStats page_cache_stats() const override {
+    return db_.page_cache_stats();
+  }
 
   const schema::LoadStats& load_stats() const { return load_stats_; }
   const schema::Db2RdfSchema& schema() const { return *schema_; }
@@ -124,6 +170,22 @@ class RdfStore final : public SparqlStore {
   /// by Insert/Delete under the writer lock.
   Status InvalidateAfterWrite();
 
+  /// Applies one triple to the in-memory state (dictionary, relations,
+  /// statistics). Caller holds the writer lock.
+  Status ApplyInsert(const rdf::Triple& triple);
+  Status ApplyDelete(const rdf::Triple& triple);
+
+  /// Shared body of Insert/Delete/InsertBatch/DeleteBatch: apply under the
+  /// writer lock, log exactly the applied prefix, wait for durability
+  /// outside the lock.
+  Status MutateBatch(persist::WalRecordType type,
+                     const std::vector<rdf::Triple>& triples);
+
+  /// Serializes the current state into snapshot sections (caller holds at
+  /// least a shared lock). Closure tables are excluded: they are derived
+  /// data, rebuilt lazily after recovery.
+  Result<persist::SnapshotSections> SnapshotState() const;
+
   /// Serializes readers (shared) against Insert/Delete and closure
   /// materialization (exclusive). Protects db_, dict_, stats_,
   /// closure_cache_ and the schema spill sets.
@@ -143,6 +205,8 @@ class RdfStore final : public SparqlStore {
   int path_table_counter_ = 0;
   /// Memoized (sparql, options) -> translated plan. Internally locked.
   PlanCache plan_cache_;
+  /// Snapshot/WAL orchestration; null while the store is memory-only.
+  std::unique_ptr<persist::PersistenceManager> persist_;
 };
 
 }  // namespace rdfrel::store

@@ -24,12 +24,25 @@
 #include <string>
 #include <string_view>
 
+#include "persist/persist_stats.h"
+#include "persist/wal.h"
 #include "rdf/dictionary.h"
 #include "store/result_set.h"
 #include "util/lru_cache.h"
 #include "util/status.h"
 
 namespace rdfrel::store {
+
+/// Durability knobs shared by every backend's EnablePersistence/Open.
+struct PersistOptions {
+  persist::WalOptions wal;
+  /// After recovery, run a verified probe query (plan/operator verifiers
+  /// on) against the rebuilt store before declaring the Open successful.
+  bool verify_on_recovery = true;
+  /// File-system boundary; nullptr = the process-wide POSIX env. Tests
+  /// inject MemEnv or FaultInjectionEnv here.
+  persist::Env* env = nullptr;
+};
 
 /// Flow-tree construction strategy (paper §3.1.1; non-greedy modes are
 /// ablations).
@@ -94,6 +107,28 @@ class SparqlStore {
 
   /// Cumulative hit/miss/eviction counters of the plan cache.
   virtual util::CacheStats plan_cache_stats() const = 0;
+
+  /// Decoded-page cache counters of the embedded database (empty for
+  /// backends without one).
+  virtual util::CacheStats page_cache_stats() const { return {}; }
+
+  // --- Durability surface (see src/persist/, DESIGN.md §9). Backends
+  // without persistence attached keep the defaults. ---
+
+  /// Writes a new snapshot generation and truncates the WAL behind it.
+  virtual Status Checkpoint() {
+    return Status::Unsupported("no persistence attached to this store");
+  }
+
+  /// Forces every acknowledged mutation durable (WAL fsync).
+  virtual Status Flush() { return Status::OK(); }
+
+  /// Flushes and detaches persistence. Idempotent; the store stays
+  /// queryable in memory afterwards.
+  virtual Status Close() { return Status::OK(); }
+
+  /// WAL/snapshot counters; zeros when no persistence is attached.
+  virtual persist::PersistStats persist_stats() const { return {}; }
 
   /// Store display name for benchmark tables.
   virtual std::string name() const = 0;

@@ -3,6 +3,8 @@
 #include "sparql/parser.h"
 #include <unordered_set>
 
+#include "persist/coding.h"
+#include "persist/serializer.h"
 #include "store/backend_util.h"
 #include "util/hash.h"
 #include "translate/sql_base.h"
@@ -189,6 +191,127 @@ Result<SparqlStore::Explanation> TripleStoreBackend::Explain(
     return builder.Build(exec);
   };
   return ExplainForBackend(query, stats_, dict_, opts, build, &db_);
+}
+
+Result<persist::SnapshotSections> TripleStoreBackend::SnapshotState() const {
+  persist::SnapshotSections sections;
+  sections[static_cast<uint32_t>(persist::SnapshotSection::kDictionary)] =
+      persist::EncodeDictionary(dict_);
+  sections[static_cast<uint32_t>(persist::SnapshotSection::kStatistics)] =
+      persist::EncodeStatistics(stats_);
+  std::string cat;
+  std::vector<std::string> names = db_.catalog().TableNames();
+  persist::PutU32(&cat, static_cast<uint32_t>(names.size()));
+  for (const auto& name : names) {
+    persist::EncodeTable(&cat, *db_.catalog().GetTable(name).value());
+  }
+  sections[static_cast<uint32_t>(persist::SnapshotSection::kCatalog)] =
+      std::move(cat);
+  std::string b;
+  persist::PutString(&b, lex_table_);
+  sections[static_cast<uint32_t>(persist::SnapshotSection::kBackend)] =
+      std::move(b);
+  return sections;
+}
+
+Status TripleStoreBackend::EnablePersistence(const std::string& dir,
+                                             const PersistOptions& opts) {
+  if (persist_ != nullptr) {
+    return Status::AlreadyExists("persistence already attached");
+  }
+  persist::Env* env = opts.env != nullptr ? opts.env : persist::Env::Default();
+  RDFREL_ASSIGN_OR_RETURN(persist::SnapshotSections sections, SnapshotState());
+  RDFREL_ASSIGN_OR_RETURN(
+      persist_, persist::PersistenceManager::Create(env, dir, kBackendKind,
+                                                    sections, opts.wal));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TripleStoreBackend>> TripleStoreBackend::OpenFromPlan(
+    persist::RecoveryPlan plan, const PersistOptions& persist_opts,
+    const TripleStoreOptions& options) {
+  if (plan.backend_kind != kBackendKind) {
+    return Status::InvalidArgument("store directory holds a '" +
+                                   plan.backend_kind + "' store, not " +
+                                   kBackendKind);
+  }
+  if (!plan.records.empty()) {
+    return Status::DataLoss(
+        "triple-store WAL is expected to be empty (backend is immutable)");
+  }
+  auto store = std::unique_ptr<TripleStoreBackend>(new TripleStoreBackend());
+  store->plan_cache_ = PlanCache(options.plan_cache_capacity);
+  auto section = [&plan](persist::SnapshotSection id) -> Result<std::string> {
+    auto it = plan.sections.find(static_cast<uint32_t>(id));
+    if (it == plan.sections.end()) {
+      return Status::DataLoss("snapshot missing section " +
+                              std::to_string(static_cast<uint32_t>(id)));
+    }
+    return it->second;
+  };
+  RDFREL_ASSIGN_OR_RETURN(std::string dict_bytes,
+                          section(persist::SnapshotSection::kDictionary));
+  RDFREL_ASSIGN_OR_RETURN(store->dict_, persist::DecodeDictionary(dict_bytes));
+  RDFREL_ASSIGN_OR_RETURN(std::string stats_bytes,
+                          section(persist::SnapshotSection::kStatistics));
+  RDFREL_ASSIGN_OR_RETURN(store->stats_,
+                          persist::DecodeStatistics(stats_bytes));
+  RDFREL_ASSIGN_OR_RETURN(std::string cat_bytes,
+                          section(persist::SnapshotSection::kCatalog));
+  RDFREL_RETURN_NOT_OK(
+      persist::DecodeCatalogInto(cat_bytes, &store->db_.catalog()));
+  RDFREL_ASSIGN_OR_RETURN(std::string backend_bytes,
+                          section(persist::SnapshotSection::kBackend));
+  persist::ByteReader r(backend_bytes);
+  RDFREL_ASSIGN_OR_RETURN(std::string_view lex, r.ReadString());
+  store->lex_table_ = std::string(lex);
+  if (!r.AtEnd()) {
+    return Status::DataLoss("trailing bytes after backend section");
+  }
+
+  persist::Env* env =
+      persist_opts.env != nullptr ? persist_opts.env : persist::Env::Default();
+  RDFREL_ASSIGN_OR_RETURN(persist::SnapshotSections sections,
+                          store->SnapshotState());
+  RDFREL_ASSIGN_OR_RETURN(
+      store->persist_,
+      persist::PersistenceManager::Resume(env, plan.dir, plan, sections,
+                                          persist_opts.wal));
+  return store;
+}
+
+Result<std::unique_ptr<TripleStoreBackend>> TripleStoreBackend::Open(
+    const std::string& dir, const PersistOptions& persist_opts,
+    const TripleStoreOptions& options) {
+  persist::Env* env =
+      persist_opts.env != nullptr ? persist_opts.env : persist::Env::Default();
+  RDFREL_ASSIGN_OR_RETURN(persist::RecoveryPlan plan,
+                          persist::PersistenceManager::ScanForRecovery(env,
+                                                                       dir));
+  return OpenFromPlan(std::move(plan), persist_opts, options);
+}
+
+Status TripleStoreBackend::Checkpoint() {
+  if (persist_ == nullptr) {
+    return Status::Unsupported("no persistence attached to this store");
+  }
+  RDFREL_ASSIGN_OR_RETURN(persist::SnapshotSections sections, SnapshotState());
+  return persist_->Checkpoint(sections);
+}
+
+Status TripleStoreBackend::Flush() {
+  return persist_ != nullptr ? persist_->Flush() : Status::OK();
+}
+
+Status TripleStoreBackend::Close() {
+  if (persist_ == nullptr) return Status::OK();
+  Status s = persist_->Close();
+  persist_.reset();
+  return s;
+}
+
+persist::PersistStats TripleStoreBackend::persist_stats() const {
+  return persist_ != nullptr ? persist_->stats() : persist::PersistStats{};
 }
 
 }  // namespace rdfrel::store

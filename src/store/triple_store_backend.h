@@ -11,8 +11,10 @@
 /// shared PlanCache.
 
 #include <memory>
+#include <string>
 
 #include "opt/statistics.h"
+#include "persist/manager.h"
 #include "rdf/graph.h"
 #include "sql/database.h"
 #include "store/backend_util.h"
@@ -31,8 +33,24 @@ struct TripleStoreOptions {
 
 class TripleStoreBackend final : public SparqlStore {
  public:
+  static constexpr const char* kBackendKind = "triple";
+
   static Result<std::unique_ptr<TripleStoreBackend>> Load(
       rdf::Graph graph, const TripleStoreOptions& options = {});
+
+  /// Opens a persisted triple store. The backend is immutable after Load,
+  /// so recovery is snapshot-only (its WAL is always empty).
+  static Result<std::unique_ptr<TripleStoreBackend>> Open(
+      const std::string& dir, const PersistOptions& persist_opts = {},
+      const TripleStoreOptions& options = {});
+  static Result<std::unique_ptr<TripleStoreBackend>> OpenFromPlan(
+      persist::RecoveryPlan plan, const PersistOptions& persist_opts,
+      const TripleStoreOptions& options);
+
+  /// Writes the initial snapshot generation into \p dir.
+  Status EnablePersistence(const std::string& dir,
+                           const PersistOptions& opts = {});
+  bool persistent() const { return persist_ != nullptr; }
 
   Result<ResultSet> QueryWith(std::string_view sparql,
                               const QueryOptions& opts) override;
@@ -46,10 +64,21 @@ class TripleStoreBackend final : public SparqlStore {
   std::string name() const override { return "Triple-store"; }
   const rdf::Dictionary& dictionary() const override { return dict_; }
 
+  // Durability surface (SparqlStore):
+  Status Checkpoint() override;
+  Status Flush() override;
+  Status Close() override;
+  persist::PersistStats persist_stats() const override;
+  util::CacheStats page_cache_stats() const override {
+    return db_.page_cache_stats();
+  }
+
   sql::Database& database() { return db_; }
 
  private:
   TripleStoreBackend() = default;
+
+  Result<persist::SnapshotSections> SnapshotState() const;
 
   /// Translation behind the cache: parse is done, build plan via the
   /// shared backend pipeline.
@@ -63,6 +92,7 @@ class TripleStoreBackend final : public SparqlStore {
   opt::Statistics stats_;
   std::string lex_table_;
   PlanCache plan_cache_;
+  std::unique_ptr<persist::PersistenceManager> persist_;
 };
 
 }  // namespace rdfrel::store

@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "InvalidQuery";
     case StatusCode::kInternalPlanError:
       return "InternalPlanError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

