@@ -1,0 +1,286 @@
+/// Load harness for the SPARQL HTTP endpoint: an in-process server over a
+/// merged LUBM + DBpedia store, driven by mixed traffic in two modes:
+///
+///  - closed loop: N persistent keep-alive connections, each issuing its
+///    next query the moment the previous response lands — measures peak
+///    sustainable throughput and in-service latency;
+///  - open loop: requests fire on a fixed-rate schedule regardless of
+///    completions (rate self-calibrated to ~60% of the closed-loop
+///    throughput), with latency measured from the *scheduled* start, so
+///    queueing delay is charged to the server rather than hidden by
+///    coordinated omission.
+///
+/// Reports throughput and p50/p99/p999 per mode and writes BENCH_serve.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "benchdata/dbpedia.h"
+#include "benchdata/lubm.h"
+#include "rdf/graph.h"
+#include "serve/client.h"
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+#include "store/rdf_store.h"
+
+namespace {
+
+using rdfrel::bench::ScaleFactor;
+namespace serve = rdfrel::serve;
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;  ///< non-200 answers + transport failures
+  double seconds = 0;
+  serve::LatencyHistogram latency;
+
+  double qps() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  }
+};
+
+/// Pre-encoded GET targets for the traffic mix.
+std::vector<std::string> BuildTargets(
+    const std::vector<rdfrel::benchdata::NamedQuery>& queries) {
+  std::vector<std::string> targets;
+  targets.reserve(queries.size());
+  for (const auto& q : queries) {
+    targets.push_back("/sparql?query=" + serve::UrlEncode(q.sparql));
+  }
+  return targets;
+}
+
+/// Closed loop: each connection drives requests back-to-back until the
+/// deadline.
+void RunClosedLoop(uint16_t port, const std::vector<std::string>& targets,
+                   int connections, double seconds, LoadResult* result) {
+  LoadResult& out = *result;
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> errors{0};
+  auto t_end = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(seconds));
+  auto t_begin = Clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      serve::HttpClient client("127.0.0.1", port);
+      size_t i = static_cast<size_t>(c);  // stagger the mix per connection
+      while (Clock::now() < t_end) {
+        const std::string& target = targets[i++ % targets.size()];
+        auto t0 = Clock::now();
+        auto resp = client.Get(target);
+        auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - t0)
+                      .count();
+        requests.fetch_add(1, std::memory_order_relaxed);
+        if (!resp.ok() || resp->status != 200) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        out.latency.Record(static_cast<uint64_t>(us));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.seconds = std::chrono::duration<double>(Clock::now() - t_begin).count();
+  out.requests = requests.load();
+  out.errors = errors.load();
+}
+
+/// Open loop: tick k fires at t0 + k/rate; sender k%K owns it and measures
+/// latency from the scheduled instant (not the actual send), charging any
+/// backlog to the server.
+void RunOpenLoop(uint16_t port, const std::vector<std::string>& targets,
+                 double rate_qps, int senders, double seconds,
+                 LoadResult* result) {
+  LoadResult& out = *result;
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> errors{0};
+  const auto total_ticks =
+      static_cast<uint64_t>(std::max(1.0, rate_qps * seconds));
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / rate_qps));
+  auto t0 = Clock::now() + std::chrono::milliseconds(10);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(senders));
+  for (int s = 0; s < senders; ++s) {
+    threads.emplace_back([&, s] {
+      serve::HttpClient client("127.0.0.1", port);
+      for (uint64_t tick = static_cast<uint64_t>(s); tick < total_ticks;
+           tick += static_cast<uint64_t>(senders)) {
+        auto scheduled = t0 + interval * static_cast<int64_t>(tick);
+        std::this_thread::sleep_until(scheduled);
+        auto resp = client.Get(targets[tick % targets.size()]);
+        auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - scheduled)
+                      .count();
+        requests.fetch_add(1, std::memory_order_relaxed);
+        if (!resp.ok() || resp->status != 200) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        out.latency.Record(static_cast<uint64_t>(us));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.requests = requests.load();
+  out.errors = errors.load();
+}
+
+void PrintResult(const char* label, const LoadResult& r) {
+  std::printf(
+      "%-12s %8llu req  %6llu err  %8.1f q/s  p50 %7.2f ms  "
+      "p99 %7.2f ms  p999 %7.2f ms\n",
+      label, static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.errors), r.qps(),
+      r.latency.Quantile(0.50) / 1000.0, r.latency.Quantile(0.99) / 1000.0,
+      r.latency.Quantile(0.999) / 1000.0);
+}
+
+std::string ResultJson(const LoadResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"requests\":%llu,\"errors\":%llu,\"seconds\":%.3f,"
+      "\"throughput_qps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+      "\"p999_ms\":%.3f,\"mean_ms\":%.3f}",
+      static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.errors), r.seconds, r.qps(),
+      r.latency.Quantile(0.50) / 1000.0, r.latency.Quantile(0.99) / 1000.0,
+      r.latency.Quantile(0.999) / 1000.0, r.latency.Mean() / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ScaleFactor();
+
+  // Mixed traffic: a LUBM university graph and a DBpedia-shaped graph
+  // merged into one store; the query mix interleaves both workloads.
+  auto lubm = rdfrel::benchdata::MakeLubm(
+      std::max<uint64_t>(1, static_cast<uint64_t>(2 * scale)), 1);
+  auto dbpedia = rdfrel::benchdata::MakeDbpedia(
+      std::max<uint64_t>(100, static_cast<uint64_t>(400 * scale)), 300, 1);
+
+  rdfrel::rdf::Graph merged = std::move(lubm.graph);
+  {
+    auto decoded = dbpedia.graph.DecodeAll();
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "dbpedia decode failed: %s\n",
+                   decoded.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& triple : *decoded) merged.Add(triple);
+  }
+  const uint64_t triple_count = merged.size();
+  std::printf("store: %llu triples (lubm+dbpedia)\n",
+              static_cast<unsigned long long>(triple_count));
+
+  auto store = rdfrel::store::RdfStore::Load(std::move(merged));
+  if (!store.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<rdfrel::benchdata::NamedQuery> mix;
+  for (size_t i = 0;
+       i < std::max(lubm.queries.size(), dbpedia.queries.size()); ++i) {
+    if (i < lubm.queries.size()) mix.push_back(lubm.queries[i]);
+    if (i < dbpedia.queries.size()) mix.push_back(dbpedia.queries[i]);
+  }
+  // Drop queries that fail outright (the mixed store answers most of both
+  // mixes; a workload query with zero-match prefixes still runs fine).
+  std::vector<rdfrel::benchdata::NamedQuery> runnable;
+  for (const auto& q : mix) {
+    if ((*store)->Query(q.sparql).ok()) runnable.push_back(q);
+  }
+  if (runnable.empty()) {
+    std::fprintf(stderr, "no runnable queries in the mix\n");
+    return 1;
+  }
+  std::printf("query mix: %zu queries (%zu dropped)\n", runnable.size(),
+              mix.size() - runnable.size());
+
+  serve::ServerOptions opts;
+  opts.workers = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency() / 2));
+  opts.max_pending = 256;
+  serve::SparqlServer server(store->get(), opts);
+  if (auto st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("server: 127.0.0.1:%u, %d workers\n\n", server.port(),
+              opts.workers);
+
+  auto targets = BuildTargets(runnable);
+  const double seconds = std::max(0.5, 3.0 * scale);
+  const int connections = 8;
+
+  // Warm the plan cache so both modes measure execution, not translation.
+  {
+    serve::HttpClient warm("127.0.0.1", server.port());
+    for (const auto& t : targets) (void)warm.Get(t);
+  }
+
+  LoadResult closed;
+  RunClosedLoop(server.port(), targets, connections, seconds, &closed);
+  PrintResult("closed-loop", closed);
+
+  const double open_rate = std::max(20.0, closed.qps() * 0.6);
+  LoadResult open;
+  RunOpenLoop(server.port(), targets, open_rate, /*senders=*/16, seconds,
+              &open);
+  PrintResult("open-loop", open);
+  std::printf("open-loop target rate: %.1f q/s\n", open_rate);
+
+  const auto& m = server.metrics();
+  std::printf(
+      "server: %llu conns, %llu shed, %llu bad, %llu aborted streams\n",
+      static_cast<unsigned long long>(m.connections_accepted.load()),
+      static_cast<unsigned long long>(m.connections_shed.load()),
+      static_cast<unsigned long long>(m.requests_bad.load()),
+      static_cast<unsigned long long>(m.streams_aborted.load()));
+  server.Stop();
+
+  const char* json_path = "BENCH_serve.json";
+  FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\"bench\":\"serve\",\"scale\":%.2f,\"store_triples\":%llu,"
+      "\"query_mix\":%zu,\"workers\":%d,\"closed_loop\":%s,"
+      "\"open_loop\":{\"target_qps\":%.1f,\"result\":%s}}\n",
+      scale, static_cast<unsigned long long>(triple_count),
+      runnable.size(), opts.workers, ResultJson(closed).c_str(), open_rate,
+      ResultJson(open).c_str());
+  std::fclose(f);
+  std::printf("\nwrote %s\n", json_path);
+
+  // Sanity: the bench itself fails if nothing completed or everything
+  // errored, so the CI smoke catches a broken endpoint.
+  if (closed.requests == 0 || open.requests == 0 ||
+      closed.errors * 2 > closed.requests) {
+    std::fprintf(stderr, "load run unhealthy\n");
+    return 1;
+  }
+  return 0;
+}

@@ -32,10 +32,11 @@ class NaiveFlowStore final : public store::SparqlStore {
       : inner_(std::move(inner)) {
     opts_.flow = store::FlowMode::kParseOrder;
   }
-  Result<store::ResultSet> QueryWith(
-      std::string_view sparql, const store::QueryOptions& opts) override {
-    return inner_->QueryWith(sparql, Pin(opts));
+  Status QueryWith(std::string_view sparql, const store::QueryOptions& opts,
+                   store::RowSink& sink) override {
+    return inner_->QueryWith(sparql, Pin(opts), sink);
   }
+  using store::SparqlStore::QueryWith;
   Result<std::string> TranslateWith(
       std::string_view sparql, const store::QueryOptions& opts) override {
     return inner_->TranslateWith(sparql, Pin(opts));

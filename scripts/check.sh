@@ -11,8 +11,13 @@
 #       CRCs, kill-at-any-point fault injection, snapshot fallback) run
 #       explicitly under both Debug+ASan and UBSan, so a durability
 #       regression is named in the output rather than buried in a full run.
-#   4.  Release bench smoke: bench_micro_star at a reduced scale must run
-#       to completion and emit machine-readable BENCH_sql.json.
+#   4.  Serve smoke: the HTTP endpoint walkthrough (examples/serve_demo
+#       --smoke) starts a real server, queries it over a socket, and shuts
+#       it down cleanly — under ASan, so leaked fds/threads/buffers in the
+#       serving path fail the gate.
+#   5.  Release bench smoke: bench_micro_star and bench_serve at a reduced
+#       scale must run to completion and emit machine-readable
+#       BENCH_sql.json / BENCH_serve.json.
 #
 # Build trees go to build-tsan/, build-asan/, build-ubsan/ and
 # build-release/ so the default build/ stays untouched.
@@ -23,7 +28,7 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/5] ThreadSanitizer: concurrency tests =="
+echo "== [1/6] ThreadSanitizer: concurrency tests =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFREL_SANITIZE=thread > /dev/null
@@ -33,7 +38,7 @@ cmake --build build-tsan -j"${JOBS}" --target concurrency_test util_test
     -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest')
 
 echo
-echo "== [2/5] Debug + AddressSanitizer: full suite =="
+echo "== [2/6] Debug + AddressSanitizer: full suite =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRDFREL_SANITIZE=address > /dev/null
@@ -41,7 +46,7 @@ cmake --build build-asan -j"${JOBS}"
 (cd build-asan && ctest --output-on-failure -j"${JOBS}")
 
 echo
-echo "== [2b/5] UndefinedBehaviorSanitizer: full suite =="
+echo "== [2b/6] UndefinedBehaviorSanitizer: full suite =="
 cmake -B build-ubsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRDFREL_SANITIZE=undefined > /dev/null
@@ -51,21 +56,35 @@ cmake --build build-ubsan -j"${JOBS}"
 (cd build-ubsan && ctest --output-on-failure -j"${JOBS}")
 
 echo
-echo "== [3/5] Crash-recovery gate: PersistTest under ASan and UBSan =="
+echo "== [3/6] Crash-recovery gate: PersistTest under ASan and UBSan =="
 # The trees were built above; this re-runs just the persistence layer so
 # durability failures surface as their own stage.
 (cd build-asan && ctest --output-on-failure -j"${JOBS}" -R 'PersistTest')
 (cd build-ubsan && ctest --output-on-failure -j"${JOBS}" -R 'PersistTest')
 
 echo
-echo "== [4/5] Release bench smoke: BENCH_sql.json =="
+echo "== [4/6] Serve smoke: HTTP endpoint under ASan =="
+# serve_demo --smoke starts a server on an ephemeral port, runs GET/POST
+# queries, a deadline query, a malformed query, and /stats over a real
+# socket, then stops the server; ASan turns any leak in the serving path
+# (threads, fds, stream buffers) into a failure.
+cmake --build build-asan -j"${JOBS}" --target serve_demo
+./build-asan/examples/serve_demo --smoke
+
+echo
+echo "== [5/6] Release bench smoke: BENCH_sql.json + BENCH_serve.json =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build build-release -j"${JOBS}" --target bench_micro_star
+cmake --build build-release -j"${JOBS}" --target bench_micro_star bench_serve
 (cd build-release &&
   rm -f BENCH_sql.json &&
   RDFREL_BENCH_SCALE=0.1 ./bench/bench_micro_star &&
   test -s BENCH_sql.json &&
   echo "BENCH_sql.json ok")
+(cd build-release &&
+  rm -f BENCH_serve.json &&
+  RDFREL_BENCH_SCALE=0.1 ./bench/bench_serve &&
+  test -s BENCH_serve.json &&
+  echo "BENCH_serve.json ok")
 
 echo
 echo "All checks passed."

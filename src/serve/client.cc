@@ -1,0 +1,189 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace rdfrel::serve {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string_view::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+}  // namespace
+
+Status HttpClient::Connect() {
+  Close();
+  RDFREL_ASSIGN_OR_RETURN(fd_, ConnectTcp(host_, port_));
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  fd_.reset();
+  inbuf_.clear();
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  std::string req = "GET " + target +
+                    " HTTP/1.1\r\nHost: " + host_ +
+                    "\r\nConnection: keep-alive\r\n\r\n";
+  return Roundtrip(req);
+}
+
+Result<HttpResponse> HttpClient::Post(const std::string& target,
+                                      const std::string& content_type,
+                                      const std::string& body) {
+  std::string req = "POST " + target + " HTTP/1.1\r\nHost: " + host_ +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: keep-alive\r\n\r\n" + body;
+  return Roundtrip(req);
+}
+
+Result<HttpResponse> HttpClient::Roundtrip(std::string_view raw) {
+  if (!connected()) RDFREL_RETURN_NOT_OK(Connect());
+  Status sent = WriteAll(fd_.get(), raw);
+  if (!sent.ok()) {
+    // The server may have closed a stale keep-alive connection; retry once
+    // on a fresh one.
+    RDFREL_RETURN_NOT_OK(Connect());
+    RDFREL_RETURN_NOT_OK(WriteAll(fd_.get(), raw));
+  }
+  Result<HttpResponse> resp = ReadResponse();
+  if (!resp.ok()) {
+    Close();
+    return resp;
+  }
+  // Respect the server's connection decision.
+  auto conn = resp->headers.find("connection");
+  if (conn != resp->headers.end() && ToLower(conn->second) == "close") {
+    Close();
+  }
+  return resp;
+}
+
+Status HttpClient::FillBuffer() {
+  RDFREL_ASSIGN_OR_RETURN(bool ready,
+                          WaitReadable(fd_.get(), timeout_ms_));
+  if (!ready) return Status::ExecutionError("client read timeout");
+  char buf[16 * 1024];
+  RDFREL_ASSIGN_OR_RETURN(size_t n, ReadSome(fd_.get(), buf, sizeof(buf)));
+  if (n == 0) {
+    return Status::ExecutionError("connection closed by server");
+  }
+  inbuf_.append(buf, n);
+  return Status::OK();
+}
+
+Result<std::string> HttpClient::ReadLine() {
+  for (;;) {
+    size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    RDFREL_RETURN_NOT_OK(FillBuffer());
+  }
+}
+
+Status HttpClient::ReadN(size_t n, std::string* out) {
+  while (inbuf_.size() < n) RDFREL_RETURN_NOT_OK(FillBuffer());
+  out->append(inbuf_, 0, n);
+  inbuf_.erase(0, n);
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::ReadResponse() {
+  HttpResponse resp;
+
+  RDFREL_ASSIGN_OR_RETURN(std::string status_line, ReadLine());
+  // "HTTP/1.1 200 OK"
+  size_t sp = status_line.find(' ');
+  if (sp == std::string::npos ||
+      status_line.compare(0, 5, "HTTP/") != 0) {
+    return Status::ExecutionError("malformed status line: " + status_line);
+  }
+  auto code_view = std::string_view(status_line).substr(sp + 1, 3);
+  int code = 0;
+  auto [ptr, ec] =
+      std::from_chars(code_view.data(), code_view.data() + code_view.size(),
+                      code);
+  if (ec != std::errc() || code < 100 || code > 599) {
+    return Status::ExecutionError("bad status code in: " + status_line);
+  }
+  resp.status = code;
+
+  for (;;) {
+    RDFREL_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    if (line.empty()) break;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;  // tolerate junk headers
+    resp.headers[ToLower(line.substr(0, colon))] =
+        Trim(std::string_view(line).substr(colon + 1));
+  }
+
+  auto te = resp.headers.find("transfer-encoding");
+  if (te != resp.headers.end() &&
+      ToLower(te->second).find("chunked") != std::string::npos) {
+    // Chunked: size-line, data, CRLF, ... until a zero-size chunk.
+    for (;;) {
+      RDFREL_ASSIGN_OR_RETURN(std::string size_line, ReadLine());
+      size_t chunk = 0;
+      auto sv = std::string_view(size_line);
+      sv = sv.substr(0, sv.find(';'));  // ignore chunk extensions
+      auto [p2, e2] = std::from_chars(sv.data(), sv.data() + sv.size(),
+                                      chunk, 16);
+      if (e2 != std::errc() || p2 != sv.data() + sv.size()) {
+        return Status::ExecutionError("bad chunk size: " + size_line);
+      }
+      if (chunk == 0) {
+        RDFREL_ASSIGN_OR_RETURN(std::string trailer, ReadLine());
+        (void)trailer;  // no trailers expected; the blank line ends it
+        break;
+      }
+      RDFREL_RETURN_NOT_OK(ReadN(chunk, &resp.body));
+      RDFREL_ASSIGN_OR_RETURN(std::string crlf, ReadLine());
+      if (!crlf.empty()) {
+        return Status::ExecutionError("chunk not CRLF-terminated");
+      }
+    }
+    return resp;
+  }
+
+  auto cl = resp.headers.find("content-length");
+  if (cl != resp.headers.end()) {
+    size_t n = 0;
+    auto [p3, e3] = std::from_chars(
+        cl->second.data(), cl->second.data() + cl->second.size(), n);
+    if (e3 != std::errc()) {
+      return Status::ExecutionError("bad Content-Length: " + cl->second);
+    }
+    RDFREL_RETURN_NOT_OK(ReadN(n, &resp.body));
+    return resp;
+  }
+
+  // No framing: body runs to EOF (Connection: close style).
+  for (;;) {
+    Status st = FillBuffer();
+    if (!st.ok()) break;  // EOF ends the body
+  }
+  resp.body = std::move(inbuf_);
+  inbuf_.clear();
+  return resp;
+}
+
+}  // namespace rdfrel::serve

@@ -1,0 +1,65 @@
+#ifndef RDFREL_SERVE_CLIENT_H_
+#define RDFREL_SERVE_CLIENT_H_
+
+/// \file client.h
+/// A small blocking HTTP/1.1 client for the protocol tests and the load
+/// generator: keep-alive reuse, Content-Length and chunked response bodies,
+/// and a raw-bytes escape hatch for sending deliberately malformed requests.
+/// Not a general client — exactly what exercising the server needs.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "serve/net.h"
+#include "util/status.h"
+
+namespace rdfrel::serve {
+
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< lower-case names
+  std::string body;                            ///< chunked bodies decoded
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  /// (Re)connects; Get/Post call this lazily when not connected.
+  Status Connect();
+  bool connected() const { return fd_.valid(); }
+  void Close();
+
+  Result<HttpResponse> Get(const std::string& target);
+  Result<HttpResponse> Post(const std::string& target,
+                            const std::string& content_type,
+                            const std::string& body);
+
+  /// Sends \p raw verbatim and reads one response — for malformed-request
+  /// tests where the request must bypass any well-formed formatting.
+  Result<HttpResponse> Roundtrip(std::string_view raw);
+
+  /// Read timeout per blocking wait (default 30s; tests shorten it).
+  void set_timeout_ms(int ms) { timeout_ms_ = ms; }
+
+ private:
+  Result<HttpResponse> ReadResponse();
+  /// One header/status line (CRLF stripped).
+  Result<std::string> ReadLine();
+  /// Exactly \p n body bytes appended to \p out.
+  Status ReadN(size_t n, std::string* out);
+  Status FillBuffer();  ///< reads more bytes into inbuf_; error on EOF
+
+  std::string host_;
+  uint16_t port_;
+  int timeout_ms_ = 30'000;
+  UniqueFd fd_;
+  std::string inbuf_;  ///< bytes read but not yet consumed
+};
+
+}  // namespace rdfrel::serve
+
+#endif  // RDFREL_SERVE_CLIENT_H_

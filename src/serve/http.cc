@@ -1,0 +1,340 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rdfrel::serve {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool IsTokenChar(char c) {
+  // RFC 7230 token characters (method / header-name alphabet).
+  static constexpr std::string_view kExtra = "!#$%&'*+-.^_`|~";
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+         kExtra.find(c) != std::string_view::npos;
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::QueryParam(
+    const std::string& name) const {
+  auto it = query_params.find(name);
+  if (it == query_params.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> HttpRequest::Header(const std::string& name) const {
+  auto it = headers.find(name);
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+bool HttpRequest::KeepAlive() const {
+  auto conn = Header("connection");
+  std::string value = conn ? ToLower(*conn) : "";
+  if (version_minor == 0) return value == "keep-alive";
+  return value != "close";
+}
+
+Status HttpParser::Fail(int http_code, std::string msg) {
+  http_error_ = http_code;
+  return Status::InvalidArgument(std::move(msg));
+}
+
+Result<size_t> HttpParser::Feed(std::string_view data) {
+  if (http_error_ != 0) return Fail(http_error_, "parser in error state");
+  size_t consumed = 0;
+  while (consumed < data.size() && state_ != State::kComplete) {
+    if (state_ == State::kBody) {
+      size_t want = body_expected_ - req_.body.size();
+      size_t take = std::min(want, data.size() - consumed);
+      req_.body.append(data.substr(consumed, take));
+      consumed += take;
+      if (req_.body.size() == body_expected_) state_ = State::kComplete;
+      continue;
+    }
+    // Line-oriented states: accumulate until CRLF (bare LF tolerated).
+    size_t nl = data.find('\n', consumed);
+    size_t limit = state_ == State::kRequestLine ? limits_.max_request_line
+                                                 : limits_.max_header_bytes;
+    if (nl == std::string_view::npos) {
+      buffer_.append(data.substr(consumed));
+      consumed = data.size();
+      if (buffer_.size() > limit) {
+        return Fail(state_ == State::kRequestLine ? 414 : 431,
+                    "header section too large");
+      }
+      break;
+    }
+    buffer_.append(data.substr(consumed, nl - consumed));
+    consumed = nl + 1;
+    if (buffer_.size() > limit) {
+      return Fail(state_ == State::kRequestLine ? 414 : 431,
+                  "header section too large");
+    }
+    std::string_view line = buffer_;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (state_ == State::kRequestLine) {
+      if (line.empty()) {
+        // Tolerate leading blank lines between pipelined requests.
+        buffer_.clear();
+        continue;
+      }
+      RDFREL_RETURN_NOT_OK(ParseRequestLine(line));
+      state_ = State::kHeaders;
+    } else {  // kHeaders
+      header_bytes_ += buffer_.size();
+      if (header_bytes_ > limits_.max_header_bytes) {
+        return Fail(431, "header section too large");
+      }
+      if (line.empty()) {
+        RDFREL_RETURN_NOT_OK(OnHeadersDone());
+      } else {
+        RDFREL_RETURN_NOT_OK(ParseHeaderLine(line));
+      }
+    }
+    buffer_.clear();
+  }
+  return consumed;
+}
+
+Status HttpParser::ParseRequestLine(std::string_view line) {
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    return Fail(400, "malformed request line");
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = Trim(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || target.empty()) {
+    return Fail(400, "malformed request line");
+  }
+  for (char c : method) {
+    if (!IsTokenChar(c)) return Fail(400, "bad method token");
+  }
+  if (version == "HTTP/1.1") {
+    req_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    req_.version_minor = 0;
+  } else {
+    return Fail(version.rfind("HTTP/", 0) == 0 ? 505 : 400,
+                "unsupported HTTP version");
+  }
+  req_.method.assign(method);
+  std::transform(req_.method.begin(), req_.method.end(), req_.method.begin(),
+                 [](unsigned char c) {
+                   return static_cast<char>(std::toupper(c));
+                 });
+  req_.target.assign(target);
+  size_t q = target.find('?');
+  req_.path = UrlDecode(target.substr(0, q), /*plus_as_space=*/false);
+  if (q != std::string_view::npos) {
+    req_.query_params = ParseQueryString(target.substr(q + 1));
+  }
+  if (req_.path.empty() || req_.path[0] != '/') {
+    return Fail(400, "request target must be origin-form");
+  }
+  return Status::OK();
+}
+
+Status HttpParser::ParseHeaderLine(std::string_view line) {
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Fail(400, "malformed header line");
+  }
+  std::string_view name = line.substr(0, colon);
+  for (char c : name) {
+    if (!IsTokenChar(c)) return Fail(400, "bad header name");
+  }
+  std::string value(Trim(line.substr(colon + 1)));
+  req_.headers[ToLower(name)] = std::move(value);
+  return Status::OK();
+}
+
+Status HttpParser::OnHeadersDone() {
+  if (req_.headers.count("transfer-encoding") != 0) {
+    return Fail(501, "chunked request bodies not supported");
+  }
+  auto cl = req_.Header("content-length");
+  if (!cl.has_value()) {
+    state_ = State::kComplete;
+    return Status::OK();
+  }
+  if (cl->empty() ||
+      cl->find_first_not_of("0123456789") != std::string::npos) {
+    return Fail(400, "malformed Content-Length");
+  }
+  unsigned long long n = 0;  // NOLINT(runtime/int) — strtoull's type
+  try {
+    n = std::stoull(*cl);
+  } catch (...) {
+    return Fail(400, "malformed Content-Length");
+  }
+  if (n > limits_.max_body_bytes) return Fail(413, "request body too large");
+  body_expected_ = static_cast<size_t>(n);
+  req_.body.reserve(body_expected_);
+  state_ = body_expected_ == 0 ? State::kComplete : State::kBody;
+  return Status::OK();
+}
+
+void HttpParser::Reset() {
+  state_ = State::kRequestLine;
+  buffer_.clear();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  req_ = HttpRequest{};
+  http_error_ = 0;
+}
+
+std::string UrlDecode(std::string_view in, bool plus_as_space) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    if (c == '+' && plus_as_space) {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < in.size() && HexDigit(in[i + 1]) >= 0 &&
+               HexDigit(in[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexDigit(in[i + 1]) * 16 +
+                                      HexDigit(in[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UrlEncode(std::string_view in) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) != 0 || c == '-' || c == '_' || c == '.' ||
+        c == '~') {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::multimap<std::string, std::string> ParseQueryString(
+    std::string_view qs) {
+  std::multimap<std::string, std::string> out;
+  size_t pos = 0;
+  while (pos <= qs.size()) {
+    size_t amp = qs.find('&', pos);
+    std::string_view pair = qs.substr(
+        pos, amp == std::string_view::npos ? std::string_view::npos
+                                           : amp - pos);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      std::string key(UrlDecode(pair.substr(0, eq), true));
+      std::string value(eq == std::string_view::npos
+                            ? ""
+                            : UrlDecode(pair.substr(eq + 1), true));
+      if (!key.empty()) out.emplace(std::move(key), std::move(value));
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return out;
+}
+
+std::string_view ReasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 415: return "Unsupported Media Type";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string FormatResponseHead(
+    int code,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " ";
+  out.append(ReasonPhrase(code));
+  out.append("\r\n");
+  for (const auto& [name, value] : headers) {
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+    out.append("\r\n");
+  }
+  out.append("\r\n");
+  return out;
+}
+
+std::string JsonEscape(std::string_view in) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\b': out.append("\\b"); break;
+      case '\f': out.append("\\f"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (u < 0x20) {
+          out.append("\\u00");
+          out.push_back(kHex[u >> 4]);
+          out.push_back(kHex[u & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace rdfrel::serve

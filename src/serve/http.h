@@ -1,0 +1,114 @@
+#ifndef RDFREL_SERVE_HTTP_H_
+#define RDFREL_SERVE_HTTP_H_
+
+/// \file http.h
+/// A minimal, allocation-light HTTP/1.1 message layer for the SPARQL
+/// endpoint: an incremental request parser (usable on raw byte buffers, so
+/// the protocol negatives are unit-testable without sockets), percent/query
+/// decoding, and response-formatting helpers. Deliberately small: no TLS,
+/// no request trailers, Content-Length bodies only (chunked *requests* are
+/// rejected with 501; chunked *responses* are produced by the server for
+/// streaming results).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rdfrel::serve {
+
+/// Parser resource limits (header sizes follow common proxy defaults).
+struct HttpLimits {
+  size_t max_request_line = 8 * 1024;
+  size_t max_header_bytes = 32 * 1024;
+  size_t max_body_bytes = 1024 * 1024;
+};
+
+/// A parsed request. Header names are lower-cased; values are trimmed.
+struct HttpRequest {
+  std::string method;   ///< upper-case, e.g. "GET"
+  std::string target;   ///< raw request target, e.g. "/sparql?query=..."
+  std::string path;     ///< decoded path component, e.g. "/sparql"
+  std::multimap<std::string, std::string> query_params;  ///< decoded
+  int version_minor = 1;  ///< HTTP/1.<minor>
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// First query parameter by name, or nullopt.
+  std::optional<std::string> QueryParam(const std::string& name) const;
+  /// Header by lower-case name, or nullopt.
+  std::optional<std::string> Header(const std::string& name) const;
+  /// Connection persistence per HTTP/1.1 rules (keep-alive unless 1.0
+  /// without "Connection: keep-alive" or an explicit "Connection: close").
+  bool KeepAlive() const;
+};
+
+/// Incremental HTTP/1.1 request parser. Feed() consumes bytes until a full
+/// request (including body) is buffered; the parser then stays complete
+/// until Reset(). Errors are sticky and carry the HTTP status code to send
+/// back (400/413/431/501).
+class HttpParser {
+ public:
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes up to data.size() bytes; returns the number consumed (bytes
+  /// past the end of a complete request are left for the next message).
+  /// On a malformed request returns an error and sets http_error_code().
+  Result<size_t> Feed(std::string_view data);
+
+  bool complete() const { return state_ == State::kComplete; }
+  /// The parsed request (valid when complete()).
+  HttpRequest& request() { return req_; }
+
+  /// HTTP status to answer a Feed() error with (0 when no error yet).
+  int http_error_code() const { return http_error_; }
+
+  /// Prepares for the next request on the same connection.
+  void Reset();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kComplete };
+
+  Status Fail(int http_code, std::string msg);
+  Status ParseRequestLine(std::string_view line);
+  Status ParseHeaderLine(std::string_view line);
+  Status OnHeadersDone();
+
+  HttpLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string buffer_;      ///< partial line / body accumulator
+  size_t header_bytes_ = 0;
+  size_t body_expected_ = 0;
+  HttpRequest req_;
+  int http_error_ = 0;
+};
+
+/// Percent-decodes \p in ('+' becomes space when \p plus_as_space).
+/// Malformed escapes are passed through verbatim.
+std::string UrlDecode(std::string_view in, bool plus_as_space);
+
+/// Percent-encodes \p in for use inside a query-string value.
+std::string UrlEncode(std::string_view in);
+
+/// Parses an application/x-www-form-urlencoded string ("a=1&b=2").
+std::multimap<std::string, std::string> ParseQueryString(std::string_view qs);
+
+/// Standard reason phrase for \p code ("OK", "Not Found", ...).
+std::string_view ReasonPhrase(int code);
+
+/// Serializes a response head: status line + headers + blank line.
+/// \p headers are emitted verbatim in order.
+std::string FormatResponseHead(
+    int code, const std::vector<std::pair<std::string, std::string>>& headers);
+
+/// JSON string escaping (shared by /stats and the error bodies).
+std::string JsonEscape(std::string_view in);
+
+}  // namespace rdfrel::serve
+
+#endif  // RDFREL_SERVE_HTTP_H_

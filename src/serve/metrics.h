@@ -1,0 +1,72 @@
+#ifndef RDFREL_SERVE_METRICS_H_
+#define RDFREL_SERVE_METRICS_H_
+
+/// \file metrics.h
+/// Lock-free server observability: a log-bucketed latency histogram with
+/// percentile extraction, and per-endpoint request/error counters. All
+/// counters are relaxed atomics — they are monotonic event counts read for
+/// reporting, never used for synchronization.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rdfrel::serve {
+
+/// Latency histogram over microseconds. Buckets grow geometrically (~2x per
+/// 4 buckets), covering 1us .. ~1200s with <= 19% relative quantile error —
+/// plenty for p50/p99/p999 trend lines.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 124;
+
+  void Record(uint64_t micros);
+
+  /// The \p q quantile (0 < q < 1) in microseconds; 0 when empty. Linear
+  /// interpolation inside the winning bucket.
+  double Quantile(double q) const;
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Mean latency in microseconds (0 when empty).
+  double Mean() const;
+
+ private:
+  static size_t BucketFor(uint64_t micros);
+  static uint64_t BucketLower(size_t bucket);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// Counters + latency for one endpoint (or one logical request class).
+struct EndpointMetrics {
+  std::atomic<uint64_t> requests{0};   ///< completed requests
+  std::atomic<uint64_t> errors{0};     ///< non-2xx answered
+  std::atomic<uint64_t> bytes_out{0};  ///< response body bytes
+  LatencyHistogram latency;
+
+  /// One JSON object: {"requests":..,"errors":..,"bytes_out":..,
+  /// "p50_us":..,"p99_us":..,"p999_us":..,"mean_us":..}
+  std::string ToJson() const;
+};
+
+/// Server-wide counters that are not per-endpoint.
+struct ServerMetrics {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_shed{0};   ///< 503 at admission
+  std::atomic<uint64_t> requests_bad{0};       ///< 4xx protocol errors
+  std::atomic<uint64_t> deadline_exceeded{0};  ///< queries past deadline
+  std::atomic<uint64_t> cancelled{0};          ///< client-abandoned queries
+  std::atomic<uint64_t> streams_aborted{0};    ///< failures after 200 sent
+
+  EndpointMetrics sparql;  ///< /sparql request class
+  EndpointMetrics stats;   ///< /stats request class
+};
+
+}  // namespace rdfrel::serve
+
+#endif  // RDFREL_SERVE_METRICS_H_

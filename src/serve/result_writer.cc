@@ -1,0 +1,118 @@
+#include "serve/result_writer.h"
+
+#include "serve/http.h"
+
+namespace rdfrel::serve {
+
+namespace {
+
+/// One term as a SPARQL-results-JSON binding object.
+void AppendJsonTerm(const rdf::Term& t, std::string* out) {
+  switch (t.kind()) {
+    case rdf::TermKind::kIri:
+      out->append("{\"type\":\"uri\",\"value\":\"");
+      out->append(JsonEscape(t.lexical()));
+      out->append("\"}");
+      return;
+    case rdf::TermKind::kBlankNode:
+      out->append("{\"type\":\"bnode\",\"value\":\"");
+      out->append(JsonEscape(t.lexical()));
+      out->append("\"}");
+      return;
+    case rdf::TermKind::kLiteral:
+      out->append("{\"type\":\"literal\",\"value\":\"");
+      out->append(JsonEscape(t.lexical()));
+      out->push_back('"');
+      if (!t.language().empty()) {
+        out->append(",\"xml:lang\":\"");
+        out->append(JsonEscape(t.language()));
+        out->push_back('"');
+      } else if (!t.datatype().empty()) {
+        out->append(",\"datatype\":\"");
+        out->append(JsonEscape(t.datatype()));
+        out->push_back('"');
+      }
+      out->push_back('}');
+      return;
+  }
+}
+
+}  // namespace
+
+void JsonResultWriter::Begin(const std::vector<std::string>& vars,
+                             std::string* out) {
+  vars_ = vars;
+  first_row_ = true;
+  out->append("{\"head\":{\"vars\":[");
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i) out->push_back(',');
+    out->push_back('"');
+    out->append(JsonEscape(vars[i]));
+    out->push_back('"');
+  }
+  out->append("]},\"results\":{\"bindings\":[");
+}
+
+void JsonResultWriter::AppendRows(const std::vector<store::Binding>& rows,
+                                  std::string* out) {
+  for (const auto& row : rows) {
+    if (!first_row_) out->push_back(',');
+    first_row_ = false;
+    out->push_back('{');
+    bool first_cell = true;
+    for (size_t i = 0; i < row.size() && i < vars_.size(); ++i) {
+      if (!row[i].has_value()) continue;  // unbound: omitted, per the spec
+      if (!first_cell) out->push_back(',');
+      first_cell = false;
+      out->push_back('"');
+      out->append(JsonEscape(vars_[i]));
+      out->append("\":");
+      AppendJsonTerm(*row[i], out);
+    }
+    out->push_back('}');
+  }
+}
+
+void JsonResultWriter::End(std::string* out) { out->append("]}}"); }
+
+void TsvResultWriter::Begin(const std::vector<std::string>& vars,
+                            std::string* out) {
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i) out->push_back('\t');
+    out->push_back('?');
+    out->append(vars[i]);
+  }
+  out->push_back('\n');
+}
+
+void TsvResultWriter::AppendRows(const std::vector<store::Binding>& rows,
+                                 std::string* out) {
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out->push_back('\t');
+      if (row[i].has_value()) out->append(row[i]->ToNTriples());
+    }
+    out->push_back('\n');
+  }
+}
+
+void TsvResultWriter::End(std::string* out) { (void)out; }
+
+std::unique_ptr<ResultWriter> MakeResultWriter(std::string_view format) {
+  if (format == "json") return std::make_unique<JsonResultWriter>();
+  if (format == "tsv") return std::make_unique<TsvResultWriter>();
+  return nullptr;
+}
+
+std::string SerializeResultSet(const store::ResultSet& rs,
+                               std::string_view format) {
+  std::unique_ptr<ResultWriter> w = MakeResultWriter(format);
+  if (w == nullptr) return "";
+  std::string out;
+  w->Begin(rs.vars, &out);
+  w->AppendRows(rs.rows, &out);
+  w->End(&out);
+  return out;
+}
+
+}  // namespace rdfrel::serve

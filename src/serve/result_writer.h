@@ -1,0 +1,79 @@
+#ifndef RDFREL_SERVE_RESULT_WRITER_H_
+#define RDFREL_SERVE_RESULT_WRITER_H_
+
+/// \file result_writer.h
+/// Streaming serializers for the two SPARQL 1.1 result formats the endpoint
+/// speaks: application/sparql-results+json and text/tab-separated-values.
+/// A writer is a stateful object driven Begin / AppendRows... / End; the
+/// concatenation of everything it emits is *identical* regardless of how
+/// the rows were batched (comma placement depends on writer state, not
+/// batch boundaries), which is what makes the streamed HTTP body
+/// byte-equivalent to serializing a materialized ResultSet in one call —
+/// the property the differential tests pin down.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/result_set.h"
+
+namespace rdfrel::serve {
+
+class ResultWriter {
+ public:
+  virtual ~ResultWriter() = default;
+
+  /// The Content-Type of the produced body.
+  virtual std::string_view content_type() const = 0;
+
+  /// Emits the header (variable list) into \p out.
+  virtual void Begin(const std::vector<std::string>& vars,
+                     std::string* out) = 0;
+  /// Emits \p rows (bindings over the Begin vars) into \p out.
+  virtual void AppendRows(const std::vector<store::Binding>& rows,
+                          std::string* out) = 0;
+  /// Emits the trailer into \p out.
+  virtual void End(std::string* out) = 0;
+};
+
+/// SPARQL 1.1 Query Results JSON Format:
+/// {"head":{"vars":[...]},"results":{"bindings":[{...},...]}}
+class JsonResultWriter final : public ResultWriter {
+ public:
+  std::string_view content_type() const override {
+    return "application/sparql-results+json";
+  }
+  void Begin(const std::vector<std::string>& vars, std::string* out) override;
+  void AppendRows(const std::vector<store::Binding>& rows,
+                  std::string* out) override;
+  void End(std::string* out) override;
+
+ private:
+  std::vector<std::string> vars_;
+  bool first_row_ = true;
+};
+
+/// SPARQL 1.1 Query Results TSV Format: a `?var<TAB>?var` header line, then
+/// one line per solution with terms in N-Triples syntax (empty = unbound).
+class TsvResultWriter final : public ResultWriter {
+ public:
+  std::string_view content_type() const override {
+    return "text/tab-separated-values";
+  }
+  void Begin(const std::vector<std::string>& vars, std::string* out) override;
+  void AppendRows(const std::vector<store::Binding>& rows,
+                  std::string* out) override;
+  void End(std::string* out) override;
+};
+
+/// Writer for \p format ("json" or "tsv"); nullptr when unknown.
+std::unique_ptr<ResultWriter> MakeResultWriter(std::string_view format);
+
+/// Serializes a materialized ResultSet in one go with a fresh writer of the
+/// same format (the reference side of the byte-equivalence tests).
+std::string SerializeResultSet(const store::ResultSet& rs,
+                               std::string_view format);
+
+}  // namespace rdfrel::serve
+
+#endif  // RDFREL_SERVE_RESULT_WRITER_H_

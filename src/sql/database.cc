@@ -47,6 +47,48 @@ Result<QueryResult> Database::Query(std::string_view sql) {
   return QueryAst(*stmt);
 }
 
+Status Database::QueryStreaming(
+    std::string_view sql, const ExecControl* control,
+    std::vector<std::string>* columns,
+    const std::function<Status(const RowBatch&)>& on_batch) {
+  RDFREL_ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  CteEnv env;
+  RDFREL_ASSIGN_OR_RETURN(
+      OperatorPtr op, PlanSelect(catalog_, *stmt, &env, exec_mode_, control));
+  op->SetExecMode(exec_mode_);
+  if (control != nullptr) op->SetControl(control);
+  RDFREL_RETURN_NOT_OK(op->Open());
+  if (columns != nullptr) *columns = op->scope().Names();
+  RowBatch batch;
+  if (exec_mode_ == ExecMode::kBatch) {
+    while (true) {
+      RDFREL_ASSIGN_OR_RETURN(bool has, op->NextBatch(&batch));
+      if (!has) break;
+      if (batch.ActiveSize() == 0) continue;
+      RDFREL_RETURN_NOT_OK(on_batch(batch));
+    }
+    return Status::OK();
+  }
+  // Row mode: drive the Volcano surface and regroup into batches so the
+  // row-vs-batch differential tests cover the streaming path too.
+  while (true) {
+    batch.Reset();
+    while (!batch.Full()) {
+      Row* slot = batch.AddRow();
+      RDFREL_ASSIGN_OR_RETURN(bool has, op->Next(slot));
+      if (!has) {
+        batch.PopRow();
+        break;
+      }
+    }
+    if (batch.size() == 0) break;
+    const bool last = !batch.Full();
+    RDFREL_RETURN_NOT_OK(on_batch(batch));
+    if (last) break;
+  }
+  return Status::OK();
+}
+
 Result<QueryResult> Database::QueryAst(const ast::SelectStmt& stmt) {
   RDFREL_ASSIGN_OR_RETURN(auto mat, RunSelect(catalog_, stmt, exec_mode_));
   QueryResult qr;

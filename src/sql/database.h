@@ -5,12 +5,14 @@
 /// Top-level facade of the embedded relational engine: owns a Catalog and
 /// executes SQL text (DDL, INSERT, SELECT).
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sql/catalog.h"
+#include "sql/exec_control.h"
 #include "sql/planner.h"
 #include "util/status.h"
 
@@ -38,6 +40,20 @@ class Database {
 
   /// Executes a SELECT (text).
   Result<QueryResult> Query(std::string_view sql);
+
+  /// Streams a SELECT batch-at-a-time instead of materializing it.
+  /// \p columns (optional) receives the output column names before the
+  /// first batch. \p on_batch is invoked once per non-empty RowBatch, in
+  /// order, on the calling thread; the batch is only valid for the duration
+  /// of the call. A non-OK return from \p on_batch aborts execution and is
+  /// returned verbatim. \p control (optional, borrowed) is checked at every
+  /// batch boundary — including inside blocking operators and CTE/subquery
+  /// materialization — and surfaces kDeadlineExceeded / kCancelled.
+  /// In ExecMode::kRow the tree is still driven row-at-a-time; rows are
+  /// regrouped into batches at the top so callers see one surface.
+  Status QueryStreaming(std::string_view sql, const ExecControl* control,
+                        std::vector<std::string>* columns,
+                        const std::function<Status(const RowBatch&)>& on_batch);
 
   /// Executes a parsed SELECT.
   Result<QueryResult> QueryAst(const ast::SelectStmt& stmt);

@@ -56,6 +56,10 @@ uint64_t NowNs() {
 // --------------------------------------------------------------- Operator
 
 Result<bool> Operator::Next(Row* out) {
+  if (control_ != nullptr && ++rows_since_check_ >= kControlCheckRows) {
+    rows_since_check_ = 0;
+    RDFREL_RETURN_NOT_OK(control_->Check());
+  }
   if (!timing_) {
     RDFREL_ASSIGN_OR_RETURN(bool has, NextImpl(out));
     if (has) ++stats_.rows;
@@ -69,6 +73,9 @@ Result<bool> Operator::Next(Row* out) {
 }
 
 Result<bool> Operator::NextBatch(RowBatch* out) {
+  if (control_ != nullptr) {
+    RDFREL_RETURN_NOT_OK(control_->Check());
+  }
   out->Reset();
   bool has = false;
   if (!timing_) {
@@ -115,6 +122,14 @@ void Operator::SetExecMode(ExecMode mode) {
 void Operator::EnableTiming(bool on) {
   timing_ = on;
   for (Operator* c : children()) c->EnableTiming(on);
+}
+
+void Operator::SetControl(const ExecControl* control) {
+  // A trivial control can never fire; detach instead of paying the
+  // per-batch check.
+  control_ = (control != nullptr && control->Trivial()) ? nullptr : control;
+  rows_since_check_ = 0;
+  for (Operator* c : children()) c->SetControl(control_);
 }
 
 Status Operator::ForEachChildRow(
@@ -1323,8 +1338,10 @@ Status LimitOp::VerifySelf() const {
 
 // --------------------------------------------------------------- CollectRows
 
-Result<std::vector<Row>> CollectRows(Operator* op, ExecMode mode) {
+Result<std::vector<Row>> CollectRows(Operator* op, ExecMode mode,
+                                     const ExecControl* control) {
   op->SetExecMode(mode);
+  if (control != nullptr) op->SetControl(control);
   RDFREL_RETURN_NOT_OK(op->Open());
   std::vector<Row> rows;
   if (mode == ExecMode::kBatch) {

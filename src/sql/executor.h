@@ -29,6 +29,7 @@
 
 #include "sql/ast.h"
 #include "sql/catalog.h"
+#include "sql/exec_control.h"
 #include "sql/expression.h"
 #include "sql/row.h"
 #include "sql/row_batch.h"
@@ -96,6 +97,12 @@ class Operator {
   /// Turns per-call timing on/off for this subtree (off by default: two
   /// clock reads per row would distort the row path it measures).
   void EnableTiming(bool on);
+  /// Attaches a deadline/cancel control to this subtree. Checked in the
+  /// NextBatch wrapper (every batch) and in Next (every
+  /// kControlCheckRows rows), so blocking Open()s that drain a child via
+  /// either surface are interruptible too. \p control is borrowed and must
+  /// outlive execution; nullptr detaches.
+  void SetControl(const ExecControl* control);
 
   const OperatorStats& stats() const { return stats_; }
 
@@ -110,9 +117,14 @@ class Operator {
   Status ForEachChildRow(Operator* child,
                          const std::function<Status(const Row&)>& fn);
 
+  /// Row-path control-check stride (the batch path checks every batch).
+  static constexpr uint64_t kControlCheckRows = 1024;
+
   Scope scope_;
   ExecMode mode_ = ExecMode::kBatch;
   bool timing_ = false;
+  const ExecControl* control_ = nullptr;
+  uint64_t rows_since_check_ = 0;
   OperatorStats stats_;
 };
 
@@ -514,10 +526,11 @@ class LimitOp final : public Operator {
   std::vector<uint32_t> sel_;
 };
 
-/// Runs \p op to completion, collecting rows. Sets \p mode on the tree
-/// before Open().
+/// Runs \p op to completion, collecting rows. Sets \p mode (and, when
+/// non-null, \p control) on the tree before Open().
 Result<std::vector<Row>> CollectRows(Operator* op,
-                                     ExecMode mode = ExecMode::kBatch);
+                                     ExecMode mode = ExecMode::kBatch,
+                                     const ExecControl* control = nullptr);
 
 }  // namespace rdfrel::sql
 

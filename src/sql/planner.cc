@@ -44,8 +44,9 @@ struct PendingSource {
 
 class CorePlanner {
  public:
-  CorePlanner(const Catalog& catalog, CteEnv* env, ExecMode mode)
-      : catalog_(catalog), env_(env), mode_(mode) {}
+  CorePlanner(const Catalog& catalog, CteEnv* env, ExecMode mode,
+              const ExecControl* control)
+      : catalog_(catalog), env_(env), mode_(mode), control_(control) {}
 
   /// Plans one core. When \p order_by is non-null the sort is planted inside
   /// this core (below the final projection trim), so sort keys may reference
@@ -319,10 +320,11 @@ class CorePlanner {
     PendingSource src;
     src.alias = item.alias;
     if (item.kind == FromKind::kSubquery) {
-      RDFREL_ASSIGN_OR_RETURN(
-          OperatorPtr sub, PlanSelect(catalog_, *item.subquery, env_, mode_));
+      RDFREL_ASSIGN_OR_RETURN(OperatorPtr sub,
+                              PlanSelect(catalog_, *item.subquery, env_,
+                                         mode_, control_));
       RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                              CollectRows(sub.get(), mode_));
+                              CollectRows(sub.get(), mode_, control_));
       auto mat = std::make_shared<Materialized>();
       mat->scope = sub->scope();
       mat->rows = std::move(rows);
@@ -633,6 +635,7 @@ class CorePlanner {
   const Catalog& catalog_;
   CteEnv* env_;
   ExecMode mode_;  ///< drive mode for subquery/CTE materialization
+  const ExecControl* control_;  ///< cancellation for those materializations
   std::vector<ast::ExprPtr> owned_;
 };
 
@@ -670,13 +673,13 @@ BoundExprPtr CorePlanner::MakeAndExpr(BoundExprPtr a, BoundExprPtr b) {
 
 Result<OperatorPtr> PlanSelect(const Catalog& catalog,
                                const ast::SelectStmt& stmt, CteEnv* env,
-                               ExecMode mode) {
+                               ExecMode mode, const ExecControl* control) {
   // Materialize CTEs in order.
   for (const auto& cte : stmt.ctes) {
-    RDFREL_ASSIGN_OR_RETURN(OperatorPtr op,
-                            PlanSelect(catalog, *cte.query, env, mode));
+    RDFREL_ASSIGN_OR_RETURN(
+        OperatorPtr op, PlanSelect(catalog, *cte.query, env, mode, control));
     RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                            CollectRows(op.get(), mode));
+                            CollectRows(op.get(), mode, control));
     auto mat = std::make_shared<Materialized>();
     mat->scope = op->scope();
     mat->rows = std::move(rows);
@@ -711,7 +714,7 @@ Result<OperatorPtr> PlanSelect(const Catalog& catalog,
 
   const bool single_core = stmt.cores.size() == 1;
   for (const auto& core : stmt.cores) {
-    auto planner = std::make_shared<CorePlanner>(catalog, env, mode);
+    auto planner = std::make_shared<CorePlanner>(catalog, env, mode, control);
     RDFREL_ASSIGN_OR_RETURN(
         OperatorPtr op,
         planner->PlanCore(core, single_core && !stmt.order_by.empty()
@@ -764,11 +767,13 @@ Result<OperatorPtr> PlanSelect(const Catalog& catalog,
 
 Result<std::shared_ptr<Materialized>> RunSelect(const Catalog& catalog,
                                                 const ast::SelectStmt& stmt,
-                                                ExecMode mode) {
+                                                ExecMode mode,
+                                                const ExecControl* control) {
   CteEnv env;
   RDFREL_ASSIGN_OR_RETURN(OperatorPtr op,
-                          PlanSelect(catalog, stmt, &env, mode));
-  RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(op.get(), mode));
+                          PlanSelect(catalog, stmt, &env, mode, control));
+  RDFREL_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                          CollectRows(op.get(), mode, control));
   auto mat = std::make_shared<Materialized>();
   mat->scope = op->scope();
   mat->rows = std::move(rows);

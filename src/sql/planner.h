@@ -26,15 +26,18 @@ using CteEnv = std::map<std::string, std::shared_ptr<const Materialized>>;
 /// CTEs may reference earlier ones), then returns the root operator for the
 /// statement body. The returned operator tree borrows \p catalog and the
 /// materialized results in \p env; both must outlive it. \p mode drives the
-/// materialization of CTEs and subqueries during planning.
+/// materialization of CTEs and subqueries during planning; \p control (when
+/// non-null) makes those materializations — which run *during planning* —
+/// honor the query's deadline/cancel token, and must outlive execution.
 Result<OperatorPtr> PlanSelect(const Catalog& catalog,
                                const ast::SelectStmt& stmt, CteEnv* env,
-                               ExecMode mode = ExecMode::kBatch);
+                               ExecMode mode = ExecMode::kBatch,
+                               const ExecControl* control = nullptr);
 
 /// Executes a planned SELECT to completion in the given drive mode.
 Result<std::shared_ptr<Materialized>> RunSelect(
     const Catalog& catalog, const ast::SelectStmt& stmt,
-    ExecMode mode = ExecMode::kBatch);
+    ExecMode mode = ExecMode::kBatch, const ExecControl* control = nullptr);
 
 }  // namespace rdfrel::sql
 

@@ -147,30 +147,61 @@ std::vector<sparql::AggKind> ColumnAggKinds(const sparql::Query& query,
 
 }  // namespace
 
+sql::ExecControl ControlFromOptions(const QueryOptions& opts) {
+  sql::ExecControl control;
+  if (opts.deadline.has_value()) {
+    control.deadline = *opts.deadline;
+    control.has_deadline = true;
+  }
+  control.cancel = opts.cancel;
+  return control;
+}
+
+Status ExecuteDecodedSqlStreaming(
+    sql::Database* db, const std::string& sql, const sparql::Query& query,
+    const rdf::Dictionary& dict,
+    const std::vector<const sparql::FilterExpr*>& post_filters,
+    const QueryOptions& opts, RowSink& sink) {
+  const sql::ExecControl control = ControlFromOptions(opts);
+  const std::vector<std::string> vars = query.EffectiveSelectVars();
+  const std::vector<sparql::AggKind> kinds = ColumnAggKinds(query,
+                                                            vars.size());
+  RDFREL_RETURN_NOT_OK(sink.Begin(vars));
+  RDFREL_RETURN_NOT_OK(db->QueryStreaming(
+      sql, &control, nullptr, [&](const sql::RowBatch& batch) -> Status {
+        std::vector<Binding> block;
+        block.reserve(batch.ActiveSize());
+        for (size_t r = 0; r < batch.ActiveSize(); ++r) {
+          const sql::Row& row = batch.Active(r);
+          Binding binding;
+          binding.reserve(row.size());
+          for (size_t i = 0; i < row.size(); ++i) {
+            RDFREL_ASSIGN_OR_RETURN(
+                auto cell,
+                DecodeCell(row[i],
+                           i < kinds.size() ? kinds[i]
+                                            : sparql::AggKind::kNone,
+                           dict));
+            binding.push_back(std::move(cell));
+          }
+          block.push_back(std::move(binding));
+        }
+        RDFREL_RETURN_NOT_OK(
+            ApplyPostFiltersToRows(post_filters, vars, &block));
+        return sink.OnRows(std::move(block));
+      }));
+  return sink.End();
+}
+
 Result<ResultSet> ExecuteDecodedSql(
     sql::Database* db, const std::string& sql, const sparql::Query& query,
     const rdf::Dictionary& dict,
-    const std::vector<const sparql::FilterExpr*>& post_filters) {
-  RDFREL_ASSIGN_OR_RETURN(sql::QueryResult qr, db->Query(sql));
-  ResultSet rs;
-  rs.vars = query.EffectiveSelectVars();
-  std::vector<sparql::AggKind> kinds = ColumnAggKinds(query, rs.vars.size());
-  rs.rows.reserve(qr.rows.size());
-  for (const auto& row : qr.rows) {
-    Binding binding;
-    binding.reserve(row.size());
-    for (size_t i = 0; i < row.size(); ++i) {
-      RDFREL_ASSIGN_OR_RETURN(
-          auto cell,
-          DecodeCell(row[i], i < kinds.size() ? kinds[i]
-                                              : sparql::AggKind::kNone,
-                     dict));
-      binding.push_back(std::move(cell));
-    }
-    rs.rows.push_back(std::move(binding));
-  }
-  RDFREL_RETURN_NOT_OK(ApplyPostFilters(post_filters, &rs));
-  return rs;
+    const std::vector<const sparql::FilterExpr*>& post_filters,
+    const QueryOptions& opts) {
+  CollectingSink sink;
+  RDFREL_RETURN_NOT_OK(ExecuteDecodedSqlStreaming(db, sql, query, dict,
+                                                  post_filters, opts, sink));
+  return sink.TakeResult();
 }
 
 Status BuildLexTable(sql::Database* db, const rdf::Dictionary& dict,

@@ -17,7 +17,9 @@
 #include "rdf/dictionary.h"
 #include "sparql/ast.h"
 #include "sql/database.h"
+#include "sql/exec_control.h"
 #include "store/result_set.h"
+#include "store/row_sink.h"
 #include "store/sparql_store.h"
 #include "translate/sql_base.h"
 #include "util/lru_cache.h"
@@ -100,19 +102,41 @@ Result<std::shared_ptr<const CachedPlan>> TranslateForBackend(
     const rdf::Dictionary& dict, const QueryOptions& opts,
     const SqlBuildFn& build);
 
-/// Runs \p sql on \p db, decodes ids through \p dict into a ResultSet with
-/// the query's projection variables, then applies \p post_filters.
+/// Builds the executor-side cancellation handle from the execution-only
+/// QueryOptions fields (deadline, cancel token).
+sql::ExecControl ControlFromOptions(const QueryOptions& opts);
+
+/// The streaming execution back half shared by every backend: runs \p sql
+/// on \p db batch-at-a-time, decodes ids through \p dict, applies
+/// \p post_filters per block, and pushes the surviving solutions into
+/// \p sink (Begin/OnRows.../End). Deadline and cancel from \p opts are
+/// checked at every batch boundary.
+Status ExecuteDecodedSqlStreaming(
+    sql::Database* db, const std::string& sql, const sparql::Query& query,
+    const rdf::Dictionary& dict,
+    const std::vector<const sparql::FilterExpr*>& post_filters,
+    const QueryOptions& opts, RowSink& sink);
+
+/// Materializing convenience over the streaming back half.
 Result<ResultSet> ExecuteDecodedSql(
     sql::Database* db, const std::string& sql, const sparql::Query& query,
     const rdf::Dictionary& dict,
-    const std::vector<const sparql::FilterExpr*>& post_filters);
+    const std::vector<const sparql::FilterExpr*>& post_filters,
+    const QueryOptions& opts = {});
 
 /// Executes a translated plan (cache hit or fresh) against \p db.
+inline Status ExecutePlanStreaming(sql::Database* db, const CachedPlan& plan,
+                                   const rdf::Dictionary& dict,
+                                   const QueryOptions& opts, RowSink& sink) {
+  return ExecuteDecodedSqlStreaming(db, plan.sql, plan.query, dict,
+                                    plan.post_filters, opts, sink);
+}
 inline Result<ResultSet> ExecutePlan(sql::Database* db,
                                      const CachedPlan& plan,
-                                     const rdf::Dictionary& dict) {
-  return ExecuteDecodedSql(db, plan.sql, plan.query, dict,
-                           plan.post_filters);
+                                     const rdf::Dictionary& dict,
+                                     const QueryOptions& opts = {}) {
+  return ExecuteDecodedSql(db, plan.sql, plan.query, dict, plan.post_filters,
+                           opts);
 }
 
 /// Builds the `(id, num)` lex side table named \p table for every numeric

@@ -288,10 +288,11 @@ PredicateStoreBackend::GetOrBuildPlan(std::string_view sparql,
   return plan;
 }
 
-Result<ResultSet> PredicateStoreBackend::QueryWith(
-    std::string_view sparql, const QueryOptions& opts) {
+Status PredicateStoreBackend::QueryWith(std::string_view sparql,
+                                        const QueryOptions& opts,
+                                        RowSink& sink) {
   RDFREL_ASSIGN_OR_RETURN(auto plan, GetOrBuildPlan(sparql, opts));
-  return ExecutePlan(&db_, *plan, dict_);
+  return ExecutePlanStreaming(&db_, *plan, dict_, opts, sink);
 }
 
 Result<std::string> PredicateStoreBackend::TranslateWith(

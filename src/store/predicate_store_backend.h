@@ -54,8 +54,10 @@ class PredicateStoreBackend final : public SparqlStore {
                            const PersistOptions& opts = {});
   bool persistent() const { return persist_ != nullptr; }
 
-  Result<ResultSet> QueryWith(std::string_view sparql,
-                              const QueryOptions& opts) override;
+  // Streaming primitive; the materializing overload comes from the base.
+  Status QueryWith(std::string_view sparql, const QueryOptions& opts,
+                   RowSink& sink) override;
+  using SparqlStore::QueryWith;
   Result<std::string> TranslateWith(std::string_view sparql,
                                     const QueryOptions& opts) override;
   Result<Explanation> Explain(std::string_view sparql,

@@ -328,15 +328,15 @@ Result<std::shared_ptr<const CachedPlan>> RdfStore::BuildPlan(
   return std::shared_ptr<const CachedPlan>(std::move(plan));
 }
 
-Result<ResultSet> RdfStore::QueryWith(std::string_view sparql,
-                                      const QueryOptions& opts) {
+Status RdfStore::QueryWith(std::string_view sparql, const QueryOptions& opts,
+                           RowSink& sink) {
   const std::string key = PlanCacheKey(sparql, opts);
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     if (auto plan = plan_cache_.Get(key)) {
       // Any closure tables the plan references exist for as long as the
       // entry does: writes drop both under the writer lock.
-      return ExecutePlan(&db_, *plan, dict_);
+      return ExecutePlanStreaming(&db_, *plan, dict_, opts, sink);
     }
   }
   RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
@@ -345,17 +345,17 @@ Result<ResultSet> RdfStore::QueryWith(std::string_view sparql,
     // they run under the exclusive lock.
     std::unique_lock<std::shared_mutex> lock(mutex_);
     if (auto plan = plan_cache_.Get(key)) {
-      return ExecutePlan(&db_, *plan, dict_);
+      return ExecutePlanStreaming(&db_, *plan, dict_, opts, sink);
     }
     RDFREL_RETURN_NOT_OK(EnsureClosuresFor(query));
     RDFREL_ASSIGN_OR_RETURN(auto plan, BuildPlan(std::move(query), opts));
     plan_cache_.Put(key, plan);
-    return ExecutePlan(&db_, *plan, dict_);
+    return ExecutePlanStreaming(&db_, *plan, dict_, opts, sink);
   }
   std::shared_lock<std::shared_mutex> lock(mutex_);
   RDFREL_ASSIGN_OR_RETURN(auto plan, BuildPlan(std::move(query), opts));
   plan_cache_.Put(key, plan);
-  return ExecutePlan(&db_, *plan, dict_);
+  return ExecutePlanStreaming(&db_, *plan, dict_, opts, sink);
 }
 
 Result<ResultSet> RdfStore::QueryParsed(const sparql::Query& query,

@@ -87,9 +87,12 @@ class RdfStore final : public SparqlStore {
 
   bool persistent() const { return persist_ != nullptr; }
 
-  // SparqlStore read surface (thread-safe; see file comment):
-  Result<ResultSet> QueryWith(std::string_view sparql,
-                              const QueryOptions& opts) override;
+  // SparqlStore read surface (thread-safe; see file comment). The
+  // streaming QueryWith is the primitive; the materializing overload is
+  // the base-class convenience over it.
+  Status QueryWith(std::string_view sparql, const QueryOptions& opts,
+                   RowSink& sink) override;
+  using SparqlStore::QueryWith;
   Result<std::string> TranslateWith(std::string_view sparql,
                                     const QueryOptions& opts) override;
   Result<Explanation> Explain(std::string_view sparql,

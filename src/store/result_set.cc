@@ -123,15 +123,16 @@ Result<bool> EvalFilterOnBinding(const FilterExpr& f,
   return Status::Internal("unhandled filter op");
 }
 
-Status ApplyPostFilters(
-    const std::vector<const sparql::FilterExpr*>& filters, ResultSet* rs) {
+Status ApplyPostFiltersToRows(
+    const std::vector<const sparql::FilterExpr*>& filters,
+    const std::vector<std::string>& vars, std::vector<Binding>* rows) {
   if (filters.empty()) return Status::OK();
   std::vector<Binding> kept;
-  kept.reserve(rs->rows.size());
-  for (auto& row : rs->rows) {
+  kept.reserve(rows->size());
+  for (auto& row : *rows) {
     bool pass = true;
     for (const auto* f : filters) {
-      RDFREL_ASSIGN_OR_RETURN(bool ok, EvalFilterOnBinding(*f, rs->vars, row));
+      RDFREL_ASSIGN_OR_RETURN(bool ok, EvalFilterOnBinding(*f, vars, row));
       if (!ok) {
         pass = false;
         break;
@@ -139,8 +140,13 @@ Status ApplyPostFilters(
     }
     if (pass) kept.push_back(std::move(row));
   }
-  rs->rows = std::move(kept);
+  *rows = std::move(kept);
   return Status::OK();
+}
+
+Status ApplyPostFilters(
+    const std::vector<const sparql::FilterExpr*>& filters, ResultSet* rs) {
+  return ApplyPostFiltersToRows(filters, rs->vars, &rs->rows);
 }
 
 }  // namespace rdfrel::store

@@ -40,6 +40,13 @@ Result<bool> EvalFilterOnBinding(const sparql::FilterExpr& f,
 Status ApplyPostFilters(
     const std::vector<const sparql::FilterExpr*>& filters, ResultSet* rs);
 
+/// Block-wise variant for the streaming path: filters \p rows (bindings
+/// over \p vars) in place. Filters are row-local, so applying them per
+/// block yields exactly the rows of the materialized evaluation.
+Status ApplyPostFiltersToRows(
+    const std::vector<const sparql::FilterExpr*>& filters,
+    const std::vector<std::string>& vars, std::vector<Binding>* rows);
+
 }  // namespace rdfrel::store
 
 #endif  // RDFREL_STORE_RESULT_SET_H_

@@ -1,0 +1,73 @@
+#ifndef RDFREL_STORE_ROW_SINK_H_
+#define RDFREL_STORE_ROW_SINK_H_
+
+/// \file row_sink.h
+/// The streaming result surface: a query pushes decoded solutions into a
+/// RowSink block-at-a-time as the executor produces RowBatches, instead of
+/// materializing a full ResultSet first. The HTTP endpoint serializes each
+/// block straight onto the wire; the materializing `QueryWith` overload is a
+/// CollectingSink around this surface, so the two paths cannot diverge.
+///
+/// Contract: exactly one Begin, zero or more OnRows (in result order), then
+/// exactly one End iff execution succeeded. All calls happen on the querying
+/// thread, while the store's shared (read) lock is held — a sink must not
+/// call back into mutating operations of the same store (writer-lock
+/// deadlock) and should push bytes out promptly, since a slow sink extends
+/// the read-lock hold time. A non-OK return from any callback cancels the
+/// query at the next batch boundary and propagates as the query's status
+/// (return Status::Cancelled to stop cleanly, e.g. on client disconnect).
+
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/result_set.h"
+#include "util/status.h"
+
+namespace rdfrel::store {
+
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+
+  /// Called once, before any rows, with the projection variables.
+  virtual Status Begin(const std::vector<std::string>& vars) = 0;
+
+  /// Called per block of decoded solutions (one executor batch, minus rows
+  /// removed by post-filters — possibly empty). Rows are handed over.
+  virtual Status OnRows(std::vector<Binding>&& rows) = 0;
+
+  /// Called once after the last block iff the query succeeded.
+  virtual Status End() = 0;
+};
+
+/// Materializes a streamed query into a ResultSet (the convenience path).
+class CollectingSink final : public RowSink {
+ public:
+  Status Begin(const std::vector<std::string>& vars) override {
+    result_.vars = vars;
+    return Status::OK();
+  }
+  Status OnRows(std::vector<Binding>&& rows) override {
+    if (result_.rows.empty()) {
+      result_.rows = std::move(rows);
+    } else {
+      result_.rows.insert(result_.rows.end(),
+                          std::make_move_iterator(rows.begin()),
+                          std::make_move_iterator(rows.end()));
+    }
+    return Status::OK();
+  }
+  Status End() override { return Status::OK(); }
+
+  ResultSet& result() { return result_; }
+  ResultSet&& TakeResult() { return std::move(result_); }
+
+ private:
+  ResultSet result_;
+};
+
+}  // namespace rdfrel::store
+
+#endif  // RDFREL_STORE_ROW_SINK_H_

@@ -171,10 +171,11 @@ TripleStoreBackend::GetOrBuildPlan(std::string_view sparql,
   return plan;
 }
 
-Result<ResultSet> TripleStoreBackend::QueryWith(std::string_view sparql,
-                                                const QueryOptions& opts) {
+Status TripleStoreBackend::QueryWith(std::string_view sparql,
+                                     const QueryOptions& opts,
+                                     RowSink& sink) {
   RDFREL_ASSIGN_OR_RETURN(auto plan, GetOrBuildPlan(sparql, opts));
-  return ExecutePlan(&db_, *plan, dict_);
+  return ExecutePlanStreaming(&db_, *plan, dict_, opts, sink);
 }
 
 Result<std::string> TripleStoreBackend::TranslateWith(

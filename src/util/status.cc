@@ -34,6 +34,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "InternalPlanError";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -37,6 +37,12 @@ enum class StatusCode : uint8_t {
               ///< WAL section with a bad CRC, truncated record, or LSN gap.
               ///< Recovery downgrades to an older snapshot where possible;
               ///< this code surfaces when no valid state remains.
+  kCancelled,  ///< The caller (a cancel token or a streaming sink) asked
+               ///< the query to stop. Never a bug; partial results may have
+               ///< been delivered before the cancellation took effect.
+  kDeadlineExceeded,  ///< The per-query deadline passed before execution
+                      ///< finished. Checked at batch boundaries, so a long
+                      ///< scan stops within one batch of the deadline.
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -90,6 +96,12 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -123,6 +135,10 @@ class Status {
     return code() == StatusCode::kInternalPlanError;
   }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
  private:
   struct Rep {

