@@ -2,7 +2,10 @@
 # Sanitizer + benchmark gate.
 #
 #   1.  ThreadSanitizer build, running the concurrency + plan-cache tests
-#       (the reader/writer stress test is the point of this build).
+#       (the reader/writer stress test is the point of this build) and the
+#       morsel-driven parallel executor suite (ParallelTest): dispenser /
+#       shared-build / arena primitives plus serial-vs-parallel
+#       differentials, so executor data races fail the gate.
 #   2.  Debug + AddressSanitizer build, running the full ctest suite.
 #   2b. UndefinedBehaviorSanitizer build with recovery disabled, running
 #       the full suite: any UB (signed overflow, bad shifts, misaligned
@@ -28,14 +31,17 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/6] ThreadSanitizer: concurrency tests =="
+echo "== [1/6] ThreadSanitizer: concurrency + parallel executor =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFREL_SANITIZE=thread > /dev/null
-cmake --build build-tsan -j"${JOBS}" --target concurrency_test util_test
+cmake --build build-tsan -j"${JOBS}" \
+  --target concurrency_test util_test parallel_test
 # TSan aborts the process on a race, so a clean exit means no reports.
+# ParallelTest covers the morsel dispenser, shared join build, per-query
+# arenas, and the serial-vs-parallel differential suite across backends.
 (cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
-    -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest')
+    -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest|ParallelTest')
 
 echo
 echo "== [2/6] Debug + AddressSanitizer: full suite =="

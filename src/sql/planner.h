@@ -29,10 +29,16 @@ using CteEnv = std::map<std::string, std::shared_ptr<const Materialized>>;
 /// materialization of CTEs and subqueries during planning; \p control (when
 /// non-null) makes those materializations — which run *during planning* —
 /// honor the query's deadline/cancel token, and must outlive execution.
+///
+/// \p exec (when non-null, with max_threads > 1 and kBatch mode) lets the
+/// planner parallelize eligible cores: the join/projection pipeline is
+/// cloned per worker under an ExchangeOp (sql/parallel.h). Results are
+/// identical to the serial plan; \p exec must outlive execution.
 Result<OperatorPtr> PlanSelect(const Catalog& catalog,
                                const ast::SelectStmt& stmt, CteEnv* env,
                                ExecMode mode = ExecMode::kBatch,
-                               const ExecControl* control = nullptr);
+                               const ExecControl* control = nullptr,
+                               const ExecOptions* exec = nullptr);
 
 /// Executes a planned SELECT to completion in the given drive mode.
 Result<std::shared_ptr<Materialized>> RunSelect(

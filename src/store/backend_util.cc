@@ -3,6 +3,7 @@
 #include "opt/cost_model.h"
 #include "opt/data_flow_graph.h"
 #include <sstream>
+#include <thread>
 
 #include "opt/flow_tree.h"
 #include "opt/plan_verifier.h"
@@ -84,8 +85,11 @@ Result<SparqlStore::Explanation> ExplainForBackend(
                           build(query, *plan));
   ex.sql = std::move(tq.sql);
   if (db != nullptr) {
-    // Execute once with profiling to expose per-operator rows/batches/time.
-    RDFREL_RETURN_NOT_OK(db->QueryProfiled(ex.sql, &ex.exec_stats).status());
+    // Execute once with profiling to expose per-operator rows/batches/time
+    // (including Exchange morsel/worker counters when opts ask for threads).
+    const sql::ExecOptions exec = ExecOptionsFromQueryOptions(opts);
+    RDFREL_RETURN_NOT_OK(
+        db->QueryProfiled(ex.sql, &ex.exec_stats, &exec).status());
   }
   return ex;
 }
@@ -157,18 +161,35 @@ sql::ExecControl ControlFromOptions(const QueryOptions& opts) {
   return control;
 }
 
+sql::ExecOptions ExecOptionsFromQueryOptions(const QueryOptions& opts) {
+  sql::ExecOptions exec;
+  if (opts.max_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    exec.max_threads = hw == 0 ? 1 : hw;
+  } else {
+    exec.max_threads = opts.max_threads;
+    // An explicit degree is a request, not a hint: drop the small-input
+    // cutoff so tests get parallel plans on tiny data.
+    if (opts.max_threads > 1) exec.parallel_min_rows = 0;
+  }
+  exec.morsel_rows = opts.morsel_rows;
+  return exec;
+}
+
 Status ExecuteDecodedSqlStreaming(
     sql::Database* db, const std::string& sql, const sparql::Query& query,
     const rdf::Dictionary& dict,
     const std::vector<const sparql::FilterExpr*>& post_filters,
     const QueryOptions& opts, RowSink& sink) {
   const sql::ExecControl control = ControlFromOptions(opts);
+  sql::ExecOptions exec = ExecOptionsFromQueryOptions(opts);
+  exec.control = &control;
   const std::vector<std::string> vars = query.EffectiveSelectVars();
   const std::vector<sparql::AggKind> kinds = ColumnAggKinds(query,
                                                             vars.size());
   RDFREL_RETURN_NOT_OK(sink.Begin(vars));
   RDFREL_RETURN_NOT_OK(db->QueryStreaming(
-      sql, &control, nullptr, [&](const sql::RowBatch& batch) -> Status {
+      sql, exec, nullptr, [&](const sql::RowBatch& batch) -> Status {
         std::vector<Binding> block;
         block.reserve(batch.ActiveSize());
         for (size_t r = 0; r < batch.ActiveSize(); ++r) {

@@ -106,6 +106,13 @@ Result<std::shared_ptr<const CachedPlan>> TranslateForBackend(
 /// QueryOptions fields (deadline, cancel token).
 sql::ExecControl ControlFromOptions(const QueryOptions& opts);
 
+/// Maps the execution-only QueryOptions parallelism knobs onto engine
+/// ExecOptions. max_threads == 0 resolves to hardware concurrency and keeps
+/// the default small-input cutoff; an explicit N > 1 disables the cutoff so
+/// the caller gets parallelism even on tiny inputs (differential tests).
+/// ExecOptions::control is NOT set — callers own the control's lifetime.
+sql::ExecOptions ExecOptionsFromQueryOptions(const QueryOptions& opts);
+
 /// The streaming execution back half shared by every backend: runs \p sql
 /// on \p db batch-at-a-time, decodes ids through \p dict, applies
 /// \p post_filters per block, and pushes the surviving solutions into

@@ -440,8 +440,11 @@ Result<SparqlStore::Explanation> RdfStore::Explain(std::string_view sparql,
 
   std::vector<const sparql::FilterExpr*> post_filters;
   RDFREL_ASSIGN_OR_RETURN(ex.sql, Translate(query, opts, &post_filters));
-  // Execute once with profiling to expose per-operator rows/batches/time.
-  RDFREL_RETURN_NOT_OK(db_.QueryProfiled(ex.sql, &ex.exec_stats).status());
+  // Execute once with profiling to expose per-operator rows/batches/time
+  // (with Exchange counters when opts request parallelism).
+  const sql::ExecOptions exec = ExecOptionsFromQueryOptions(opts);
+  RDFREL_RETURN_NOT_OK(
+      db_.QueryProfiled(ex.sql, &ex.exec_stats, &exec).status());
   return ex;
 }
 

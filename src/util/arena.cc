@@ -1,0 +1,99 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <new>
+
+namespace rdfrel::util {
+
+ArenaStats& GlobalArenaStats() {
+  static ArenaStats stats;
+  return stats;
+}
+
+namespace {
+
+std::atomic<uint64_t> g_next_arena_id{1};
+
+/// Thread-local slab: a lock-free bump region carved out of one arena.
+/// Keyed by the arena's process-unique id so an entry left over from a
+/// destroyed arena can never be mistaken for the current one.
+struct Slab {
+  uint64_t arena_id = 0;
+  char* cur = nullptr;
+  size_t avail = 0;
+};
+
+thread_local Slab t_slab;
+
+inline char* AlignUp(char* p, size_t align) {
+  auto v = reinterpret_cast<uintptr_t>(p);
+  v = (v + align - 1) & ~(align - 1);
+  return reinterpret_cast<char*>(v);
+}
+
+}  // namespace
+
+QueryArena::QueryArena()
+    : id_(g_next_arena_id.fetch_add(1, std::memory_order_relaxed)) {
+  GlobalArenaStats().arenas_created.fetch_add(1, std::memory_order_relaxed);
+}
+
+QueryArena::~QueryArena() {
+  const uint64_t total = bytes_reserved();
+  auto& stats = GlobalArenaStats();
+  uint64_t peak = stats.bytes_peak.load(std::memory_order_relaxed);
+  while (total > peak &&
+         !stats.bytes_peak.compare_exchange_weak(peak, total,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+std::pair<char*, size_t> QueryArena::RefillLocked(size_t min_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (avail_ < min_bytes) {
+    const size_t chunk = std::max(min_bytes, kChunkBytes);
+    chunks_.push_back(std::make_unique<char[]>(chunk));
+    cur_ = chunks_.back().get();
+    avail_ = chunk;
+    bytes_reserved_.fetch_add(chunk, std::memory_order_relaxed);
+    GlobalArenaStats().bytes_reserved_total.fetch_add(
+        chunk, std::memory_order_relaxed);
+  }
+  char* region = cur_;
+  const size_t take = std::min(avail_, std::max(min_bytes, kSlabBytes));
+  cur_ += take;
+  avail_ -= take;
+  return {region, take};
+}
+
+void* QueryArena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  // Oversized requests bypass the slab so they don't strand its remainder.
+  if (bytes + align > kSlabBytes) {
+    auto [region, size] = RefillLocked(bytes + align);
+    return AlignUp(region, align);
+  }
+  Slab& slab = t_slab;
+  if (slab.arena_id == id_) {
+    char* aligned = AlignUp(slab.cur, align);
+    const size_t pad = static_cast<size_t>(aligned - slab.cur);
+    if (pad + bytes <= slab.avail) {
+      slab.cur = aligned + bytes;
+      slab.avail -= pad + bytes;
+      return aligned;
+    }
+  }
+  // Slab missing, stale, or exhausted: refill from the arena. The previous
+  // slab's remainder (from this or another arena) is abandoned — at most
+  // kSlabBytes per switch, reclaimed when its owning arena dies.
+  auto [region, size] = RefillLocked(bytes + align);
+  char* aligned = AlignUp(region, align);
+  slab.arena_id = id_;
+  slab.cur = aligned + bytes;
+  slab.avail = size - static_cast<size_t>(slab.cur - region);
+  return aligned;
+}
+
+}  // namespace rdfrel::util

@@ -1,0 +1,117 @@
+#ifndef RDFREL_UTIL_ARENA_H_
+#define RDFREL_UTIL_ARENA_H_
+
+/// \file arena.h
+/// Per-query bump allocator (DESIGN.md §13). A QueryArena owns a list of
+/// large chunks and hands out aligned slices; nothing is ever freed
+/// individually — the whole arena drops at query end, so hot-path
+/// allocations (morsel row buffers, shared join-build scratch) never touch
+/// the global allocator after warm-up.
+///
+/// Thread model: Allocate() is safe from any number of executor workers
+/// concurrently. Each thread keeps a private slab (a thread-local cache of
+/// the arena's current chunk) and bumps it without synchronization; only
+/// slab refills take the arena mutex. Slabs are keyed by a process-unique
+/// arena id, so a stale thread-local entry from a destroyed arena can never
+/// match a live one.
+///
+/// ArenaAllocator<T> adapts the arena to STL containers
+/// (std::vector<Row, ArenaAllocator<Row>> etc.); deallocate is a no-op.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rdfrel::util {
+
+/// Process-wide arena counters surfaced through /stats.
+struct ArenaStats {
+  std::atomic<uint64_t> arenas_created{0};
+  std::atomic<uint64_t> bytes_reserved_total{0};  ///< cumulative chunk bytes
+  std::atomic<uint64_t> bytes_peak{0};  ///< largest single-arena footprint
+};
+
+ArenaStats& GlobalArenaStats();
+
+class QueryArena {
+ public:
+  /// Chunk granularity; single allocations larger than this get a dedicated
+  /// chunk. 256 KiB amortizes the mutex over ~64 slab refills per worker per
+  /// million small allocations while keeping small-query footprint modest.
+  static constexpr size_t kChunkBytes = 256 * 1024;
+  /// Per-thread slab granularity (lock-free bump region).
+  static constexpr size_t kSlabBytes = 64 * 1024;
+
+  QueryArena();
+  ~QueryArena();
+
+  QueryArena(const QueryArena&) = delete;
+  QueryArena& operator=(const QueryArena&) = delete;
+
+  /// Returns \p bytes of storage aligned to \p align (power of two).
+  /// Thread-safe; never returns nullptr (throws std::bad_alloc on OOM like
+  /// operator new). Zero-byte requests return a unique non-null pointer.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Total bytes reserved from the system so far (monotone; the arena never
+  /// shrinks before destruction). Safe to read concurrently.
+  uint64_t bytes_reserved() const {
+    return bytes_reserved_.load(std::memory_order_relaxed);
+  }
+
+  /// Process-unique id (used to key thread-local slabs).
+  uint64_t id() const { return id_; }
+
+ private:
+  /// Grabs a fresh region of at least \p min_bytes from the arena proper.
+  /// Returns [ptr, size]. Takes the mutex.
+  std::pair<char*, size_t> RefillLocked(size_t min_bytes);
+
+  const uint64_t id_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<char[]>> chunks_;  ///< owned storage
+  char* cur_ = nullptr;   ///< bump cursor within the last chunk (under mu_)
+  size_t avail_ = 0;      ///< bytes left at cur_ (under mu_)
+  std::atomic<uint64_t> bytes_reserved_{0};
+};
+
+/// Minimal STL allocator over a QueryArena. The arena is borrowed and must
+/// outlive every container (and every moved-from copy of the container)
+/// that uses it. deallocate is a no-op: memory returns when the arena dies.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(QueryArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) noexcept {}
+
+  QueryArena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena();
+  }
+
+ private:
+  QueryArena* arena_;
+};
+
+}  // namespace rdfrel::util
+
+#endif  // RDFREL_UTIL_ARENA_H_

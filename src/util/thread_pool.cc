@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rdfrel::util {
+
+namespace {
+
+std::atomic<bool> g_global_started{false};
+
+unsigned GlobalPoolSize() {
+  if (const char* env = std::getenv("RDFREL_POOL_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 256) return static_cast<unsigned>(v);
+  }
+  // At least two even on single-core hosts so parallel plans still
+  // interleave (and the differential/TSan suites exercise real concurrency).
+  return std::max(2u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = 1;
+  queues_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    // Pairs with the wait predicate: without the lock a worker could check
+    // stop_ false, then sleep and miss the broadcast.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  const size_t index =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mu);
+    queues_[index]->tasks.push_back(std::move(fn));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(size_t index, std::function<void()>* out,
+                        bool* stolen) {
+  // Own queue first (FIFO: oldest task of this worker)...
+  {
+    WorkerQueue& q = *queues_[index];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      *stolen = false;
+      return true;
+    }
+  }
+  // ...then steal from the back of a peer's.
+  for (size_t off = 1; off < queues_.size(); ++off) {
+    WorkerQueue& q = *queues_[(index + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      *stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  while (true) {
+    std::function<void()> task;
+    bool stolen = false;
+    if (TryPop(index, &task, &stolen)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.workers = num_workers();
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.queued = pending_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(GlobalPoolSize());
+  g_global_started.store(true, std::memory_order_release);
+  return pool;
+}
+
+bool ThreadPool::GlobalStarted() {
+  return g_global_started.load(std::memory_order_acquire);
+}
+
+}  // namespace rdfrel::util

@@ -1,0 +1,86 @@
+#ifndef RDFREL_UTIL_THREAD_POOL_H_
+#define RDFREL_UTIL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// Shared executor worker pool (DESIGN.md §13). One lazily-started pool per
+/// process serves every parallel query: each worker owns a deque and steals
+/// from the others when its own runs dry, so short morsel pipelines from
+/// concurrent queries interleave without per-query thread churn.
+///
+/// Tasks must not block indefinitely on work executed by this same pool
+/// (the executor's pipeline tasks never do: they synchronize only on morsel
+/// dispensers and join-build latches fed by peer tasks that are already
+/// running, because a query submits at most `workers` tasks... see
+/// sql/parallel.cc for the exact argument). Submit never blocks.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdfrel::util {
+
+class ThreadPool {
+ public:
+  struct Stats {
+    unsigned workers = 0;
+    uint64_t submitted = 0;
+    uint64_t executed = 0;
+    uint64_t steals = 0;   ///< tasks taken from another worker's deque
+    size_t queued = 0;     ///< tasks currently waiting across all deques
+  };
+
+  /// Starts \p workers threads immediately. workers >= 1.
+  explicit ThreadPool(unsigned workers);
+  /// Drains nothing: pending tasks still run; the destructor wakes all
+  /// workers, lets them finish queued tasks, and joins them.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues \p fn (round-robin across worker deques). Never blocks.
+  void Submit(std::function<void()> fn);
+
+  unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
+  Stats stats() const;
+
+  /// The process-wide pool, created on first use with
+  /// max(2, hardware_concurrency) workers (override: RDFREL_POOL_THREADS).
+  /// Joined during static destruction, so sanitizers see a clean exit.
+  static ThreadPool& Global();
+  /// True once Global() has been constructed (stats endpoints use this to
+  /// avoid spinning the pool up just to report on it).
+  static bool GlobalStarted();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool TryPop(size_t index, std::function<void()>* out, bool* stolen);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<size_t> pending_{0};  ///< queued (not yet started) tasks
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_queue_{0};
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace rdfrel::util
+
+#endif  // RDFREL_UTIL_THREAD_POOL_H_

@@ -1,0 +1,138 @@
+/// Serial-vs-parallel differential over every benchmark workload and all
+/// three backends: each query runs once with max_threads=1 and once with a
+/// parallel request (small morsels so tiny test data still splits), and the
+/// results must be *byte-identical in order* — the exchange's determinism
+/// contract, not just multiset equality. Suites are prefixed ParallelTest
+/// so `ctest -R ParallelTest` (and the TSan CI job) runs this layer.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchdata/dbpedia.h"
+#include "benchdata/lubm.h"
+#include "benchdata/micro.h"
+#include "benchdata/prbench.h"
+#include "benchdata/sp2bench.h"
+#include "store/backend_util.h"
+#include "store/predicate_store_backend.h"
+#include "store/rdf_store.h"
+#include "store/triple_store_backend.h"
+
+namespace rdfrel::store {
+namespace {
+
+benchdata::Workload MakeSmall(const std::string& name) {
+  if (name == "micro") return benchdata::MakeMicro(400, 11);
+  if (name == "lubm") return benchdata::MakeLubm(2, 11);
+  if (name == "sp2bench") return benchdata::MakeSp2Bench(4, 11);
+  if (name == "dbpedia") return benchdata::MakeDbpedia(400, 300, 11);
+  if (name == "prbench") return benchdata::MakePrbench(2, 11);
+  return {};
+}
+
+/// Ordered row signatures: order differences are failures.
+std::vector<std::string> OrderedSignature(const ResultSet& rs) {
+  std::vector<std::string> out;
+  out.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    std::string sig;
+    for (const auto& v : row) {
+      sig += v.has_value() ? v->ToNTriples() : "UNBOUND";
+      sig += "\x1f";
+    }
+    out.push_back(std::move(sig));
+  }
+  return out;
+}
+
+void ExpectSerialParallelIdentical(SparqlStore& store,
+                                   const benchdata::Workload& w,
+                                   const std::string& backend) {
+  for (const auto& q : w.queries) {
+    QueryOptions serial;
+    serial.max_threads = 1;
+    auto a = store.QueryWith(q.sparql, serial);
+    ASSERT_TRUE(a.ok()) << backend << "/" << w.name << "/" << q.id << ": "
+                        << a.status().ToString();
+    for (unsigned threads : {2u, 4u}) {
+      QueryOptions par;
+      par.max_threads = threads;
+      par.morsel_rows = 32;  // force many morsels on small data
+      auto b = store.QueryWith(q.sparql, par);
+      ASSERT_TRUE(b.ok()) << backend << "/" << w.name << "/" << q.id << ": "
+                          << b.status().ToString();
+      ASSERT_EQ(OrderedSignature(*a), OrderedSignature(*b))
+          << backend << "/" << w.name << "/" << q.id << " threads=" << threads
+          << ": parallel result differs from serial ("
+          << a->size() << " vs " << b->size() << " rows)";
+    }
+  }
+}
+
+class ParallelTestWorkloads : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelTestWorkloads, Db2RdfSerialParallelIdentical) {
+  benchdata::Workload w = MakeSmall(GetParam());
+  ASSERT_FALSE(w.queries.empty());
+  auto store = RdfStore::Load(std::move(w.graph));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ExpectSerialParallelIdentical(**store, w, "db2rdf");
+}
+
+TEST_P(ParallelTestWorkloads, TripleStoreSerialParallelIdentical) {
+  benchdata::Workload w = MakeSmall(GetParam());
+  ASSERT_FALSE(w.queries.empty());
+  auto store = TripleStoreBackend::Load(std::move(w.graph));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ExpectSerialParallelIdentical(**store, w, "triple");
+}
+
+TEST_P(ParallelTestWorkloads, PredicateStoreSerialParallelIdentical) {
+  benchdata::Workload w = MakeSmall(GetParam());
+  ASSERT_FALSE(w.queries.empty());
+  auto store = PredicateStoreBackend::Load(std::move(w.graph));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ExpectSerialParallelIdentical(**store, w, "predicate");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ParallelTestWorkloads,
+                         ::testing::Values("micro", "lubm", "sp2bench",
+                                           "dbpedia", "prbench"),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
+                         });
+
+TEST(ParallelTestPlanCache, IdentityExcludesExecutionKnobs) {
+  // A plan cached at one thread count must serve every other: max_threads
+  // and morsel_rows are execution-only, never part of plan identity.
+  benchdata::Workload w = MakeSmall("micro");
+  auto store = RdfStore::Load(std::move(w.graph));
+  ASSERT_TRUE(store.ok());
+  const std::string q = w.queries.front().sparql;
+
+  QueryOptions serial;
+  serial.max_threads = 1;
+  QueryOptions par;
+  par.max_threads = 4;
+  par.morsel_rows = 32;
+
+  // Key equality is what the cache uses.
+  EXPECT_EQ(PlanCacheKey(q, serial), PlanCacheKey(q, par));
+  EXPECT_TRUE(serial == par);
+
+  // Behavioral check: the second request (different knobs) hits the cache.
+  auto r1 = (*store)->QueryWith(q, serial);
+  ASSERT_TRUE(r1.ok());
+  const auto before = (*store)->plan_cache_stats();
+  auto r2 = (*store)->QueryWith(q, par);
+  ASSERT_TRUE(r2.ok());
+  const auto after = (*store)->plan_cache_stats();
+  EXPECT_EQ(after.hits, before.hits + 1)
+      << "parallel request missed the plan cached by the serial request";
+  EXPECT_EQ(OrderedSignature(*r1), OrderedSignature(*r2));
+}
+
+}  // namespace
+}  // namespace rdfrel::store
