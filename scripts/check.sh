@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Sanitizer + benchmark gate.
+# Static analysis + sanitizer + benchmark gate.
 #
+#   0.  Clang thread-safety analysis: -Werror=thread-safety over all of
+#       src/ against the capability annotations in util/mutex.h (skipped
+#       with a notice when no clang is installed; CI always runs it).
 #   1.  ThreadSanitizer build, running the concurrency + plan-cache tests
-#       (the reader/writer stress test is the point of this build) and the
+#       (the reader/writer stress test is the point of this build), the
 #       morsel-driven parallel executor suite (ParallelTest): dispenser /
 #       shared-build / arena primitives plus serial-vs-parallel
-#       differentials, so executor data races fail the gate.
+#       differentials, so executor data races fail the gate — and the
+#       Serve suite, so the endpoint's worker pool races fail it too.
 #   2.  Debug + AddressSanitizer build, running the full ctest suite.
 #   2b. UndefinedBehaviorSanitizer build with recovery disabled, running
 #       the full suite: any UB (signed overflow, bad shifts, misaligned
@@ -31,17 +35,22 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/6] ThreadSanitizer: concurrency + parallel executor =="
+echo "== [0/6] Clang thread-safety analysis =="
+scripts/check_thread_safety.sh
+
+echo
+echo "== [1/6] ThreadSanitizer: concurrency + parallel executor + serve =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFREL_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j"${JOBS}" \
-  --target concurrency_test util_test parallel_test
+  --target concurrency_test util_test parallel_test serve_test
 # TSan aborts the process on a race, so a clean exit means no reports.
 # ParallelTest covers the morsel dispenser, shared join build, per-query
-# arenas, and the serial-vs-parallel differential suite across backends.
+# arenas, and the serial-vs-parallel differential suite across backends;
+# Serve exercises the endpoint's acceptor/worker handoff and shutdown.
 (cd build-tsan && ctest --output-on-failure -j"${JOBS}" \
-    -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest|ParallelTest')
+    -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest|ParallelTest|Serve')
 
 echo
 echo "== [2/6] Debug + AddressSanitizer: full suite =="

@@ -166,7 +166,7 @@ class MemWritableFile final : public WritableFile {
       : env_(env), path_(std::move(path)) {}
 
   Status Append(std::string_view data) override {
-    std::lock_guard<std::mutex> lock(env_->mu_);
+    util::MutexLock lock(&env_->mu_);
     env_->files_[path_].append(data.data(), data.size());
     return Status::OK();
   }
@@ -182,7 +182,7 @@ class MemWritableFile final : public WritableFile {
 Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
     const std::string& path, bool truncate) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (truncate) {
       files_[path].clear();
     } else {
@@ -194,20 +194,20 @@ Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
 }
 
 Result<std::string> MemEnv::ReadFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("file " + path);
   return it->second;
 }
 
 bool MemEnv::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (files_.count(path) > 0) return true;
   return std::find(dirs_.begin(), dirs_.end(), path) != dirs_.end();
 }
 
 Result<uint64_t> MemEnv::FileSize(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("file " + path);
   return static_cast<uint64_t>(it->second.size());
@@ -217,7 +217,7 @@ Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
   std::string prefix = dir;
   if (!prefix.empty() && prefix.back() != '/') prefix += '/';
   std::vector<std::string> names;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (const auto& [path, content] : files_) {
     if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
       continue;
@@ -229,7 +229,7 @@ Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
 }
 
 Status MemEnv::CreateDirIfMissing(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (std::find(dirs_.begin(), dirs_.end(), dir) == dirs_.end()) {
     dirs_.push_back(dir);
   }
@@ -237,13 +237,13 @@ Status MemEnv::CreateDirIfMissing(const std::string& dir) {
 }
 
 Status MemEnv::RemoveFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   files_.erase(path);
   return Status::OK();
 }
 
 Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound("file " + from);
   files_[to] = std::move(it->second);
@@ -252,7 +252,7 @@ Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
 }
 
 Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("file " + path);
   if (size < it->second.size()) it->second.resize(size);
@@ -260,17 +260,17 @@ Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
 }
 
 std::map<std::string, std::string> MemEnv::CopyFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return files_;
 }
 
 void MemEnv::RestoreFiles(std::map<std::string, std::string> files) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   files_ = std::move(files);
 }
 
 void MemEnv::SetFile(const std::string& path, std::string content) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   files_[path] = std::move(content);
 }
 

@@ -11,11 +11,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rdfrel::persist {
@@ -97,9 +97,12 @@ class MemEnv final : public Env {
  private:
   friend class MemWritableFile;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> files_;
-  std::vector<std::string> dirs_;
+  // kEnv: the WAL appends with its own lock held (kWal), and snapshot
+  // writers run under the store writer lock (kStore); env locks nest
+  // inside both and take nothing themselves.
+  mutable util::Mutex mu_{"env", util::lock_rank::kEnv};
+  std::map<std::string, std::string> files_ RDFREL_GUARDED_BY(mu_);
+  std::vector<std::string> dirs_ RDFREL_GUARDED_BY(mu_);
 };
 
 }  // namespace rdfrel::persist

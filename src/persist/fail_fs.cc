@@ -19,7 +19,7 @@ class FaultInjectionFile final : public WritableFile {
 
     FaultSpec spec;
     {
-      std::lock_guard<std::mutex> lock(env_->mu_);
+      util::MutexLock lock(&env_->mu_);
       spec = env_->spec_;
     }
     const uint64_t start = logical_offset_;

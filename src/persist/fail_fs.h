@@ -14,11 +14,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "persist/env.h"
+#include "util/mutex.h"
 
 namespace rdfrel::persist {
 
@@ -51,7 +51,7 @@ class FaultInjectionEnv final : public Env {
   explicit FaultInjectionEnv(Env* base) : base_(base) {}
 
   void set_fault(FaultSpec spec) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     spec_ = std::move(spec);
   }
 
@@ -92,8 +92,11 @@ class FaultInjectionEnv final : public Env {
   friend class FaultInjectionFile;
 
   Env* base_;
-  std::mutex mu_;
-  FaultSpec spec_;
+  // Same rank as the wrapped env's lock: the spec copy in
+  // FaultInjectionFile::Append is taken and released before the base
+  // env's own lock, never nested with it.
+  util::Mutex mu_{"fault-spec", util::lock_rank::kEnv};
+  FaultSpec spec_ RDFREL_GUARDED_BY(mu_);
   std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> bytes_{0};

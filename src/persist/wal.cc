@@ -46,13 +46,19 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Create(Env* env,
                                                      uint64_t start_lsn,
                                                      const WalOptions& options) {
   std::unique_ptr<WalWriter> w(new WalWriter(env, path, start_lsn, options));
-  RDFREL_ASSIGN_OR_RETURN(w->file_,
-                          env->NewWritableFile(path, /*truncate=*/true));
-  RDFREL_RETURN_NOT_OK(w->file_->Append(EncodeHeader(start_lsn)));
-  // The header must be durable before any commit is acknowledged, or a torn
-  // header could invalidate records a committer already saw as synced.
-  if (options.sync != WalSync::kNone) {
-    RDFREL_RETURN_NOT_OK(w->file_->Sync());
+  {
+    // No concurrency yet (the flusher starts below); the lock just
+    // satisfies the pointee guard on file_.
+    util::MutexLock lock(&w->mu_);
+    RDFREL_ASSIGN_OR_RETURN(w->file_,
+                            env->NewWritableFile(path, /*truncate=*/true));
+    RDFREL_RETURN_NOT_OK(w->file_->Append(EncodeHeader(start_lsn)));
+    // The header must be durable before any commit is acknowledged, or a
+    // torn header could invalidate records a committer already saw as
+    // synced.
+    if (options.sync != WalSync::kNone) {
+      RDFREL_RETURN_NOT_OK(w->file_->Sync());
+    }
   }
   if (options.sync == WalSync::kGroupCommit) {
     w->flusher_ = std::thread([p = w.get()] { p->FlusherLoop(); });
@@ -68,7 +74,7 @@ WalWriter::WalWriter(Env* env, std::string path, const uint64_t start_lsn,
       next_lsn_(start_lsn),
       durable_lsn_(start_lsn == 0 ? 0 : start_lsn - 1) {}
 
-WalWriter::~WalWriter() { Close(); }
+WalWriter::~WalWriter() { (void)Close(); }
 
 Status WalWriter::WriteLocked(std::string_view frame) {
   RDFREL_RETURN_NOT_OK(file_->Append(frame));
@@ -81,7 +87,7 @@ Status WalWriter::WriteLocked(std::string_view frame) {
 
 Result<uint64_t> WalWriter::AppendAsync(uint8_t type,
                                         std::string_view payload) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (closed_) return Status::Internal("WAL writer is closed");
   if (!io_error_.ok()) return io_error_;
 
@@ -104,19 +110,18 @@ Result<uint64_t> WalWriter::AppendAsync(uint8_t type,
   pending_.append(frame);
   pending_last_lsn_ = lsn;
   ++pending_records_;
-  flusher_cv_.notify_one();
+  flusher_cv_.NotifyOne();
   return lsn;
 }
 
 Status WalWriter::WaitDurable(uint64_t lsn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (options_.sync != WalSync::kGroupCommit) {
     // Inline modes are durable (or deliberately not) by the time
     // AppendAsync returned; only a sticky error is reportable.
     return durable_lsn_ >= lsn ? Status::OK() : io_error_;
   }
-  durable_cv_.wait(lock,
-                   [&] { return durable_lsn_ >= lsn || !io_error_.ok(); });
+  while (durable_lsn_ < lsn && io_error_.ok()) durable_cv_.Wait(mu_);
   if (durable_lsn_ < lsn) return io_error_;
   return Status::OK();
 }
@@ -128,14 +133,15 @@ Result<uint64_t> WalWriter::Append(uint8_t type, std::string_view payload) {
 }
 
 void WalWriter::FlusherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const auto interval =
       std::chrono::milliseconds(options_.group_commit_interval_ms);
   while (true) {
     if (pending_.empty()) {
       if (stop_) return;
-      flusher_cv_.wait_for(lock, interval,
-                           [&] { return stop_ || !pending_.empty(); });
+      // Timed single-shot wait; the enclosing loop re-checks stop_ and
+      // pending_ after every wakeup (notify, timeout or spurious).
+      flusher_cv_.WaitFor(mu_, interval);
       if (pending_.empty()) {
         if (stop_) return;
         continue;
@@ -146,37 +152,39 @@ void WalWriter::FlusherLoop() {
     const uint64_t batch_lsn = pending_last_lsn_;
     const uint64_t batch_records = pending_records_;
     pending_records_ = 0;
+    // Raw pointee for the unlocked I/O below; stays valid because Close
+    // joins this thread before releasing the file.
+    WritableFile* file = file_.get();
 
     // I/O happens without the lock so appenders can keep queueing — that is
     // what lets one fsync absorb the records that arrive meanwhile.
-    lock.unlock();
-    Status s = file_->Append(batch);
-    if (s.ok()) s = file_->Sync();
-    lock.lock();
+    lock.Unlock();
+    Status s = file->Append(batch);
+    if (s.ok()) s = file->Sync();
+    lock.Lock();
 
     if (!s.ok()) {
       io_error_ = s;
-      durable_cv_.notify_all();
+      durable_cv_.NotifyAll();
       return;
     }
     durable_lsn_ = batch_lsn;
     ++fsyncs_;
     ++group_batches_;
     group_batch_records_ += batch_records;
-    durable_cv_.notify_all();
+    durable_cv_.NotifyAll();
   }
 }
 
 Status WalWriter::Sync() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (closed_) return Status::Internal("WAL writer is closed");
   if (!io_error_.ok()) return io_error_;
   if (options_.sync == WalSync::kGroupCommit) {
     if (next_lsn_ == 0) return Status::OK();
     const uint64_t target = next_lsn_ - 1;
-    flusher_cv_.notify_one();
-    durable_cv_.wait(lock,
-                     [&] { return durable_lsn_ >= target || !io_error_.ok(); });
+    flusher_cv_.NotifyOne();
+    while (durable_lsn_ < target && io_error_.ok()) durable_cv_.Wait(mu_);
     return io_error_;
   }
   Status s = file_->Sync();
@@ -191,15 +199,15 @@ Status WalWriter::Sync() {
 
 Status WalWriter::Close() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (closed_) return Status::OK();
     closed_ = true;
     stop_ = true;
-    flusher_cv_.notify_one();
+    flusher_cv_.NotifyOne();
   }
   if (flusher_.joinable()) flusher_.join();
 
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   Status s = io_error_;
   if (s.ok() && !pending_.empty()) {
     // kGroupCommit whose flusher died early never leaves pending data with
@@ -218,27 +226,27 @@ Status WalWriter::Close() {
 }
 
 uint64_t WalWriter::next_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return next_lsn_;
 }
 uint64_t WalWriter::appended_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return appended_records_;
 }
 uint64_t WalWriter::appended_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return appended_bytes_;
 }
 uint64_t WalWriter::fsyncs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return fsyncs_;
 }
 uint64_t WalWriter::group_commit_batches() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return group_batches_;
 }
 uint64_t WalWriter::group_commit_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return group_batch_records_;
 }
 

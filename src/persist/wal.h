@@ -26,16 +26,15 @@
 ///   kNone        — append without fsync; durability only at checkpoint /
 ///                  explicit Sync (benchmarks, bulk loads).
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "persist/env.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rdfrel::persist {
@@ -104,31 +103,38 @@ class WalWriter {
   WalWriter(Env* env, std::string path, uint64_t start_lsn,
             const WalOptions& options);
 
-  Status WriteLocked(std::string_view frame);
-  void FlusherLoop();
+  Status WriteLocked(std::string_view frame) RDFREL_REQUIRES(mu_);
+  void FlusherLoop() RDFREL_EXCLUDES(mu_);
 
   Env* env_;
   std::string path_;
   WalOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable flusher_cv_;   // wakes the flusher
-  std::condition_variable durable_cv_;   // wakes committers
-  std::unique_ptr<WritableFile> file_;
-  std::string pending_;                  // frames awaiting the flusher
-  uint64_t pending_last_lsn_ = 0;
-  uint64_t pending_records_ = 0;
-  uint64_t next_lsn_;
-  uint64_t durable_lsn_ = 0;
-  Status io_error_;                      // sticky first I/O failure
-  bool stop_ = false;
-  bool closed_ = false;
+  // kWal: committers log while holding the store writer lock (kStore), and
+  // the inline-sync path appends to the Env (kEnv) with mu_ held.
+  mutable util::Mutex mu_{"wal", util::lock_rank::kWal};
+  util::CondVar flusher_cv_;             // wakes the flusher
+  util::CondVar durable_cv_;             // wakes committers
+  /// Pointee guarded: the file is written under mu_ in the inline modes;
+  /// the group-commit flusher copies the raw pointer under mu_ and does its
+  /// batch I/O unlocked (safe: Close joins the flusher before closing, so
+  /// the pointee outlives every unlocked use — see FlusherLoop).
+  std::unique_ptr<WritableFile> file_ RDFREL_PT_GUARDED_BY(mu_);
+  std::string pending_
+      RDFREL_GUARDED_BY(mu_);            // frames awaiting the flusher
+  uint64_t pending_last_lsn_ RDFREL_GUARDED_BY(mu_) = 0;
+  uint64_t pending_records_ RDFREL_GUARDED_BY(mu_) = 0;
+  uint64_t next_lsn_ RDFREL_GUARDED_BY(mu_);
+  uint64_t durable_lsn_ RDFREL_GUARDED_BY(mu_) = 0;
+  Status io_error_ RDFREL_GUARDED_BY(mu_);  // sticky first I/O failure
+  bool stop_ RDFREL_GUARDED_BY(mu_) = false;
+  bool closed_ RDFREL_GUARDED_BY(mu_) = false;
 
-  uint64_t appended_records_ = 0;
-  uint64_t appended_bytes_ = 0;
-  uint64_t fsyncs_ = 0;
-  uint64_t group_batches_ = 0;
-  uint64_t group_batch_records_ = 0;
+  uint64_t appended_records_ RDFREL_GUARDED_BY(mu_) = 0;
+  uint64_t appended_bytes_ RDFREL_GUARDED_BY(mu_) = 0;
+  uint64_t fsyncs_ RDFREL_GUARDED_BY(mu_) = 0;
+  uint64_t group_batches_ RDFREL_GUARDED_BY(mu_) = 0;
+  uint64_t group_batch_records_ RDFREL_GUARDED_BY(mu_) = 0;
 
   std::thread flusher_;
 };

@@ -223,14 +223,19 @@ void SparqlServer::Stop() {
   // The flag is also every in-flight query's cancel token: long scans stop
   // at their next batch boundary and the worker answers 503.
   stop_.store(true, std::memory_order_seq_cst);
-  cv_.notify_all();
+  {
+    // Notify under the lock: a worker between its wait-loop check and the
+    // block cannot miss the wakeup.
+    util::MutexLock lock(&mu_);
+    cv_.NotifyAll();
+  }
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     pending_.clear();  // unclaimed connections just close
   }
   listen_fd_.reset();
@@ -251,10 +256,10 @@ void SparqlServer::AcceptLoop() {
     metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       if (pending_.size() < options_.max_pending) {
         pending_.push_back(std::move(conn));
-        cv_.notify_one();
+        cv_.NotifyOne();
         continue;
       }
     }
@@ -277,10 +282,10 @@ void SparqlServer::WorkerLoop() {
   for (;;) {
     UniqueFd conn;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] {
-        return stop_.load(std::memory_order_relaxed) || !pending_.empty();
-      });
+      util::MutexLock lock(&mu_);
+      while (!stop_.load(std::memory_order_relaxed) && pending_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (stop_.load(std::memory_order_relaxed)) return;
       conn = std::move(pending_.front());
       pending_.pop_front();

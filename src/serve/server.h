@@ -35,10 +35,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +45,7 @@
 #include "serve/metrics.h"
 #include "serve/net.h"
 #include "store/sparql_store.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rdfrel::serve {
@@ -113,9 +112,13 @@ class SparqlServer {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<UniqueFd> pending_;  ///< accepted connections awaiting a worker
+  // kServer: the outermost rank — a worker still holds nothing when it
+  // dequeues a connection, and query execution below takes the store,
+  // cache, exchange and WAL locks in hierarchy order.
+  util::Mutex mu_{"server-queue", util::lock_rank::kServer};
+  util::CondVar cv_;
+  /// Accepted connections awaiting a worker.
+  std::deque<UniqueFd> pending_ RDFREL_GUARDED_BY(mu_);
 };
 
 }  // namespace rdfrel::serve

@@ -1,7 +1,5 @@
 #include "sql/catalog.h"
 
-#include <mutex>
-
 #include "util/string_util.h"
 
 namespace rdfrel::sql {
@@ -105,7 +103,7 @@ Status Table::Delete(RowId rid) {
 Result<std::shared_ptr<const DecodedPage>> Table::DecodePage(
     uint32_t page) const {
   {
-    std::shared_lock<std::shared_mutex> lock(decoded_mu_);
+    util::ReaderLock lock(&decoded_mu_);
     if (page < decoded_pages_.size() && decoded_pages_[page] != nullptr) {
       decoded_hits_.fetch_add(1, std::memory_order_relaxed);
       return decoded_pages_[page];
@@ -125,7 +123,7 @@ Result<std::shared_ptr<const DecodedPage>> Table::DecodePage(
     dp->rows.emplace_back();
     RDFREL_RETURN_NOT_OK(DeserializeRowInto(schema(), bytes, &dp->rows.back()));
   }
-  std::unique_lock<std::shared_mutex> lock(decoded_mu_);
+  util::WriterLock lock(&decoded_mu_);
   if (page < decoded_pages_.size() && decoded_pages_[page] != nullptr) {
     return decoded_pages_[page];
   }
@@ -138,7 +136,7 @@ Result<std::shared_ptr<const DecodedPage>> Table::DecodePage(
 }
 
 void Table::InvalidateDecodedPage(uint32_t page) {
-  std::unique_lock<std::shared_mutex> lock(decoded_mu_);
+  util::WriterLock lock(&decoded_mu_);
   if (page < decoded_pages_.size() && decoded_pages_[page] != nullptr) {
     decoded_rows_ -= decoded_pages_[page]->rows.size();
     decoded_pages_[page].reset();
@@ -151,7 +149,7 @@ util::CacheStats Table::decoded_page_stats() const {
   s.hits = decoded_hits_.load(std::memory_order_relaxed);
   s.misses = decoded_misses_.load(std::memory_order_relaxed);
   s.evictions = decoded_evictions_.load(std::memory_order_relaxed);
-  std::shared_lock<std::shared_mutex> lock(decoded_mu_);
+  util::ReaderLock lock(&decoded_mu_);
   for (const auto& dp : decoded_pages_) {
     if (dp != nullptr) ++s.entries;
   }

@@ -8,7 +8,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "sql/hash_index.h"
 #include "sql/table_storage.h"
 #include "util/lru_cache.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rdfrel::sql {
@@ -102,9 +102,13 @@ class Table {
   std::vector<std::unique_ptr<IndexInfo>> indexes_;
 
   // Decoded-page cache (mutable: populated lazily from const scans).
-  mutable std::shared_mutex decoded_mu_;
-  mutable std::vector<std::shared_ptr<const DecodedPage>> decoded_pages_;
-  mutable size_t decoded_rows_ = 0;  ///< rows held by decoded_pages_
+  // kPageCache: taken below the store lock (kStore), above nothing.
+  mutable util::SharedMutex decoded_mu_{"page-cache",
+                                        util::lock_rank::kPageCache};
+  mutable std::vector<std::shared_ptr<const DecodedPage>> decoded_pages_
+      RDFREL_GUARDED_BY(decoded_mu_);
+  mutable size_t decoded_rows_ RDFREL_GUARDED_BY(decoded_mu_) =
+      0;  ///< rows held by decoded_pages_
   mutable std::atomic<uint64_t> decoded_hits_{0};
   mutable std::atomic<uint64_t> decoded_misses_{0};
   mutable std::atomic<uint64_t> decoded_evictions_{0};

@@ -46,7 +46,7 @@ SharedJoinBuild::SharedJoinBuild(
     : build_dispenser_(std::move(build_dispenser)) {}
 
 bool SharedJoinBuild::BeginParticipate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (finished_) return false;
   ++active_builders_;
   return true;
@@ -54,15 +54,17 @@ bool SharedJoinBuild::BeginParticipate() {
 
 void SharedJoinBuild::Insert(std::vector<Value> key, uint64_t seq, Row row) {
   Shard& shard = shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   shard.pending[std::move(key)].emplace_back(seq, std::move(row));
 }
 
 void SharedJoinBuild::Seal() {
   uint64_t rows = 0;
   for (Shard& shard : shards_) {
-    // No lock needed: Seal runs after every builder has stopped inserting
-    // (the caller is the unique last finisher).
+    // Every builder has stopped inserting (the caller is the unique last
+    // finisher), so the shard locks are uncontended — taken anyway (once
+    // per query) to keep the analysis airtight.
+    util::MutexLock lock(&shard.mu);
     for (auto& [key, seq_rows] : shard.pending) {
       std::sort(seq_rows.begin(), seq_rows.end(),
                 [](const SeqRow& a, const SeqRow& b) {
@@ -79,7 +81,7 @@ void SharedJoinBuild::Seal() {
 }
 
 void SharedJoinBuild::EndParticipate(const Status& status) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   --active_builders_;
   if (!status.ok() && status_.ok()) status_ = status;
   // A dispenser abort (query teardown) must not seal a half-built table as
@@ -92,21 +94,21 @@ void SharedJoinBuild::EndParticipate(const Status& status) {
     if (status_.ok()) {
       // Everyone is done inserting and nobody failed: this thread is the
       // unique finisher.
-      lock.unlock();
+      lock.Unlock();
       Seal();
-      lock.lock();
+      lock.Lock();
       built_.store(true, std::memory_order_release);
     }
     finished_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   } else if (!status_.ok()) {
     finished_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 bool SharedJoinBuild::TryClaimSolo() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (solo_claimed_ || finished_) return false;
   solo_claimed_ = true;
   return true;
@@ -114,40 +116,40 @@ bool SharedJoinBuild::TryClaimSolo() {
 
 void SharedJoinBuild::FinishSolo(const Status& status) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!status.ok() && status_.ok()) status_ = status;
   }
   if (status.ok()) Seal();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (status_.ok()) built_.store(true, std::memory_order_release);
     finished_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status SharedJoinBuild::WaitBuilt(const ExecControl* control) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   while (!finished_) {
     if (control != nullptr) {
       Status st = control->Check();
       if (!st.ok()) return st;
     }
-    cv_.wait_for(lock, std::chrono::milliseconds(50));
+    cv_.WaitFor(mu_, std::chrono::milliseconds(50));
   }
   return status_;
 }
 
 void SharedJoinBuild::Abort() {
   if (build_dispenser_ != nullptr) build_dispenser_->Abort();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (!finished_) {
     // Leave finished_ to the builders still in flight (EndParticipate /
     // FinishSolo must run exactly once); just make sure nobody seals the
     // table as good and every waiter re-checks soon.
     if (status_.ok()) status_ = Status::Cancelled("join build aborted");
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 const std::vector<Row>* SharedJoinBuild::Lookup(
@@ -174,12 +176,18 @@ ExchangeOp::~ExchangeOp() {
   AbortWorkers();
   JoinWorkers();
   // Publish global counters once per execution (workers have stopped, so
-  // morsels_dispatched_ is stable).
+  // morsels_dispatched_ is stable; the lock is uncontended and satisfies
+  // the analysis).
   if (started_ && !stats_published_) {
     stats_published_ = true;
+    uint64_t dispatched = 0;
+    {
+      util::MutexLock lock(&mu_);
+      dispatched = morsels_dispatched_;
+    }
     auto& g = GlobalParallelExecStats();
     g.queries.fetch_add(1, std::memory_order_relaxed);
-    g.morsels.fetch_add(morsels_dispatched_, std::memory_order_relaxed);
+    g.morsels.fetch_add(dispatched, std::memory_order_relaxed);
     const uint64_t bytes = arena_.bytes_reserved();
     uint64_t peak = g.arena_bytes_peak.load(std::memory_order_relaxed);
     while (bytes > peak && !g.arena_bytes_peak.compare_exchange_weak(
@@ -201,7 +209,7 @@ Status ExchangeOp::Open() {
   }
   started_ = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     workers_running_ = pipelines_.size();
   }
   for (size_t k = 0; k < pipelines_.size(); ++k) {
@@ -235,45 +243,46 @@ void ExchangeOp::WorkerTask(size_t pipeline_index) {
     }
     if (!st.ok()) break;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       ++morsels_dispatched_;
       ready_.emplace(m->index, std::move(rows));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (!st.ok() && !failed_) {
     failed_ = true;
     worker_status_ = st;
     // Drain fast: peers stop claiming, build waiters wake with an error.
+    // (Holding mu_ across the builds' Abort is why kExchange < kJoinBuild.)
     dispenser_->Abort();
     for (auto& b : builds_) b->Abort();
   }
   // Both notifies must happen while mu_ is held and BEFORE this thread's
   // decrement can release ~ExchangeOp: JoinWorkers re-acquires mu_ after
-  // its predicate passes, which cannot happen until this scope's unlock —
+  // its wait loop passes, which cannot happen until this scope's unlock —
   // so the unlock is provably the last touch of *this. Notifying after
   // unlock would let the destructor free the condition variables while
   // this thread is still inside notify_all (a use-after-free that
   // corrupts whatever reuses the allocation).
-  cv_.notify_all();
-  if (--workers_running_ == 0) workers_done_cv_.notify_all();
+  cv_.NotifyAll();
+  if (--workers_running_ == 0) workers_done_cv_.NotifyAll();
 }
 
 void ExchangeOp::AbortWorkers() {
   abort_.store(true, std::memory_order_release);
   if (dispenser_ != nullptr) dispenser_->Abort();
   for (auto& b : builds_) b->Abort();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ExchangeOp::JoinWorkers() {
-  std::unique_lock<std::mutex> lock(mu_);
-  workers_done_cv_.wait(lock, [this] { return workers_running_ == 0; });
+  util::MutexLock lock(&mu_);
+  while (workers_running_ != 0) workers_done_cv_.Wait(mu_);
 }
 
 Status ExchangeOp::AwaitNextBuffer(bool* done) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   current_.reset();
   serve_pos_ = 0;
   const uint64_t total = dispenser_->total_morsels();
@@ -300,7 +309,7 @@ Status ExchangeOp::AwaitNextBuffer(bool* done) {
       Status st = control_->Check();
       if (!st.ok()) return st;
     }
-    cv_.wait_for(lock, std::chrono::milliseconds(50));
+    cv_.WaitFor(mu_, std::chrono::milliseconds(50));
   }
 }
 
@@ -334,7 +343,7 @@ Result<bool> ExchangeOp::NextImpl(Row* out) {
 std::string ExchangeOp::StatsSuffix() const {
   uint64_t dispatched = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     dispatched = morsels_dispatched_;
   }
   std::string out = " morsels=";

@@ -20,11 +20,9 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,6 +33,7 @@
 #include "sql/executor.h"
 #include "sql/row.h"
 #include "util/arena.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rdfrel::sql {
@@ -130,10 +129,13 @@ class SharedJoinBuild {
  private:
   using SeqRow = std::pair<uint64_t, Row>;
   struct Shard {
-    std::mutex mu;
+    util::Mutex mu{"join-shard", util::lock_rank::kJoinShard};
     std::unordered_map<std::vector<Value>, std::vector<SeqRow>,
                        ValueVectorHasher>
-        pending;
+        pending RDFREL_GUARDED_BY(mu);
+    // Deliberately unguarded: written only by the unique finisher inside
+    // Seal() (which still takes mu per shard, cheap once per query), read
+    // lock-free by probes strictly after the built_ acquire/release pair.
     std::unordered_map<std::vector<Value>, std::vector<Row>, ValueVectorHasher>
         sealed;
   };
@@ -142,19 +144,24 @@ class SharedJoinBuild {
     return ValueVectorHasher{}(key) % kNumShards;
   }
   /// Sorts every per-key vector by seq and publishes the sealed maps.
-  /// Caller must be the unique finisher.
-  void Seal();
+  /// Caller must be the unique finisher and must not hold mu_ (the shard
+  /// locks rank above it, but holding the barrier lock through the sort
+  /// would stall waiters).
+  void Seal() RDFREL_EXCLUDES(mu_);
 
   const std::shared_ptr<MorselDispenser> build_dispenser_;
   std::array<Shard, kNumShards> shards_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  Status status_;              ///< first build error (under mu_)
-  int active_builders_ = 0;    ///< cooperative participants in flight
-  bool solo_claimed_ = false;
-  bool finished_ = false;      ///< sealed or failed (under mu_)
+  util::Mutex mu_{"join-build", util::lock_rank::kJoinBuild};
+  util::CondVar cv_;
+  Status status_ RDFREL_GUARDED_BY(mu_);  ///< first build error
+  int active_builders_ RDFREL_GUARDED_BY(mu_) =
+      0;  ///< cooperative participants in flight
+  bool solo_claimed_ RDFREL_GUARDED_BY(mu_) = false;
+  bool finished_ RDFREL_GUARDED_BY(mu_) = false;  ///< sealed or failed
   std::atomic<bool> built_{false};  ///< sealed OK (release by finisher)
+  /// Unguarded on purpose: written by the unique finisher in Seal() before
+  /// the built_ release store, read only after a built_ acquire load.
   uint64_t num_rows_ = 0;
 };
 
@@ -193,11 +200,11 @@ class ExchangeOp final : public Operator {
 
   void WorkerTask(size_t pipeline_index);
   /// Signals every synchronization point workers might be parked on.
-  void AbortWorkers();
+  void AbortWorkers() RDFREL_EXCLUDES(mu_);
   /// Blocks until all submitted worker tasks have returned.
-  void JoinWorkers();
+  void JoinWorkers() RDFREL_EXCLUDES(mu_);
   /// Waits for the buffer holding morsel next_emit_ (or failure/end).
-  Status AwaitNextBuffer(bool* done);
+  Status AwaitNextBuffer(bool* done) RDFREL_EXCLUDES(mu_);
 
   // Arena declared first so buffers referencing its storage die before it.
   util::QueryArena arena_;
@@ -205,20 +212,25 @@ class ExchangeOp final : public Operator {
   std::shared_ptr<MorselDispenser> dispenser_;
   std::vector<std::shared_ptr<SharedJoinBuild>> builds_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;            ///< consumer waits (buffer ready)
-  std::condition_variable workers_done_cv_;
-  std::map<uint64_t, ArenaRows> ready_;   ///< reorder buffer (under mu_)
-  Status worker_status_;                  ///< first worker error (under mu_)
-  bool failed_ = false;
-  size_t workers_running_ = 0;
+  // kExchange: workers hold mu_ while aborting builds (kJoinBuild) in their
+  // failure path, so the exchange lock ranks below the build barrier.
+  mutable util::Mutex mu_{"exchange", util::lock_rank::kExchange};
+  util::CondVar cv_;                      ///< consumer waits (buffer ready)
+  util::CondVar workers_done_cv_;
+  std::map<uint64_t, ArenaRows> ready_
+      RDFREL_GUARDED_BY(mu_);             ///< reorder buffer
+  Status worker_status_ RDFREL_GUARDED_BY(mu_);  ///< first worker error
+  bool failed_ RDFREL_GUARDED_BY(mu_) = false;
+  size_t workers_running_ RDFREL_GUARDED_BY(mu_) = 0;
   bool started_ = false;
   std::atomic<bool> abort_{false};
 
+  // Consumer-side state below is touched only by the single consumer
+  // thread (NextBatch/Next caller), so it is not guarded.
   uint64_t next_emit_ = 0;                ///< consumer-side morsel cursor
   std::optional<ArenaRows> current_;      ///< buffer being served
   size_t serve_pos_ = 0;
-  uint64_t morsels_dispatched_ = 0;
+  uint64_t morsels_dispatched_ RDFREL_GUARDED_BY(mu_) = 0;
   bool stats_published_ = false;
 };
 

@@ -1,7 +1,6 @@
 #include "store/rdf_store.h"
 
 #include <cmath>
-#include <mutex>
 
 #include "opt/cost_model.h"
 #include "opt/data_flow_graph.h"
@@ -332,7 +331,7 @@ Status RdfStore::QueryWith(std::string_view sparql, const QueryOptions& opts,
                            RowSink& sink) {
   const std::string key = PlanCacheKey(sparql, opts);
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    util::ReaderLock lock(&mutex_);
     if (auto plan = plan_cache_.Get(key)) {
       // Any closure tables the plan references exist for as long as the
       // entry does: writes drop both under the writer lock.
@@ -343,7 +342,7 @@ Status RdfStore::QueryWith(std::string_view sparql, const QueryOptions& opts,
   if (HasPropertyPaths(query)) {
     // Property-path queries may materialize closure tables (a write), so
     // they run under the exclusive lock.
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    util::WriterLock lock(&mutex_);
     if (auto plan = plan_cache_.Get(key)) {
       return ExecutePlanStreaming(&db_, *plan, dict_, opts, sink);
     }
@@ -352,7 +351,7 @@ Status RdfStore::QueryWith(std::string_view sparql, const QueryOptions& opts,
     plan_cache_.Put(key, plan);
     return ExecutePlanStreaming(&db_, *plan, dict_, opts, sink);
   }
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  util::ReaderLock lock(&mutex_);
   RDFREL_ASSIGN_OR_RETURN(auto plan, BuildPlan(std::move(query), opts));
   plan_cache_.Put(key, plan);
   return ExecutePlanStreaming(&db_, *plan, dict_, opts, sink);
@@ -361,14 +360,14 @@ Status RdfStore::QueryWith(std::string_view sparql, const QueryOptions& opts,
 Result<ResultSet> RdfStore::QueryParsed(const sparql::Query& query,
                                         const QueryOptions& opts) {
   if (HasPropertyPaths(query)) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    util::WriterLock lock(&mutex_);
     RDFREL_RETURN_NOT_OK(EnsureClosuresFor(query));
     std::vector<const sparql::FilterExpr*> post_filters;
     RDFREL_ASSIGN_OR_RETURN(std::string sql,
                             Translate(query, opts, &post_filters));
     return ExecuteDecodedSql(&db_, sql, query, dict_, post_filters);
   }
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  util::ReaderLock lock(&mutex_);
   std::vector<const sparql::FilterExpr*> post_filters;
   RDFREL_ASSIGN_OR_RETURN(std::string sql,
                           Translate(query, opts, &post_filters));
@@ -379,12 +378,12 @@ Result<std::string> RdfStore::TranslateWith(std::string_view sparql,
                                             const QueryOptions& opts) {
   RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
   if (HasPropertyPaths(query)) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    util::WriterLock lock(&mutex_);
     RDFREL_RETURN_NOT_OK(EnsureClosuresFor(query));
     std::vector<const sparql::FilterExpr*> post_filters;
     return Translate(query, opts, &post_filters);
   }
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  util::ReaderLock lock(&mutex_);
   std::vector<const sparql::FilterExpr*> post_filters;
   return Translate(query, opts, &post_filters);
 }
@@ -392,15 +391,19 @@ Result<std::string> RdfStore::TranslateWith(std::string_view sparql,
 Result<SparqlStore::Explanation> RdfStore::Explain(std::string_view sparql,
                                                    const QueryOptions& opts) {
   RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
-  std::unique_lock<std::shared_mutex> write_lock(mutex_, std::defer_lock);
-  std::shared_lock<std::shared_mutex> read_lock(mutex_, std::defer_lock);
+  // Two explicit branches instead of a deferred-lock dance: the analysis
+  // can follow each RAII guard, and ExplainLocked states its requirement.
   if (HasPropertyPaths(query)) {
-    write_lock.lock();
+    util::WriterLock lock(&mutex_);
     RDFREL_RETURN_NOT_OK(EnsureClosuresFor(query));
-  } else {
-    read_lock.lock();
+    return ExplainLocked(query, opts);
   }
+  util::ReaderLock lock(&mutex_);
+  return ExplainLocked(query, opts);
+}
 
+Result<SparqlStore::Explanation> RdfStore::ExplainLocked(
+    const sparql::Query& query, const QueryOptions& opts) {
   Explanation ex;
   ex.parse_tree = query.where->ToString();
 
@@ -488,7 +491,7 @@ Status RdfStore::MutateBatch(persist::WalRecordType type,
   Status apply_status;
   uint64_t wait_lsn = 0;
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    util::WriterLock lock(&mutex_);
     std::vector<rdf::Triple> applied;
     applied.reserve(triples.size());
     for (const auto& t : triples) {
@@ -593,7 +596,7 @@ Result<persist::SnapshotSections> RdfStore::SnapshotState() const {
 
 Status RdfStore::EnablePersistence(const std::string& dir,
                                    const PersistOptions& opts) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  util::WriterLock lock(&mutex_);
   if (persist_ != nullptr) {
     return Status::AlreadyExists("persistence already attached");
   }
@@ -679,37 +682,47 @@ Result<std::unique_ptr<RdfStore>> RdfStore::OpenFromPlan(
   store->loader_ = std::make_unique<schema::Loader>(
       store->schema_.get(), store->direct_, store->reverse_);
 
-  // Replay the committed WAL suffix through the normal mutation path.
-  // Dictionary Encode assigns insertion-order ids, so term-form replay
-  // reproduces a consistent id assignment deterministically.
-  for (const auto& rec : plan.records) {
-    RDFREL_ASSIGN_OR_RETURN(std::vector<rdf::Triple> batch,
-                            persist::DecodeTripleBatch(rec.payload));
-    auto type = static_cast<persist::WalRecordType>(rec.type);
-    for (const auto& t : batch) {
-      Status s = type == persist::WalRecordType::kInsertBatch
-                     ? store->ApplyInsert(t)
-                     : type == persist::WalRecordType::kDeleteBatch
-                           ? store->ApplyDelete(t)
-                           : Status::DataLoss("unknown WAL record type " +
-                                              std::to_string(rec.type));
-      if (!s.ok()) {
-        return Status::DataLoss("WAL replay failed at LSN " +
-                                std::to_string(rec.lsn) + ": " + s.ToString());
+  {
+    // Construction-time writer lock: no other thread can see the store
+    // yet, but replay calls the same REQUIRES(mutex_)-annotated helpers as
+    // live mutations. Uncontended, and released before the verify probe
+    // below (QueryWith takes the lock itself).
+    util::WriterLock lock(&store->mutex_);
+
+    // Replay the committed WAL suffix through the normal mutation path.
+    // Dictionary Encode assigns insertion-order ids, so term-form replay
+    // reproduces a consistent id assignment deterministically.
+    for (const auto& rec : plan.records) {
+      RDFREL_ASSIGN_OR_RETURN(std::vector<rdf::Triple> batch,
+                              persist::DecodeTripleBatch(rec.payload));
+      auto type = static_cast<persist::WalRecordType>(rec.type);
+      for (const auto& t : batch) {
+        Status s = type == persist::WalRecordType::kInsertBatch
+                       ? store->ApplyInsert(t)
+                       : type == persist::WalRecordType::kDeleteBatch
+                             ? store->ApplyDelete(t)
+                             : Status::DataLoss("unknown WAL record type " +
+                                                std::to_string(rec.type));
+        if (!s.ok()) {
+          return Status::DataLoss(
+              "WAL replay failed at LSN " + std::to_string(rec.lsn) + ": " +
+              s.ToString());
+        }
       }
     }
-  }
 
-  // Recovery ends with a fresh checkpoint: torn tails never need in-place
-  // truncation and corrupt generations leave the fallback chain.
-  persist::Env* env =
-      persist_opts.env != nullptr ? persist_opts.env : persist::Env::Default();
-  RDFREL_ASSIGN_OR_RETURN(persist::SnapshotSections sections,
-                          store->SnapshotState());
-  RDFREL_ASSIGN_OR_RETURN(
-      store->persist_,
-      persist::PersistenceManager::Resume(env, plan.dir, plan, sections,
-                                          persist_opts.wal));
+    // Recovery ends with a fresh checkpoint: torn tails never need
+    // in-place truncation and corrupt generations leave the fallback
+    // chain.
+    persist::Env* env = persist_opts.env != nullptr ? persist_opts.env
+                                                    : persist::Env::Default();
+    RDFREL_ASSIGN_OR_RETURN(persist::SnapshotSections sections,
+                            store->SnapshotState());
+    RDFREL_ASSIGN_OR_RETURN(
+        store->persist_,
+        persist::PersistenceManager::Resume(env, plan.dir, plan, sections,
+                                            persist_opts.wal));
+  }
 
   if (persist_opts.verify_on_recovery) {
     // Probe: run one verified query over a predicate known to the
@@ -742,7 +755,7 @@ Result<std::unique_ptr<RdfStore>> RdfStore::Open(
 }
 
 Status RdfStore::Checkpoint() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  util::WriterLock lock(&mutex_);
   if (persist_ == nullptr) {
     return Status::Unsupported("no persistence attached to this store");
   }
@@ -751,13 +764,13 @@ Status RdfStore::Checkpoint() {
 }
 
 Status RdfStore::Flush() {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  util::ReaderLock lock(&mutex_);
   if (persist_ == nullptr) return Status::OK();
   return persist_->Flush();
 }
 
 Status RdfStore::Close() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  util::WriterLock lock(&mutex_);
   if (persist_ == nullptr) return Status::OK();
   Status s = persist_->Close();
   persist_.reset();
@@ -765,7 +778,7 @@ Status RdfStore::Close() {
 }
 
 persist::PersistStats RdfStore::persist_stats() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  util::ReaderLock lock(&mutex_);
   return persist_ != nullptr ? persist_->stats() : persist::PersistStats{};
 }
 

@@ -14,7 +14,6 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "sql/database.h"
 #include "store/backend_util.h"
 #include "store/sparql_store.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace rdfrel::store {
@@ -153,47 +153,67 @@ class RdfStore final : public SparqlStore {
   Result<std::string> Translate(const sparql::Query& query,
                                 const QueryOptions& opts,
                                 std::vector<const sparql::FilterExpr*>*
-                                    post_filters) const;
+                                    post_filters) const
+      RDFREL_REQUIRES_SHARED(mutex_);
 
   /// Translates \p query into an immutable, shareable plan (consumes it).
   Result<std::shared_ptr<const CachedPlan>> BuildPlan(
-      sparql::Query query, const QueryOptions& opts) const;
+      sparql::Query query, const QueryOptions& opts) const
+      RDFREL_REQUIRES_SHARED(mutex_);
+
+  /// Explain body shared by the read-only and closure-materializing paths;
+  /// the caller holds the lock in the matching mode.
+  Result<Explanation> ExplainLocked(const sparql::Query& query,
+                                    const QueryOptions& opts)
+      RDFREL_REQUIRES_SHARED(mutex_);
 
   /// Materializes closure tables for every transitive property-path triple
   /// of \p query. Mutates db_/closure_cache_: callers hold the writer lock.
-  Status EnsureClosuresFor(const sparql::Query& query);
+  Status EnsureClosuresFor(const sparql::Query& query)
+      RDFREL_REQUIRES(mutex_);
 
   /// Materializes (and caches) the transitive closure of \p pred as a
   /// binary table (entry, val); kStar additionally contains the reflexive
   /// pairs of every node touching the predicate. Returns the table name.
   Result<std::string> EnsureClosureTable(const rdf::Term& pred,
-                                         sparql::PathMod mod);
+                                         sparql::PathMod mod)
+      RDFREL_REQUIRES(mutex_);
 
   /// Drops materialized closure tables and empties the plan cache; called
   /// by Insert/Delete under the writer lock.
-  Status InvalidateAfterWrite();
+  Status InvalidateAfterWrite() RDFREL_REQUIRES(mutex_);
 
   /// Applies one triple to the in-memory state (dictionary, relations,
   /// statistics). Caller holds the writer lock.
-  Status ApplyInsert(const rdf::Triple& triple);
-  Status ApplyDelete(const rdf::Triple& triple);
+  Status ApplyInsert(const rdf::Triple& triple) RDFREL_REQUIRES(mutex_);
+  Status ApplyDelete(const rdf::Triple& triple) RDFREL_REQUIRES(mutex_);
 
   /// Shared body of Insert/Delete/InsertBatch/DeleteBatch: apply under the
   /// writer lock, log exactly the applied prefix, wait for durability
   /// outside the lock.
   Status MutateBatch(persist::WalRecordType type,
-                     const std::vector<rdf::Triple>& triples);
+                     const std::vector<rdf::Triple>& triples)
+      RDFREL_EXCLUDES(mutex_);
 
   /// Serializes the current state into snapshot sections (caller holds at
   /// least a shared lock). Closure tables are excluded: they are derived
   /// data, rebuilt lazily after recovery.
-  Result<persist::SnapshotSections> SnapshotState() const;
+  Result<persist::SnapshotSections> SnapshotState() const
+      RDFREL_REQUIRES_SHARED(mutex_);
 
   /// Serializes readers (shared) against Insert/Delete and closure
   /// materialization (exclusive). Protects db_, dict_, stats_,
-  /// closure_cache_ and the schema spill sets.
-  mutable std::shared_mutex mutex_;
+  /// closure_cache_ and the schema spill sets. kStore is the outermost
+  /// engine rank: holders go on to take the plan cache, decoded-page
+  /// cache, exchange/build locks, the WAL and the pool (see
+  /// util/mutex.h's hierarchy).
+  mutable util::SharedMutex mutex_{"store", util::lock_rank::kStore};
 
+  // db_, dict_, stats_, schema_ and friends are accessed under mutex_ in
+  // the matching mode but stay unannotated: public accessors hand out
+  // references for single-threaded tooling (benchmarks, loaders), and the
+  // SQL layer below has its own locking. The annotated fields are the ones
+  // only this class touches.
   sql::Database db_;
   std::unique_ptr<schema::Db2RdfSchema> schema_;
   std::unique_ptr<schema::Loader> loader_;
@@ -204,8 +224,9 @@ class RdfStore final : public SparqlStore {
   schema::LoadStats load_stats_;
   std::string lex_table_;
   /// (predicate id, mod) -> materialized closure table name.
-  std::map<std::pair<uint64_t, int>, std::string> closure_cache_;
-  int path_table_counter_ = 0;
+  std::map<std::pair<uint64_t, int>, std::string> closure_cache_
+      RDFREL_GUARDED_BY(mutex_);
+  int path_table_counter_ RDFREL_GUARDED_BY(mutex_) = 0;
   /// Memoized (sparql, options) -> translated plan. Internally locked.
   PlanCache plan_cache_;
   /// Snapshot/WAL orchestration; null while the store is memory-only.

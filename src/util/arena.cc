@@ -50,8 +50,8 @@ QueryArena::~QueryArena() {
   }
 }
 
-std::pair<char*, size_t> QueryArena::RefillLocked(size_t min_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+std::pair<char*, size_t> QueryArena::Refill(size_t min_bytes) {
+  MutexLock lock(&mu_);
   if (avail_ < min_bytes) {
     const size_t chunk = std::max(min_bytes, kChunkBytes);
     chunks_.push_back(std::make_unique<char[]>(chunk));
@@ -72,7 +72,7 @@ void* QueryArena::Allocate(size_t bytes, size_t align) {
   if (bytes == 0) bytes = 1;
   // Oversized requests bypass the slab so they don't strand its remainder.
   if (bytes + align > kSlabBytes) {
-    auto [region, size] = RefillLocked(bytes + align);
+    auto [region, size] = Refill(bytes + align);
     return AlignUp(region, align);
   }
   Slab& slab = t_slab;
@@ -88,7 +88,7 @@ void* QueryArena::Allocate(size_t bytes, size_t align) {
   // Slab missing, stale, or exhausted: refill from the arena. The previous
   // slab's remainder (from this or another arena) is abandoned — at most
   // kSlabBytes per switch, reclaimed when its owning arena dies.
-  auto [region, size] = RefillLocked(bytes + align);
+  auto [region, size] = Refill(bytes + align);
   char* aligned = AlignUp(region, align);
   slab.arena_id = id_;
   slab.cur = aligned + bytes;

@@ -22,9 +22,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace rdfrel::util {
 
@@ -68,14 +69,15 @@ class QueryArena {
 
  private:
   /// Grabs a fresh region of at least \p min_bytes from the arena proper.
-  /// Returns [ptr, size]. Takes the mutex.
-  std::pair<char*, size_t> RefillLocked(size_t min_bytes);
+  /// Returns [ptr, size]. Takes the mutex itself.
+  std::pair<char*, size_t> Refill(size_t min_bytes) RDFREL_EXCLUDES(mu_);
 
   const uint64_t id_;
-  std::mutex mu_;
-  std::vector<std::unique_ptr<char[]>> chunks_;  ///< owned storage
-  char* cur_ = nullptr;   ///< bump cursor within the last chunk (under mu_)
-  size_t avail_ = 0;      ///< bytes left at cur_ (under mu_)
+  Mutex mu_{"arena", lock_rank::kArena};
+  std::vector<std::unique_ptr<char[]>> chunks_
+      RDFREL_GUARDED_BY(mu_);                    ///< owned storage
+  char* cur_ RDFREL_GUARDED_BY(mu_) = nullptr;   ///< bump cursor, last chunk
+  size_t avail_ RDFREL_GUARDED_BY(mu_) = 0;      ///< bytes left at cur_
   std::atomic<uint64_t> bytes_reserved_{0};
 };
 

@@ -11,16 +11,21 @@
 /// This is the building block for the per-store SPARQL plan cache (see
 /// store/backend_util.h): values there are shared_ptr<const CachedPlan>,
 /// so a reader can keep using a plan that was concurrently evicted.
+///
+/// Locking: every shard mutex carries lock_rank::kPlanCache — shards are
+/// only ever taken one at a time (Clear/size/stats iterate sequentially),
+/// and callers hold at most the store lock (kStore) above this.
 
 #include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace rdfrel::util {
 
@@ -60,7 +65,7 @@ class ShardedLruCache {
   /// Returns the value for \p key (refreshing its recency), or nullopt.
   std::optional<Value> Get(const Key& key) {
     Shard& s = ShardFor(key);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) {
       ++s.misses;
@@ -74,7 +79,7 @@ class ShardedLruCache {
   /// Inserts or overwrites \p key. The new entry becomes most recent.
   void Put(const Key& key, Value value) {
     Shard& s = ShardFor(key);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     auto it = s.map.find(key);
     if (it != s.map.end()) {
       it->second->second = std::move(value);
@@ -93,7 +98,7 @@ class ShardedLruCache {
   /// Removes \p key; false when absent.
   bool Erase(const Key& key) {
     Shard& s = ShardFor(key);
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) return false;
     s.lru.erase(it->second);
@@ -104,7 +109,7 @@ class ShardedLruCache {
   /// Drops every entry (hit/miss counters are retained).
   void Clear() {
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       shard->lru.clear();
       shard->map.clear();
     }
@@ -113,7 +118,7 @@ class ShardedLruCache {
   size_t size() const {
     size_t n = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       n += shard->lru.size();
     }
     return n;
@@ -122,7 +127,7 @@ class ShardedLruCache {
   CacheStats stats() const {
     CacheStats out;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       out.hits += shard->hits;
       out.misses += shard->misses;
       out.evictions += shard->evictions;
@@ -134,15 +139,16 @@ class ShardedLruCache {
  private:
   struct Shard {
     explicit Shard(size_t cap) : capacity(cap) {}
-    mutable std::mutex mu;
-    std::list<std::pair<Key, Value>> lru;  // front == most recent
+    mutable Mutex mu{"lru-shard", lock_rank::kPlanCache};
+    std::list<std::pair<Key, Value>> lru
+        RDFREL_GUARDED_BY(mu);  // front == most recent
     std::unordered_map<Key,
                        typename std::list<std::pair<Key, Value>>::iterator,
                        Hash>
-        map;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+        map RDFREL_GUARDED_BY(mu);
+    uint64_t hits RDFREL_GUARDED_BY(mu) = 0;
+    uint64_t misses RDFREL_GUARDED_BY(mu) = 0;
+    uint64_t evictions RDFREL_GUARDED_BY(mu) = 0;
     const size_t capacity;
   };
 

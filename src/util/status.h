@@ -50,7 +50,10 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeToString(StatusCode code);
 
 /// A cheap, movable success-or-error value. The OK state allocates nothing.
-class Status {
+/// [[nodiscard]]: silently dropping a Status loses the only error signal
+/// this library emits; discard explicitly with `(void)expr;` when a failure
+/// is genuinely irrelevant (e.g. best-effort cleanup).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -157,7 +160,7 @@ class Status {
 ///   int v = *r;
 /// \endcode
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -193,15 +196,18 @@ class Result {
   std::variant<T, Status> var_;
 };
 
-/// Propagate-on-error macros (statement context only).
-#define RDFREL_RETURN_NOT_OK(expr)                 \
-  do {                                             \
-    ::rdfrel::Status _st = (expr);                 \
-    if (!_st.ok()) return _st;                     \
-  } while (0)
-
 #define RDFREL_CONCAT_IMPL(x, y) x##y
 #define RDFREL_CONCAT(x, y) RDFREL_CONCAT_IMPL(x, y)
+
+/// Propagate-on-error macros (statement context only). The temporary gets a
+/// line-unique name so nested expansions don't shadow each other.
+#define RDFREL_RETURN_NOT_OK(expr)                                  \
+  do {                                                              \
+    ::rdfrel::Status RDFREL_CONCAT(_st_, __LINE__) = (expr);        \
+    if (!RDFREL_CONCAT(_st_, __LINE__).ok()) {                      \
+      return RDFREL_CONCAT(_st_, __LINE__);                         \
+    }                                                               \
+  } while (0)
 
 /// ASSIGN_OR_RETURN: evaluates a Result<T> expression, returns its Status on
 /// error, otherwise binds the value to `lhs`.

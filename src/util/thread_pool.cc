@@ -10,6 +10,8 @@ namespace {
 std::atomic<bool> g_global_started{false};
 
 unsigned GlobalPoolSize() {
+  // One-time init read; nothing writes the environment concurrently.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("RDFREL_POOL_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v >= 1 && v <= 256) return static_cast<unsigned>(v);
@@ -36,11 +38,11 @@ ThreadPool::ThreadPool(unsigned workers) {
 ThreadPool::~ThreadPool() {
   stop_.store(true, std::memory_order_release);
   {
-    // Pairs with the wait predicate: without the lock a worker could check
+    // Pairs with the wait loop: without the lock a worker could check
     // stop_ false, then sleep and miss the broadcast.
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -48,15 +50,15 @@ void ThreadPool::Submit(std::function<void()> fn) {
   const size_t index =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[index]->mu);
+    MutexLock lock(&queues_[index]->mu);
     queues_[index]->tasks.push_back(std::move(fn));
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
     pending_.fetch_add(1, std::memory_order_relaxed);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 bool ThreadPool::TryPop(size_t index, std::function<void()>* out,
@@ -64,7 +66,7 @@ bool ThreadPool::TryPop(size_t index, std::function<void()>* out,
   // Own queue first (FIFO: oldest task of this worker)...
   {
     WorkerQueue& q = *queues_[index];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(&q.mu);
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -75,7 +77,7 @@ bool ThreadPool::TryPop(size_t index, std::function<void()>* out,
   // ...then steal from the back of a peer's.
   for (size_t off = 1; off < queues_.size(); ++off) {
     WorkerQueue& q = *queues_[(index + off) % queues_.size()];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(&q.mu);
     if (!q.tasks.empty()) {
       *out = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -97,11 +99,11 @@ void ThreadPool::WorkerLoop(size_t index) {
       executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_relaxed) > 0;
-    });
+    MutexLock lock(&wake_mu_);
+    while (!stop_.load(std::memory_order_acquire) &&
+           pending_.load(std::memory_order_relaxed) == 0) {
+      wake_cv_.Wait(wake_mu_);
+    }
     if (stop_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_relaxed) == 0) {
       return;

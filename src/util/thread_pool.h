@@ -14,14 +14,15 @@
 /// sql/parallel.cc for the exact argument). Submit never blocks.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace rdfrel::util {
 
@@ -59,9 +60,12 @@ class ThreadPool {
   static bool GlobalStarted();
 
  private:
+  // Pool-internal mutexes (deques + wake) all carry lock_rank::kPool — the
+  // innermost rank: pool code never takes another engine lock, and Submit /
+  // TryPop take the queue locks one at a time, never nested.
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu{"pool-queue", lock_rank::kPool};
+    std::deque<std::function<void()>> tasks RDFREL_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t index);
@@ -70,8 +74,8 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  Mutex wake_mu_{"pool-wake", lock_rank::kPool};
+  CondVar wake_cv_;
   std::atomic<size_t> pending_{0};  ///< queued (not yet started) tasks
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> next_queue_{0};

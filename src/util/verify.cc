@@ -15,6 +15,8 @@ bool DefaultEnabled() {
 #ifndef NDEBUG
   return true;
 #else
+  // One-time init read; nothing writes the environment concurrently.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("RDFREL_VERIFY_PLANS");
   return env != nullptr && std::strcmp(env, "0") != 0 &&
          std::strcmp(env, "") != 0;

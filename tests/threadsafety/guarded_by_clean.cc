@@ -1,0 +1,28 @@
+// Positive control for the compile-fail harness: identical shape to
+// guarded_by_violation.cc but correctly locked, so it MUST compile under
+// clang -Werror=thread-safety. A harness failure here means the include
+// path or flags are broken, not that the analysis fired.
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    rdfrel::util::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+ private:
+  rdfrel::util::Mutex mu_;
+  int value_ RDFREL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

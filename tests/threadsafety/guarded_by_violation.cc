@@ -1,0 +1,25 @@
+// Compile-fail input: writes a GUARDED_BY field without holding its mutex.
+// Under clang -Werror=thread-safety this translation unit MUST NOT compile;
+// the harness (tests/threadsafety/CMakeLists.txt and
+// scripts/check_thread_safety.sh) asserts exactly that.
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++value_; }  // BAD: mu_ not held
+
+ private:
+  rdfrel::util::Mutex mu_;
+  int value_ RDFREL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}
