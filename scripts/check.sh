@@ -1,28 +1,32 @@
 #!/usr/bin/env bash
 # Static analysis + sanitizer + benchmark gate.
 #
-#   0.  Clang thread-safety analysis: -Werror=thread-safety over all of
-#       src/ against the capability annotations in util/mutex.h (skipped
-#       with a notice when no clang is installed; CI always runs it).
-#   1.  ThreadSanitizer build, running the concurrency + plan-cache tests
+#   0.  Clang thread-safety analysis: -Werror=thread-safety over src/,
+#       bench/, and tests/ against the capability annotations in
+#       util/mutex.h (skipped with a notice when no clang is installed;
+#       CI always runs it).
+#   1.  Project lint (rdfrel-lint, DESIGN.md §15): fixture harness plus a
+#       full sweep of the compile database enforcing arena-escape,
+#       blocking-under-lock, borrowed-batch, and status-discipline.
+#   2.  ThreadSanitizer build, running the concurrency + plan-cache tests
 #       (the reader/writer stress test is the point of this build), the
 #       morsel-driven parallel executor suite (ParallelTest): dispenser /
 #       shared-build / arena primitives plus serial-vs-parallel
 #       differentials, so executor data races fail the gate — and the
 #       Serve suite, so the endpoint's worker pool races fail it too.
-#   2.  Debug + AddressSanitizer build, running the full ctest suite.
-#   2b. UndefinedBehaviorSanitizer build with recovery disabled, running
+#   3.  Debug + AddressSanitizer build, running the full ctest suite.
+#   4.  UndefinedBehaviorSanitizer build with recovery disabled, running
 #       the full suite: any UB (signed overflow, bad shifts, misaligned
 #       or null access, ...) aborts the test instead of logging.
-#   3.  Crash-recovery gate: the PersistTest suites (WAL framing, snapshot
+#   5.  Crash-recovery gate: the PersistTest suites (WAL framing, snapshot
 #       CRCs, kill-at-any-point fault injection, snapshot fallback) run
 #       explicitly under both Debug+ASan and UBSan, so a durability
 #       regression is named in the output rather than buried in a full run.
-#   4.  Serve smoke: the HTTP endpoint walkthrough (examples/serve_demo
+#   6.  Serve smoke: the HTTP endpoint walkthrough (examples/serve_demo
 #       --smoke) starts a real server, queries it over a socket, and shuts
 #       it down cleanly — under ASan, so leaked fds/threads/buffers in the
 #       serving path fail the gate.
-#   5.  Release bench smoke: bench_micro_star and bench_serve at a reduced
+#   7.  Release bench smoke: bench_micro_star and bench_serve at a reduced
 #       scale must run to completion and emit machine-readable
 #       BENCH_sql.json / BENCH_serve.json.
 #
@@ -35,11 +39,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "== [0/6] Clang thread-safety analysis =="
+echo "== [0/7] Clang thread-safety analysis =="
 scripts/check_thread_safety.sh
 
 echo
-echo "== [1/6] ThreadSanitizer: concurrency + parallel executor + serve =="
+echo "== [1/7] Project lint: rdfrel-lint fixtures + src/ sweep =="
+# lint.sh builds the tool from the default build tree; configure it first
+# so the compile database exists even on a fresh checkout.
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake -B build -S . > /dev/null
+fi
+scripts/lint.sh
+
+echo
+echo "== [2/7] ThreadSanitizer: concurrency + parallel executor + serve =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFREL_SANITIZE=thread > /dev/null
@@ -53,7 +66,7 @@ cmake --build build-tsan -j"${JOBS}" \
     -R 'ConcurrencyTest|PlanCacheTest|UniformInterfaceTest|LruCacheTest|ParallelTest|Serve')
 
 echo
-echo "== [2/6] Debug + AddressSanitizer: full suite =="
+echo "== [3/7] Debug + AddressSanitizer: full suite =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRDFREL_SANITIZE=address > /dev/null
@@ -61,7 +74,7 @@ cmake --build build-asan -j"${JOBS}"
 (cd build-asan && ctest --output-on-failure -j"${JOBS}")
 
 echo
-echo "== [2b/6] UndefinedBehaviorSanitizer: full suite =="
+echo "== [4/7] UndefinedBehaviorSanitizer: full suite =="
 cmake -B build-ubsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRDFREL_SANITIZE=undefined > /dev/null
@@ -71,14 +84,14 @@ cmake --build build-ubsan -j"${JOBS}"
 (cd build-ubsan && ctest --output-on-failure -j"${JOBS}")
 
 echo
-echo "== [3/6] Crash-recovery gate: PersistTest under ASan and UBSan =="
+echo "== [5/7] Crash-recovery gate: PersistTest under ASan and UBSan =="
 # The trees were built above; this re-runs just the persistence layer so
 # durability failures surface as their own stage.
 (cd build-asan && ctest --output-on-failure -j"${JOBS}" -R 'PersistTest')
 (cd build-ubsan && ctest --output-on-failure -j"${JOBS}" -R 'PersistTest')
 
 echo
-echo "== [4/6] Serve smoke: HTTP endpoint under ASan =="
+echo "== [6/7] Serve smoke: HTTP endpoint under ASan =="
 # serve_demo --smoke starts a server on an ephemeral port, runs GET/POST
 # queries, a deadline query, a malformed query, and /stats over a real
 # socket, then stops the server; ASan turns any leak in the serving path
@@ -87,7 +100,7 @@ cmake --build build-asan -j"${JOBS}" --target serve_demo
 ./build-asan/examples/serve_demo --smoke
 
 echo
-echo "== [5/6] Release bench smoke: BENCH_sql.json + BENCH_serve.json =="
+echo "== [7/7] Release bench smoke: BENCH_sql.json + BENCH_serve.json =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build build-release -j"${JOBS}" --target bench_micro_star bench_serve
 (cd build-release &&

@@ -86,7 +86,9 @@ PersistenceManager::PersistenceManager(Env* env, std::string dir,
       backend_kind_(std::move(backend_kind)),
       wal_options_(wal_options) {}
 
-PersistenceManager::~PersistenceManager() { (void)Close(); }
+PersistenceManager::~PersistenceManager() {
+  IgnoreError(Close(), "destructor: nowhere to report a close failure");
+}
 
 Result<std::unique_ptr<PersistenceManager>> PersistenceManager::Create(
     Env* env, const std::string& dir, const std::string& backend_kind,
@@ -235,7 +237,8 @@ void PersistenceManager::Retire(uint64_t keep_a, uint64_t keep_b) {
     auto seq = ParseSeq(name, kSnapshotPrefix, kSnapshotSuffix);
     if (!seq) seq = ParseSeq(name, kWalPrefix, kWalSuffix);
     if (!seq || *seq == keep_a || *seq == keep_b) continue;
-    (void)env_->RemoveFile(dir_ + "/" + name);  // best-effort
+    IgnoreError(env_->RemoveFile(dir_ + "/" + name),
+                "retention is best-effort; stragglers retire next pass");
   }
 }
 

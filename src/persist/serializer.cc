@@ -304,7 +304,7 @@ void EncodeTable(std::string* out, const sql::Table& table) {
     }
     return Status::OK();
   });
-  (void)scan;  // in-memory scan with an infallible callback cannot fail
+  IgnoreError(scan, "in-memory scan with an infallible callback cannot fail");
 }
 
 Status DecodeTableInto(ByteReader* r, sql::Catalog* catalog) {

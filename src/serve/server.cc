@@ -274,7 +274,8 @@ void SparqlServer::AcceptLoop() {
               {"Retry-After", "1"},
               {"Connection", "close"}});
     resp += body;
-    (void)WriteAll(conn.get(), resp);
+    IgnoreError(WriteAll(conn.get(), resp),
+                "overload shed: the 503 is a courtesy, the close is the point");
   }
 }
 

@@ -34,6 +34,7 @@
 #include "sql/row.h"
 #include "util/arena.h"
 #include "util/mutex.h"
+#include "util/scope_markers.h"
 #include "util/status.h"
 
 namespace rdfrel::sql {
@@ -173,7 +174,10 @@ class SharedJoinBuild {
 ///
 /// The destructor aborts the dispensers and joins every task, so tearing
 /// the tree down early (LIMIT, error, cancel) is always safe.
-class ExchangeOp final : public Operator {
+///
+/// RDFREL_QUERY_SCOPED: the reorder buffer holds rows backed by arena_,
+/// a member — both die together when the operator tree is torn down.
+class RDFREL_QUERY_SCOPED ExchangeOp final : public Operator {
  public:
   struct Pipeline {
     OperatorPtr root;

@@ -51,8 +51,11 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A cheap, movable success-or-error value. The OK state allocates nothing.
 /// [[nodiscard]]: silently dropping a Status loses the only error signal
-/// this library emits; discard explicitly with `(void)expr;` when a failure
-/// is genuinely irrelevant (e.g. best-effort cleanup).
+/// this library emits. When a failure is genuinely irrelevant (best-effort
+/// cleanup, infallible-by-construction calls), discard it with
+/// `IgnoreError(expr, "reason")` — a bare `(void)expr;` is rejected by
+/// rdfrel-lint's status-discipline rule (DESIGN.md §15) because it leaves
+/// nothing greppable behind.
 class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
@@ -195,6 +198,17 @@ class [[nodiscard]] Result {
  private:
   std::variant<T, Status> var_;
 };
+
+/// Deliberately discards an error, leaving a greppable audit trail. The
+/// required \p reason documents *why* the failure doesn't matter ("best-effort
+/// cleanup in destructor", "fallback path already taken"). Prefer this over
+/// `(void)expr;`, which rdfrel-lint's status-discipline rule rejects. The
+/// parameters are intentionally unnamed: the call is the documentation.
+inline void IgnoreError(const Status&, const char* /*reason*/) {}
+
+/// Result<T> overload: discards both the value and the error.
+template <typename T>
+inline void IgnoreError(const Result<T>&, const char* /*reason*/) {}
 
 #define RDFREL_CONCAT_IMPL(x, y) x##y
 #define RDFREL_CONCAT(x, y) RDFREL_CONCAT_IMPL(x, y)

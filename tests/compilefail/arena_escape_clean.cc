@@ -1,0 +1,57 @@
+// rdfrel-lint fixture: arena-escape CLEAN twin. Same shapes as
+// arena_escape_violation.cc, done correctly: arena-backed pointers live in
+// locals that die with the query, or in members of a class that declares
+// its query-bound lifetime with RDFREL_QUERY_SCOPED. Zero diagnostics
+// expected.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/scope_markers.h"
+
+namespace {
+
+class QueryArena {
+ public:
+  void* Allocate(std::size_t n) {
+    buf_.push_back(std::vector<char>(n));
+    return buf_.back().data();
+  }
+
+ private:
+  std::vector<std::vector<char>> buf_;
+};
+
+// The operator owns arena-backed members AND dies with the query — the
+// marker states that contract, so the lint exempts its members.
+class RDFREL_QUERY_SCOPED PerQueryBuffer {
+ public:
+  void Remember(QueryArena* arena) { row_ = arena->Allocate(64); }
+
+  void Push(QueryArena* arena) { rows_.push_back(arena->Allocate(64)); }
+
+ private:
+  void* row_ = nullptr;
+  std::vector<void*> rows_;
+};
+
+// A long-lived type may use the arena freely through locals: nothing
+// arena-backed survives the call.
+class Evaluator {
+ public:
+  bool Scratch(QueryArena* arena) {
+    void* scratch = arena->Allocate(16);
+    return scratch != nullptr;
+  }
+};
+
+}  // namespace
+
+int main() {
+  QueryArena arena;
+  PerQueryBuffer buffer;
+  buffer.Remember(&arena);
+  buffer.Push(&arena);
+  Evaluator ev;
+  return ev.Scratch(&arena) ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// rdfrel-lint fixture: arena-escape VIOLATIONS. Every line tagged with a
+// `lint-expect:` comment must be flagged; the self-test
+// (tests/util/lint_fixture_test.cc) and scripts/lint.sh assert the exact
+// (line, rule) set. The clean twin (arena_escape_clean.cc) shows the same
+// shapes done correctly. The types are minimal stand-ins — the lint keys
+// on project naming (QueryArena, Allocate), not on real headers — but the
+// file must compile with plain g++ as the harness's positive control.
+
+#include <cstddef>
+#include <vector>
+
+namespace {
+
+class QueryArena {
+ public:
+  void* Allocate(std::size_t n) {
+    buf_.push_back(std::vector<char>(n));
+    return buf_.back().data();
+  }
+
+ private:
+  std::vector<std::vector<char>> buf_;
+};
+
+// A long-lived type (think: plan cache, store) hoarding per-query memory.
+class PlanCache {
+ public:
+  void Remember(QueryArena* arena) {
+    row_ = arena->Allocate(64);  // lint-expect: arena-escape
+  }
+
+  void Push(QueryArena* arena) {
+    rows_.push_back(arena->Allocate(64));  // lint-expect: arena-escape
+  }
+
+ private:
+  void* row_ = nullptr;
+  std::vector<void*> rows_;
+};
+
+void StashGlobal(QueryArena* arena) {
+  static void* last_row = arena->Allocate(8);  // lint-expect: arena-escape
+  (void)last_row;
+}
+
+}  // namespace
+
+int main() {
+  QueryArena arena;
+  PlanCache cache;
+  cache.Remember(&arena);
+  cache.Push(&arena);
+  StashGlobal(&arena);
+  return 0;
+}

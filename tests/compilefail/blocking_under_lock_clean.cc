@@ -1,0 +1,60 @@
+// rdfrel-lint fixture: blocking-under-lock CLEAN twin. The same I/O and
+// hand-off as blocking_under_lock_violation.cc, but staged correctly:
+// snapshot state under the lock, release around the blocking call
+// (relockable MutexLock idiom, as in persist/wal.cc FlusherLoop), wait only
+// on the lock's own mutex. Zero diagnostics expected.
+
+#include "util/mutex.h"
+
+namespace {
+
+struct FakeFile {
+  int SyncImpl() { return 0; }
+  int Sync() { return SyncImpl(); }
+};
+
+struct FakePool {
+  void Submit(int /*task*/) {}
+};
+
+class Journal {
+ public:
+  void FlushReleasedAroundIo() {
+    rdfrel::util::MutexLock lock(&mu_);
+    seq_ = seq_ + 1;
+    lock.Unlock();
+    file_.Sync();  // lock released: syncing no longer stalls other threads
+    lock.Lock();
+    synced_seq_ = seq_;
+  }
+
+  void HandOffOutsideLock(FakePool* pool) {
+    int snapshot = 0;
+    {
+      rdfrel::util::MutexLock lock(&mu_);
+      snapshot = seq_;
+    }
+    pool->Submit(snapshot);
+  }
+
+  void WaitOnOwnMutex(rdfrel::util::CondVar* cv) {
+    rdfrel::util::MutexLock lock(&mu_);
+    while (seq_ == 0) cv->Wait(mu_);
+  }
+
+ private:
+  rdfrel::util::Mutex mu_;
+  FakeFile file_;
+  int seq_ RDFREL_GUARDED_BY(mu_) = 0;
+  int synced_seq_ RDFREL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Journal j;
+  j.FlushReleasedAroundIo();
+  FakePool pool;
+  j.HandOffOutsideLock(&pool);
+  return 0;
+}

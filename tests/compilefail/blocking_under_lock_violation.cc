@@ -1,0 +1,53 @@
+// rdfrel-lint fixture: blocking-under-lock VIOLATIONS. Uses the real
+// util/mutex.h primitives (header-only) so the fixture exercises exactly
+// the RAII types the rule matches. Each `lint-expect:` line must be
+// flagged; see blocking_under_lock_clean.cc for the release-around-I/O
+// twin.
+
+#include "util/mutex.h"
+
+namespace {
+
+struct FakeFile {
+  int SyncImpl() { return 0; }
+  int Sync() { return SyncImpl(); }
+};
+
+struct FakePool {
+  void Submit(int /*task*/) {}
+};
+
+class Journal {
+ public:
+  void FlushHoldingLock() {
+    rdfrel::util::MutexLock lock(&mu_);
+    seq_ = seq_ + 1;
+    file_.Sync();  // lint-expect: blocking-under-lock
+  }
+
+  void HandOffHoldingLock(FakePool* pool) {
+    rdfrel::util::MutexLock lock(&mu_);
+    pool->Submit(seq_);  // lint-expect: blocking-under-lock
+  }
+
+  void WaitOnForeignMutex(rdfrel::util::CondVar* cv) {
+    rdfrel::util::MutexLock lock(&mu_);
+    cv->Wait(io_mu_);  // lint-expect: blocking-under-lock
+  }
+
+ private:
+  rdfrel::util::Mutex mu_;
+  rdfrel::util::Mutex io_mu_;
+  FakeFile file_ RDFREL_GUARDED_BY(mu_);
+  int seq_ RDFREL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Journal j;
+  j.FlushHoldingLock();
+  FakePool pool;
+  j.HandOffHoldingLock(&pool);
+  return 0;
+}

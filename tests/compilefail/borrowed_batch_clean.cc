@@ -1,0 +1,61 @@
+// rdfrel-lint fixture: borrowed-batch CLEAN twin. The same consumer shapes
+// as borrowed_batch_violation.cc using the safe idioms: copy row VALUES or
+// index VALUES out of the batch (they survive the producer's next
+// NextBatch), keep scratch copies in locals that die with the call, and
+// pass the batch address only downward into calls. Zero diagnostics
+// expected.
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+class RowBatch {
+ public:
+  int RowAt(std::size_t i) const { return rows_[i]; }
+  const std::vector<uint32_t>& selection() const { return sel_; }
+
+ private:
+  std::vector<int> rows_{0};
+  std::vector<uint32_t> sel_{0};
+};
+
+int Sum(const RowBatch* batch) { return batch->RowAt(0); }
+
+class Pager {
+ public:
+  void CopyRowValue(RowBatch* out) {
+    first_row_ = out->RowAt(0);  // a Row copy owns its storage: safe
+  }
+
+  void CollectRowValues(RowBatch* out) {
+    rows_.push_back(out->RowAt(0));  // value lands in the container: safe
+  }
+
+  void ScratchSelection(RowBatch& batch) {
+    std::vector<uint32_t> scratch(batch.selection());  // dies with the call
+    total_ = total_ + static_cast<int>(scratch.size());
+  }
+
+  void PassDown(RowBatch& batch) {
+    int sum = Sum(&batch);  // address only flows down the stack
+    total_ = total_ + sum;
+  }
+
+ private:
+  int first_row_ = 0;
+  int total_ = 0;
+  std::vector<int> rows_;
+};
+
+}  // namespace
+
+int main() {
+  RowBatch batch;
+  Pager pager;
+  pager.CopyRowValue(&batch);
+  pager.CollectRowValues(&batch);
+  pager.ScratchSelection(batch);
+  pager.PassDown(batch);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// rdfrel-lint fixture: borrowed-batch VIOLATIONS. A RowBatch handed to an
+// operator is valid only until the producer's next NextBatch call; the
+// hazard is address-shaped retention — keeping the batch pointer, a pointer
+// into its storage, or a wholesale copy of its selection vector. Each
+// `lint-expect:` line must be flagged; borrowed_batch_clean.cc shows the
+// value-copy idioms that are safe.
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+class RowBatch {
+ public:
+  int RowAt(std::size_t i) const { return rows_[i]; }
+  const std::vector<uint32_t>& selection() const { return sel_; }
+
+ private:
+  std::vector<int> rows_{0};
+  std::vector<uint32_t> sel_{0};
+};
+
+class Pager {
+ public:
+  void RetainPointer(RowBatch* out) {
+    last_ = out;  // lint-expect: borrowed-batch
+  }
+
+  void RetainRowAddress(RowBatch& batch) {
+    pinned_ = &batch;  // lint-expect: borrowed-batch
+  }
+
+  void RetainSelection(RowBatch* out) {
+    sel_ = out->selection();  // lint-expect: borrowed-batch
+  }
+
+  void CollectSelections(RowBatch* out) {
+    sels_.push_back(out->selection());  // lint-expect: borrowed-batch
+  }
+
+ private:
+  RowBatch* last_ = nullptr;
+  RowBatch* pinned_ = nullptr;
+  std::vector<uint32_t> sel_;
+  std::vector<std::vector<uint32_t>> sels_;
+};
+
+}  // namespace
+
+int main() {
+  RowBatch batch;
+  Pager pager;
+  pager.RetainPointer(&batch);
+  pager.RetainRowAddress(batch);
+  pager.RetainSelection(&batch);
+  pager.CollectSelections(&batch);
+  return 0;
+}

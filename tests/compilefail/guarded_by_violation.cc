@@ -1,6 +1,6 @@
 // Compile-fail input: writes a GUARDED_BY field without holding its mutex.
 // Under clang -Werror=thread-safety this translation unit MUST NOT compile;
-// the harness (tests/threadsafety/CMakeLists.txt and
+// the harness (tests/compilefail/CMakeLists.txt and
 // scripts/check_thread_safety.sh) asserts exactly that.
 
 #include "util/mutex.h"

@@ -1,0 +1,42 @@
+// rdfrel-lint fixture: status-discipline CLEAN twin. The same intentional
+// drops as status_discipline_violation.cc, routed through
+// rdfrel::IgnoreError so every swallowed error carries a greppable reason.
+// Also exercises the `(void)` uses the rule deliberately leaves alone:
+// silencing a genuinely unused non-Status parameter or local. Zero
+// diagnostics expected.
+
+#include "util/status.h"
+
+namespace {
+
+rdfrel::Status MightFail() { return rdfrel::Status::OK(); }
+
+rdfrel::Result<int> MightFailWithValue() { return 7; }
+
+void DropCallResult() {
+  rdfrel::IgnoreError(MightFail(), "fixture: failure is irrelevant here");
+}
+
+void DropStatusVariable() {
+  rdfrel::Status scan = MightFail();
+  rdfrel::IgnoreError(scan, "fixture: best-effort scan");
+}
+
+void DropResultVariable() {
+  rdfrel::Result<int> parsed = MightFailWithValue();
+  rdfrel::IgnoreError(parsed, "fixture: value only needed when present");
+}
+
+void SilenceUnusedParam(int tuning_knob) {
+  (void)tuning_knob;  // not a Status: plain unused-suppression stays legal
+}
+
+}  // namespace
+
+int main() {
+  DropCallResult();
+  DropStatusVariable();
+  DropResultVariable();
+  SilenceUnusedParam(3);
+  return 0;
+}

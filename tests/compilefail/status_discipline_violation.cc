@@ -1,0 +1,37 @@
+// rdfrel-lint fixture: status-discipline VIOLATIONS. `(void)` on a
+// Status-bearing expression swallows the only error signal this library
+// emits, with nothing greppable left behind. Each `lint-expect:` line must
+// be flagged; status_discipline_clean.cc shows the IgnoreError replacement.
+// Uses the real util/status.h so the [[nodiscard]] pressure that tempts
+// people into `(void)` is present for real.
+
+#include "util/status.h"
+
+namespace {
+
+rdfrel::Status MightFail() { return rdfrel::Status::OK(); }
+
+rdfrel::Result<int> MightFailWithValue() { return 7; }
+
+void DropCallResult() {
+  (void)MightFail();  // lint-expect: status-discipline
+}
+
+void DropStatusVariable() {
+  rdfrel::Status scan = MightFail();
+  (void)scan;  // lint-expect: status-discipline
+}
+
+void DropResultVariable() {
+  rdfrel::Result<int> parsed = MightFailWithValue();
+  (void)parsed;  // lint-expect: status-discipline
+}
+
+}  // namespace
+
+int main() {
+  DropCallResult();
+  DropStatusVariable();
+  DropResultVariable();
+  return 0;
+}

@@ -108,5 +108,24 @@ TEST(StatusTest, ReturnNotOkMacro) {
   EXPECT_TRUE(CheckAll(1, -2).IsOutOfRange());
 }
 
+// IgnoreError is the sanctioned way to drop a [[nodiscard]] Status/Result:
+// unlike `(void)expr` it leaves a greppable reason and satisfies
+// rdfrel-lint's status-discipline rule. It must accept temporaries and
+// lvalues of both types without consuming them.
+TEST(StatusTest, IgnoreErrorAcceptsStatusAndResult) {
+  IgnoreError(Status::NotFound("gone"), "test: drop a temporary");
+
+  Status s = Status::Internal("boom");
+  IgnoreError(s, "test: drop an lvalue");
+  EXPECT_TRUE(s.IsInternal());  // the status is untouched, not moved from
+
+  IgnoreError(Result<int>(Status::OutOfRange("neg")),
+              "test: drop a Result temporary");
+  Result<int> r = 41;
+  IgnoreError(r, "test: drop a Result lvalue");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 41);
+}
+
 }  // namespace
 }  // namespace rdfrel

@@ -1,0 +1,131 @@
+#include "compile_commands.h"
+
+#include <cctype>
+
+namespace rdfrel_lint {
+
+namespace {
+
+/// Scans a JSON string literal starting at the opening quote; returns the
+/// decoded text and leaves \p i one past the closing quote.
+std::string ScanString(const std::string& s, size_t* i) {
+  std::string out;
+  size_t j = *i + 1;  // past the opening quote
+  while (j < s.size() && s[j] != '"') {
+    char c = s[j];
+    if (c == '\\' && j + 1 < s.size()) {
+      char e = s[j + 1];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u':
+          // Paths in compile databases are ASCII in practice; keep the
+          // low byte so the entry stays usable either way.
+          if (j + 5 < s.size()) {
+            out += static_cast<char>(
+                std::stoi(s.substr(j + 2, 4), nullptr, 16) & 0xff);
+            j += 4;
+          }
+          break;
+        default: out += e; break;
+      }
+      j += 2;
+      continue;
+    }
+    out += c;
+    ++j;
+  }
+  *i = j < s.size() ? j + 1 : j;
+  return out;
+}
+
+void SkipWs(const std::string& s, size_t* i) {
+  while (*i < s.size() && std::isspace(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+}
+
+}  // namespace
+
+std::vector<CompileEntry> ParseCompileCommands(const std::string& json,
+                                               std::string* error) {
+  std::vector<CompileEntry> out;
+  size_t i = 0;
+  SkipWs(json, &i);
+  if (i >= json.size() || json[i] != '[') {
+    *error = "compile_commands.json: expected a top-level array";
+    return out;
+  }
+  ++i;
+  while (i < json.size()) {
+    SkipWs(json, &i);
+    if (i < json.size() && json[i] == ']') break;
+    if (i < json.size() && json[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i >= json.size() || json[i] != '{') {
+      *error = "compile_commands.json: expected an object";
+      return out;
+    }
+    ++i;
+    CompileEntry entry;
+    // Scan one object: a flat sequence of "key": value pairs where value is
+    // a string or an array of strings ("arguments").
+    while (i < json.size() && json[i] != '}') {
+      SkipWs(json, &i);
+      if (i < json.size() && json[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < json.size() && json[i] == '}') break;
+      if (i >= json.size() || json[i] != '"') {
+        *error = "compile_commands.json: expected a key string";
+        return out;
+      }
+      std::string key = ScanString(json, &i);
+      SkipWs(json, &i);
+      if (i >= json.size() || json[i] != ':') {
+        *error = "compile_commands.json: expected ':' after key";
+        return out;
+      }
+      ++i;
+      SkipWs(json, &i);
+      if (i < json.size() && json[i] == '"') {
+        std::string value = ScanString(json, &i);
+        if (key == "file") entry.file = value;
+        if (key == "directory") entry.directory = value;
+      } else if (i < json.size() && json[i] == '[') {
+        ++i;  // "arguments": skip the array, we only need file+directory
+        while (i < json.size() && json[i] != ']') {
+          SkipWs(json, &i);
+          if (i < json.size() && json[i] == '"') {
+            ScanString(json, &i);
+          } else if (i < json.size() && json[i] != ']') {
+            ++i;
+          }
+        }
+        if (i < json.size()) ++i;
+      } else {
+        // Non-string scalar; skip to the next delimiter.
+        while (i < json.size() && json[i] != ',' && json[i] != '}') ++i;
+      }
+    }
+    if (i < json.size()) ++i;  // past '}'
+    if (!entry.file.empty()) {
+      if (entry.file[0] != '/' && !entry.directory.empty()) {
+        entry.file = entry.directory + "/" + entry.file;
+      }
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+}  // namespace rdfrel_lint

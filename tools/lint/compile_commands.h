@@ -1,0 +1,28 @@
+#ifndef RDFREL_TOOLS_LINT_COMPILE_COMMANDS_H_
+#define RDFREL_TOOLS_LINT_COMPILE_COMMANDS_H_
+
+/// \file compile_commands.h
+/// Just enough JSON to read a CMake-exported compile_commands.json: an
+/// array of objects with string values for "file", "directory" and
+/// "command"/"arguments". No third-party JSON dependency — the whole
+/// grammar this tool needs fits in a page.
+
+#include <string>
+#include <vector>
+
+namespace rdfrel_lint {
+
+struct CompileEntry {
+  std::string file;       ///< as written (possibly relative)
+  std::string directory;  ///< build dir the command runs in
+};
+
+/// Parses \p json (the content of compile_commands.json). Returns entries
+/// with "file" resolved against "directory" when relative. On malformed
+/// input, returns what was parsed so far and sets \p error.
+std::vector<CompileEntry> ParseCompileCommands(const std::string& json,
+                                               std::string* error);
+
+}  // namespace rdfrel_lint
+
+#endif  // RDFREL_TOOLS_LINT_COMPILE_COMMANDS_H_

@@ -1,0 +1,140 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace rdfrel_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](size_t k) -> char {
+    return i + k < n ? source[i + k] : '\0';
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      size_t start = i + 2;
+      size_t end = start;
+      while (end < n && source[end] != '\n') ++end;
+      out.comments.push_back({line, source.substr(start, end - start)});
+      i = end;
+      continue;
+    }
+    // Block comment (may span lines).
+    if (c == '/' && peek(1) == '*') {
+      int start_line = line;
+      size_t start = i + 2;
+      size_t end = start;
+      while (end + 1 < n && !(source[end] == '*' && source[end + 1] == '/')) {
+        if (source[end] == '\n') ++line;
+        ++end;
+      }
+      out.comments.push_back({start_line, source.substr(start, end - start)});
+      i = end + 2 <= n ? end + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: consume to end of line, honoring backslash
+    // continuations (their content never matters to the rules).
+    if (c == '#') {
+      while (i < n && source[i] != '\n') {
+        if (source[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          ++i;  // skip the backslash; the loop ++ skips the newline
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(') delim += source[j++];
+      std::string closer = ")" + delim + "\"";
+      size_t close = source.find(closer, j);
+      int start_line = line;
+      size_t end = close == std::string::npos ? n : close + closer.size();
+      for (size_t k = i; k < end; ++k) {
+        if (source[k] == '\n') ++line;
+      }
+      out.tokens.push_back({TokenKind::kString, "", start_line});
+      i = end;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') ++line;  // unterminated; keep lines honest
+        ++j;
+      }
+      out.tokens.push_back({TokenKind::kString, "", line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      out.tokens.push_back({TokenKind::kIdent, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      // Good enough for stream integrity: digits, dots, exponents, suffixes,
+      // hex. A number never matters to the rules beyond occupying a slot.
+      while (j < n && (IsIdentChar(source[j]) || source[j] == '.' ||
+                       ((source[j] == '+' || source[j] == '-') && j > i &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                         source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokenKind::kNumber, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuators. Multi-char ones the engine matches on.
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back({TokenKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.tokens.push_back({TokenKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace rdfrel_lint
