@@ -1,0 +1,449 @@
+#include "shard/binding_ops.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace rdfrel::shard {
+
+namespace {
+
+using store::Binding;
+using store::ResultSet;
+
+constexpr char kUnit = '\x1f';  // cell separator inside composite keys
+
+std::optional<double> NumericOfTerm(const rdf::Term& t) {
+  if (!t.is_literal()) return std::nullopt;
+  const std::string& lex = t.lexical();
+  if (lex.empty()) return std::nullopt;
+  try {
+    size_t pos = 0;
+    double d = std::stod(lex, &pos);
+    if (pos != lex.size()) return std::nullopt;
+    return d;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// Column indices of \p vars within \p table (npos when absent).
+std::vector<size_t> ColumnIndexes(const ResultSet& table,
+                                  const std::vector<std::string>& vars) {
+  std::vector<size_t> idx(vars.size(), static_cast<size_t>(-1));
+  for (size_t i = 0; i < vars.size(); ++i) {
+    auto it = std::find(table.vars.begin(), table.vars.end(), vars[i]);
+    if (it != table.vars.end()) {
+      idx[i] = static_cast<size_t>(it - table.vars.begin());
+    }
+  }
+  return idx;
+}
+
+/// Composite key over the given columns; requires all of them bound.
+bool BoundKey(const Binding& row, const std::vector<size_t>& cols,
+              std::string* key) {
+  key->clear();
+  for (size_t c : cols) {
+    if (!row[c].has_value()) return false;
+    *key += row[c]->DictionaryKey();
+    *key += kUnit;
+  }
+  return true;
+}
+
+bool Compatible(const Binding& l, const std::vector<size_t>& lcols,
+                const Binding& r, const std::vector<size_t>& rcols) {
+  for (size_t i = 0; i < lcols.size(); ++i) {
+    const auto& a = l[lcols[i]];
+    const auto& b = r[rcols[i]];
+    if (a.has_value() && b.has_value() && !(*a == *b)) return false;
+  }
+  return true;
+}
+
+/// Join scaffolding shared by inner and left join: output schema, the
+/// bound-key hash index over the right side, and the merged-row builder.
+struct JoinContext {
+  std::vector<std::string> shared;
+  std::vector<size_t> lshared, rshared;
+  std::vector<size_t> rextra;      // right columns not shared
+  std::vector<std::string> out_vars;
+  // Right row indices by composite bound key; rows with an unbound shared
+  // cell can match many keys and are probed by compatibility scan instead.
+  std::unordered_map<std::string, std::vector<size_t>> index;
+  std::vector<size_t> wildcards;
+
+  JoinContext(const ResultSet& left, const ResultSet& right) {
+    for (const auto& v : left.vars) {
+      if (std::find(right.vars.begin(), right.vars.end(), v) !=
+          right.vars.end()) {
+        shared.push_back(v);
+      }
+    }
+    lshared = ColumnIndexes(left, shared);
+    rshared = ColumnIndexes(right, shared);
+    for (size_t i = 0; i < right.vars.size(); ++i) {
+      if (std::find(shared.begin(), shared.end(), right.vars[i]) ==
+          shared.end()) {
+        rextra.push_back(i);
+      }
+    }
+    out_vars = left.vars;
+    for (size_t i : rextra) out_vars.push_back(right.vars[i]);
+
+    std::string key;
+    for (size_t r = 0; r < right.rows.size(); ++r) {
+      if (BoundKey(right.rows[r], rshared, &key)) {
+        index[key].push_back(r);
+      } else {
+        wildcards.push_back(r);
+      }
+    }
+  }
+
+  Binding Merge(const Binding& l, const Binding& r) const {
+    Binding out = l;
+    // COALESCE the shared columns: a var unbound on the mandatory side may
+    // be defined by the other side (sql_base.cc CompatMerge).
+    for (size_t i = 0; i < lshared.size(); ++i) {
+      if (!out[lshared[i]].has_value()) out[lshared[i]] = r[rshared[i]];
+    }
+    for (size_t i : rextra) out.push_back(r[i]);
+    return out;
+  }
+
+  /// Invokes \p emit for every right row compatible with \p row.
+  /// Returns the number of matches.
+  template <typename Fn>
+  size_t ForEachMatch(const Binding& row, const ResultSet& right,
+                      Fn&& emit) const {
+    size_t matches = 0;
+    std::string key;
+    if (BoundKey(row, lshared, &key)) {
+      auto it = index.find(key);
+      if (it != index.end()) {
+        for (size_t r : it->second) {
+          ++matches;
+          emit(right.rows[r]);
+        }
+      }
+      for (size_t r : wildcards) {
+        if (Compatible(row, lshared, right.rows[r], rshared)) {
+          ++matches;
+          emit(right.rows[r]);
+        }
+      }
+    } else {
+      for (size_t r = 0; r < right.rows.size(); ++r) {
+        if (Compatible(row, lshared, right.rows[r], rshared)) {
+          ++matches;
+          emit(right.rows[r]);
+        }
+      }
+    }
+    return matches;
+  }
+};
+
+rdf::Term IntTerm(int64_t v) {
+  return rdf::Term::TypedLiteral(std::to_string(v),
+                                 "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+rdf::Term DecimalTerm(double v) {
+  std::ostringstream os;
+  os << v;
+  return rdf::Term::TypedLiteral(os.str(),
+                                 "http://www.w3.org/2001/XMLSchema#decimal");
+}
+
+Result<ResultSet> AggregateTable(const sparql::Query& query,
+                                 const ResultSet& table) {
+  std::vector<size_t> group_cols = ColumnIndexes(table, query.group_by);
+  for (size_t i = 0; i < group_cols.size(); ++i) {
+    if (group_cols[i] == static_cast<size_t>(-1)) {
+      return Status::InvalidArgument("GROUP BY variable ?" +
+                                     query.group_by[i] + " is unbound");
+    }
+  }
+  // Groups in first-encounter order (final order is canonical anyway).
+  std::unordered_map<std::string, size_t> group_of;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    std::string key;
+    for (size_t c : group_cols) {
+      const auto& cell = table.rows[r][c];
+      key += cell.has_value() ? cell->DictionaryKey() : std::string();
+      key += kUnit;
+    }
+    auto [it, inserted] = group_of.try_emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(r);
+  }
+  // SQL yields one global group even over empty input when there is no
+  // GROUP BY (COUNT(*) = 0).
+  if (groups.empty() && query.group_by.empty()) groups.emplace_back();
+
+  ResultSet out;
+  for (const auto& pr : query.projection) out.vars.push_back(pr.OutputName());
+  for (const auto& members : groups) {
+    Binding row;
+    for (const auto& pr : query.projection) {
+      if (pr.agg == sparql::AggKind::kNone) {
+        size_t col = ColumnIndexes(table, {pr.var})[0];
+        if (col == static_cast<size_t>(-1) || members.empty()) {
+          row.emplace_back();
+        } else {
+          row.push_back(table.rows[members[0]][col]);
+        }
+        continue;
+      }
+      if (pr.agg == sparql::AggKind::kCount) {
+        int64_t n = 0;
+        if (pr.star) {
+          n = static_cast<int64_t>(members.size());
+        } else {
+          size_t col = ColumnIndexes(table, {pr.var})[0];
+          if (col != static_cast<size_t>(-1)) {
+            std::unordered_set<std::string> seen;
+            for (size_t r : members) {
+              const auto& cell = table.rows[r][col];
+              if (!cell.has_value()) continue;
+              if (pr.distinct) {
+                if (!seen.insert(cell->DictionaryKey()).second) continue;
+              }
+              ++n;
+            }
+          }
+        }
+        row.push_back(IntTerm(n));
+        continue;
+      }
+      // Numeric aggregates over literal values; non-numeric terms
+      // contribute nothing (they have no lex row), empty set -> unbound.
+      size_t col = ColumnIndexes(table, {pr.var})[0];
+      std::vector<double> vals;
+      std::unordered_set<std::string> seen;
+      if (col != static_cast<size_t>(-1)) {
+        for (size_t r : members) {
+          const auto& cell = table.rows[r][col];
+          if (!cell.has_value()) continue;
+          std::optional<double> num = NumericOfTerm(*cell);
+          if (!num.has_value()) continue;
+          if (pr.distinct && !seen.insert(std::to_string(*num)).second) {
+            continue;
+          }
+          vals.push_back(*num);
+        }
+      }
+      if (vals.empty()) {
+        row.emplace_back();
+        continue;
+      }
+      double acc = vals[0];
+      switch (pr.agg) {
+        case sparql::AggKind::kSum:
+        case sparql::AggKind::kAvg:
+          for (size_t i = 1; i < vals.size(); ++i) acc += vals[i];
+          if (pr.agg == sparql::AggKind::kAvg) {
+            acc /= static_cast<double>(vals.size());
+          }
+          break;
+        case sparql::AggKind::kMin:
+          for (double v : vals) acc = std::min(acc, v);
+          break;
+        case sparql::AggKind::kMax:
+          for (double v : vals) acc = std::max(acc, v);
+          break;
+        default:
+          break;
+      }
+      row.push_back(DecimalTerm(acc));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+ResultSet ProjectTable(const sparql::Query& query, ResultSet table) {
+  const std::vector<std::string> want = query.EffectiveSelectVars();
+  if (want == table.vars) return table;
+  std::vector<size_t> cols = ColumnIndexes(table, want);
+  ResultSet out;
+  out.vars = want;
+  out.rows.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    Binding b;
+    b.reserve(cols.size());
+    for (size_t c : cols) {
+      if (c == static_cast<size_t>(-1)) {
+        b.emplace_back();
+      } else {
+        b.push_back(row[c]);
+      }
+    }
+    out.rows.push_back(std::move(b));
+  }
+  return out;
+}
+
+void DistinctRows(ResultSet* table) {
+  std::unordered_set<std::string> seen;
+  std::vector<Binding> kept;
+  kept.reserve(table->rows.size());
+  for (auto& row : table->rows) {
+    std::string key;
+    for (const auto& cell : row) {
+      key += cell.has_value() ? cell->DictionaryKey() : std::string();
+      key += kUnit;
+    }
+    if (seen.insert(std::move(key)).second) kept.push_back(std::move(row));
+  }
+  table->rows = std::move(kept);
+}
+
+}  // namespace
+
+int CompareTermCanonical(const std::optional<rdf::Term>& a,
+                         const std::optional<rdf::Term>& b) {
+  if (!a.has_value()) return b.has_value() ? -1 : 0;
+  if (!b.has_value()) return 1;
+  if (*a == *b) return 0;
+  return *a < *b ? -1 : 1;
+}
+
+int CompareTermOrdered(const std::optional<rdf::Term>& a,
+                       const std::optional<rdf::Term>& b) {
+  if (!a.has_value()) return b.has_value() ? -1 : 0;
+  if (!b.has_value()) return 1;
+  const std::optional<double> na = NumericOfTerm(*a);
+  const std::optional<double> nb = NumericOfTerm(*b);
+  if (na.has_value() && nb.has_value()) {
+    if (*na < *nb) return -1;
+    if (*nb < *na) return 1;
+    return CompareTermCanonical(a, b);
+  }
+  if (na.has_value()) return -1;  // numeric sorts before non-numeric
+  if (nb.has_value()) return 1;
+  return CompareTermCanonical(a, b);
+}
+
+store::ResultSet JoinTables(store::ResultSet left, store::ResultSet right) {
+  JoinContext ctx(left, right);
+  ResultSet out;
+  out.vars = ctx.out_vars;
+  for (const auto& lrow : left.rows) {
+    ctx.ForEachMatch(lrow, right, [&](const Binding& rrow) {
+      out.rows.push_back(ctx.Merge(lrow, rrow));
+    });
+  }
+  return out;
+}
+
+store::ResultSet LeftJoinTables(store::ResultSet left,
+                                store::ResultSet right) {
+  JoinContext ctx(left, right);
+  ResultSet out;
+  out.vars = ctx.out_vars;
+  for (const auto& lrow : left.rows) {
+    const size_t matches = ctx.ForEachMatch(lrow, right, [&](const Binding& rrow) {
+      out.rows.push_back(ctx.Merge(lrow, rrow));
+    });
+    if (matches == 0) {
+      Binding b = lrow;
+      b.resize(ctx.out_vars.size());
+      out.rows.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+store::ResultSet UnionTables(std::vector<store::ResultSet> tables) {
+  ResultSet out;
+  for (const auto& t : tables) {
+    for (const auto& v : t.vars) {
+      if (std::find(out.vars.begin(), out.vars.end(), v) == out.vars.end()) {
+        out.vars.push_back(v);
+      }
+    }
+  }
+  for (auto& t : tables) {
+    const std::vector<size_t> cols = ColumnIndexes(t, out.vars);
+    for (auto& row : t.rows) {
+      Binding b;
+      b.reserve(out.vars.size());
+      for (size_t c : cols) {
+        if (c == static_cast<size_t>(-1)) {
+          b.emplace_back();
+        } else {
+          b.push_back(std::move(row[c]));
+        }
+      }
+      out.rows.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+Status FilterTable(const std::vector<const sparql::FilterExpr*>& filters,
+                   store::ResultSet* table) {
+  return store::ApplyPostFiltersToRows(filters, table->vars, &table->rows);
+}
+
+void CanonicalSortRows(const std::vector<sparql::OrderCond>& order_by,
+                       store::ResultSet* table) {
+  std::vector<std::pair<size_t, bool>> keys;  // column, descending
+  for (const auto& oc : order_by) {
+    auto it = std::find(table->vars.begin(), table->vars.end(), oc.var);
+    if (it == table->vars.end()) continue;  // engine skips unknown keys too
+    keys.emplace_back(static_cast<size_t>(it - table->vars.begin()),
+                      oc.descending);
+  }
+  std::sort(table->rows.begin(), table->rows.end(),
+            [&](const Binding& a, const Binding& b) {
+              for (const auto& [col, desc] : keys) {
+                int c = CompareTermOrdered(a[col], b[col]);
+                if (c != 0) return desc ? c > 0 : c < 0;
+              }
+              for (size_t i = 0; i < a.size(); ++i) {
+                int c = CompareTermCanonical(a[i], b[i]);
+                if (c != 0) return c < 0;
+              }
+              return false;
+            });
+}
+
+Result<store::ResultSet> FinalizeRows(const sparql::Query& query,
+                                      store::ResultSet table,
+                                      bool apply_limit) {
+  ResultSet out;
+  if (query.HasAggregates()) {
+    RDFREL_ASSIGN_OR_RETURN(out, AggregateTable(query, table));
+  } else {
+    out = ProjectTable(query, std::move(table));
+  }
+  if (query.distinct) DistinctRows(&out);
+  CanonicalSortRows(query.order_by, &out);
+  if (apply_limit) {
+    const size_t off = query.offset.has_value() && *query.offset > 0
+                           ? static_cast<size_t>(*query.offset)
+                           : 0;
+    if (off > 0) {
+      out.rows.erase(out.rows.begin(),
+                     out.rows.begin() +
+                         static_cast<ptrdiff_t>(std::min(off, out.rows.size())));
+    }
+    if (query.limit.has_value() && *query.limit >= 0 &&
+        out.rows.size() > static_cast<size_t>(*query.limit)) {
+      out.rows.resize(static_cast<size_t>(*query.limit));
+    }
+  }
+  return out;
+}
+
+}  // namespace rdfrel::shard

@@ -1,0 +1,86 @@
+#ifndef RDFREL_SHARD_BINDING_OPS_H_
+#define RDFREL_SHARD_BINDING_OPS_H_
+
+/// \file binding_ops.h
+/// Coordinator-side relational algebra over decoded bindings (DESIGN.md
+/// §16). Shards return fragment rows as store::ResultSet tables of decoded
+/// terms (per-shard dictionary ids never cross a shard boundary — they are
+/// not comparable between shards); the coordinator combines those tables
+/// with SPARQL bag semantics:
+///
+///   - JoinTables / LeftJoinTables implement compatible-bindings joins
+///     (shared var unbound on either side is compatible; values merge with
+///     COALESCE), mirroring translate/sql_base.cc's CompatEq/CompatMerge.
+///   - UnionTables is UNION ALL with variable-set widening, mirroring
+///     EmitUnion.
+///   - FinalizeRows applies the tail of the query — aggregates or
+///     projection, DISTINCT, the canonical merge order, OFFSET/LIMIT.
+///
+/// Canonical merge order (the determinism contract, DESIGN.md §16.4):
+/// gathered rows are fully materialized and sorted by the ORDER BY keys
+/// (numeric-aware, unbound-first, matching the SQL engine's NULLs-first /
+/// numeric-before-string Value order) with a whole-row canonical tie-break,
+/// so sharded output is a pure function of the data — independent of shard
+/// count, scatter interleaving, and per-shard dictionary id assignment.
+/// Note this is *stricter* than the single store, whose ORDER BY sorts by
+/// dictionary id (deterministic per store instance, but dependent on id
+/// assignment); the differential suite canonicalizes the single-store rows
+/// with these same helpers before comparing bytes.
+
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "store/result_set.h"
+#include "util/status.h"
+
+namespace rdfrel::shard {
+
+/// Canonical total order on cells: unbound first, then rdf::Term's
+/// (kind, lexical, language, datatype) order. Returns <0, 0, >0.
+int CompareTermCanonical(const std::optional<rdf::Term>& a,
+                         const std::optional<rdf::Term>& b);
+
+/// ORDER BY key order: unbound first, numeric literals before non-numeric
+/// terms and compared by value, everything else canonically. Ties fall
+/// through to the whole-row canonical tie-break in CanonicalSortRows.
+int CompareTermOrdered(const std::optional<rdf::Term>& a,
+                       const std::optional<rdf::Term>& b);
+
+/// Inner join on shared variables, SPARQL compatibility semantics, bag
+/// counts. Cartesian product when no variables are shared.
+store::ResultSet JoinTables(store::ResultSet left, store::ResultSet right);
+
+/// children[0] OPTIONAL-extended by \p right: rows with no compatible
+/// match survive with the right-only columns unbound.
+store::ResultSet LeftJoinTables(store::ResultSet left,
+                                store::ResultSet right);
+
+/// Bag union; output variables are the first-occurrence union of the
+/// inputs' variables, missing columns unbound.
+store::ResultSet UnionTables(std::vector<store::ResultSet> tables);
+
+/// Keeps rows on which every filter evaluates to true (SPARQL error ==
+/// false), via store::EvalFilterOnBinding.
+Status FilterTable(const std::vector<const sparql::FilterExpr*>& filters,
+                   store::ResultSet* table);
+
+/// Sorts rows by \p order_by (CompareTermOrdered per key, DESC honored)
+/// with a whole-row canonical tie-break; pure canonical order when
+/// \p order_by is empty. Deterministic total order in both cases.
+void CanonicalSortRows(const std::vector<sparql::OrderCond>& order_by,
+                       store::ResultSet* table);
+
+/// Applies the query tail to a gathered pattern table: GROUP BY /
+/// aggregates (COUNT over bindings; SUM/MIN/MAX/AVG over the numeric
+/// values of literals, non-numeric skipped, empty set unbound — mirroring
+/// the lex-table SQL of sql_base.cc) or plain projection, then DISTINCT,
+/// canonical sort, and — when \p apply_limit — OFFSET/LIMIT. Tests pass
+/// apply_limit=false to canonicalize a reference result before slicing.
+Result<store::ResultSet> FinalizeRows(const sparql::Query& query,
+                                      store::ResultSet table,
+                                      bool apply_limit = true);
+
+}  // namespace rdfrel::shard
+
+#endif  // RDFREL_SHARD_BINDING_OPS_H_

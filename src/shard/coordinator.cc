@@ -1,0 +1,225 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace rdfrel::shard {
+
+namespace {
+
+using store::QueryOptions;
+using store::ResultSet;
+
+Status CheckControl(const QueryOptions& opts) {
+  if (opts.cancel != nullptr &&
+      opts.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled by caller");
+  }
+  if (opts.deadline.has_value() &&
+      std::chrono::steady_clock::now() > *opts.deadline) {
+    return Status::DeadlineExceeded("query deadline expired");
+  }
+  return Status::OK();
+}
+
+/// Options for a shard sub-query: plan knobs and the control fields pass
+/// through; max_threads is pinned to 1 (see file comment).
+QueryOptions SubQueryOptions(const QueryOptions& opts) {
+  QueryOptions sub = opts;
+  sub.max_threads = 1;
+  sub.scatter_width = 0;
+  return sub;
+}
+
+/// One fragment scatter in progress: result slots plus the gather latch.
+struct GatherState {
+  util::Mutex mu{"shard-gather", util::lock_rank::kShardRouter};
+  util::CondVar cv;
+  size_t remaining RDFREL_GUARDED_BY(mu) = 0;
+  std::vector<Status> statuses;     // slot-indexed; written once per slot
+  std::vector<ResultSet> tables;    // slot-indexed; written once per slot
+};
+
+}  // namespace
+
+Result<ResultSet> Coordinator::Evaluate(const FragmentPlan& plan,
+                                        const QueryOptions& opts) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (!plan.root) return Status::Internal("fragment plan has no root node");
+  RDFREL_ASSIGN_OR_RETURN(ResultSet table, EvalNode(*plan.root, plan, opts));
+  return FinalizeRows(plan.query, std::move(table));
+}
+
+CoordinatorStats Coordinator::stats() const {
+  CoordinatorStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.fragments = fragments_.load(std::memory_order_relaxed);
+  s.subqueries = subqueries_.load(std::memory_order_relaxed);
+  s.rows_gathered = rows_gathered_.load(std::memory_order_relaxed);
+  s.gather_inflight = gather_inflight_.load(std::memory_order_relaxed);
+  s.gather_peak = gather_peak_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Result<ResultSet> Coordinator::EvalNode(const CoordNode& node,
+                                        const FragmentPlan& plan,
+                                        const QueryOptions& opts) {
+  RDFREL_RETURN_NOT_OK(CheckControl(opts));
+  switch (node.kind) {
+    case CoordNodeKind::kScatter:
+      return EvalScatter(plan.fragments[node.fragment], opts);
+    case CoordNodeKind::kJoin:
+      return EvalJoin(node, plan, opts);
+    case CoordNodeKind::kLeftJoin: {
+      RDFREL_ASSIGN_OR_RETURN(ResultSet left,
+                              EvalNode(*node.children[0], plan, opts));
+      RDFREL_ASSIGN_OR_RETURN(ResultSet right,
+                              EvalNode(*node.children[1], plan, opts));
+      return LeftJoinTables(std::move(left), std::move(right));
+    }
+    case CoordNodeKind::kUnion: {
+      std::vector<ResultSet> parts;
+      parts.reserve(node.children.size());
+      for (const auto& c : node.children) {
+        RDFREL_ASSIGN_OR_RETURN(ResultSet t, EvalNode(*c, plan, opts));
+        parts.push_back(std::move(t));
+      }
+      return UnionTables(std::move(parts));
+    }
+    case CoordNodeKind::kFilter: {
+      RDFREL_ASSIGN_OR_RETURN(ResultSet t,
+                              EvalNode(*node.children[0], plan, opts));
+      RDFREL_RETURN_NOT_OK(FilterTable(node.filters, &t));
+      return t;
+    }
+  }
+  return Status::Internal("unhandled coordinator node kind");
+}
+
+Result<ResultSet> Coordinator::EvalJoin(const CoordNode& node,
+                                        const FragmentPlan& plan,
+                                        const QueryOptions& opts) {
+  std::vector<ResultSet> inputs;
+  inputs.reserve(node.children.size());
+  for (const auto& c : node.children) {
+    RDFREL_ASSIGN_OR_RETURN(ResultSet t, EvalNode(*c, plan, opts));
+    inputs.push_back(std::move(t));
+  }
+  // Statistics estimate per child, where the child is a plain scatter; the
+  // estimate breaks actual-size ties so the fold order stays deterministic
+  // and cheap fragments still join first when sizes are equal.
+  std::vector<double> estimates(inputs.size(), -1.0);
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (node.children[i]->kind == CoordNodeKind::kScatter) {
+      estimates[i] = plan.fragments[node.children[i]->fragment].estimated_rows;
+    }
+  }
+  std::vector<size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (inputs[a].rows.size() != inputs[b].rows.size()) {
+      return inputs[a].rows.size() < inputs[b].rows.size();
+    }
+    return estimates[a] >= 0 && estimates[b] >= 0 && estimates[a] < estimates[b];
+  });
+  ResultSet acc = std::move(inputs[order[0]]);
+  for (size_t k = 1; k < order.size(); ++k) {
+    RDFREL_RETURN_NOT_OK(CheckControl(opts));
+    ResultSet& next = inputs[order[k]];
+    // Build the hash index over the smaller table (JoinTables indexes its
+    // second argument) — the broadcast-small-side choice, in-process.
+    if (acc.rows.size() <= next.rows.size()) {
+      acc = JoinTables(std::move(next), std::move(acc));
+    } else {
+      acc = JoinTables(std::move(acc), std::move(next));
+    }
+  }
+  return acc;
+}
+
+Result<ResultSet> Coordinator::EvalScatter(const Fragment& fragment,
+                                           const QueryOptions& opts) {
+  fragments_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint32_t> targets;
+  if (fragment.routed) {
+    targets.push_back(partitioner_.ShardOf(fragment.subject.term));
+  } else {
+    for (uint32_t i = 0; i < shards_.size(); ++i) targets.push_back(i);
+  }
+  const QueryOptions sub = SubQueryOptions(opts);
+
+  // Single target (constant subject, or one shard total): run inline.
+  if (targets.size() == 1) {
+    subqueries_.fetch_add(1, std::memory_order_relaxed);
+    RDFREL_ASSIGN_OR_RETURN(
+        ResultSet t, shards_[targets[0]]->QueryWith(fragment.sparql, sub));
+    rows_gathered_.fetch_add(t.rows.size(), std::memory_order_relaxed);
+    return t;
+  }
+
+  GatherState gather;
+  gather.statuses.assign(targets.size(), Status::OK());
+  gather.tables.resize(targets.size());
+  const size_t width = opts.scatter_width == 0
+                           ? targets.size()
+                           : std::min<size_t>(opts.scatter_width,
+                                              targets.size());
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  for (size_t start = 0; start < targets.size(); start += width) {
+    const size_t end = std::min(targets.size(), start + width);
+    {
+      // Arm the latch before any task can land on it.
+      util::MutexLock lock(&gather.mu);
+      gather.remaining = end - start;
+    }
+    // Submit the wave without holding any coordinator lock...
+    for (size_t i = start; i < end; ++i) {
+      const uint64_t inflight =
+          gather_inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+      uint64_t peak = gather_peak_.load(std::memory_order_relaxed);
+      while (inflight > peak &&
+             !gather_peak_.compare_exchange_weak(peak, inflight,
+                                                 std::memory_order_relaxed)) {
+      }
+      subqueries_.fetch_add(1, std::memory_order_relaxed);
+      store::SparqlStore* shard = shards_[targets[i]];
+      pool.Submit([this, shard, i, &fragment, &sub, &gather] {
+        store::CollectingSink sink;
+        Status st = shard->QueryWith(fragment.sparql, sub, sink);
+        gather_inflight_.fetch_sub(1, std::memory_order_relaxed);
+        util::MutexLock lock(&gather.mu);
+        gather.statuses[i] = std::move(st);
+        gather.tables[i] = std::move(sink.TakeResult());
+        --gather.remaining;
+        gather.cv.NotifyOne();
+      });
+    }
+    // ...then block on the gather latch until the wave lands. The caller
+    // is never a pool worker, so waiting here cannot starve the pool.
+    util::MutexLock lock(&gather.mu);
+    while (gather.remaining > 0) gather.cv.Wait(gather.mu);
+  }
+
+  for (const Status& st : gather.statuses) {
+    RDFREL_RETURN_NOT_OK(st);
+  }
+  ResultSet out;
+  out.vars = fragment.vars;
+  for (ResultSet& t : gather.tables) {
+    if (out.rows.empty()) {
+      out.rows = std::move(t.rows);
+    } else {
+      out.rows.insert(out.rows.end(),
+                      std::make_move_iterator(t.rows.begin()),
+                      std::make_move_iterator(t.rows.end()));
+    }
+  }
+  rows_gathered_.fetch_add(out.rows.size(), std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace rdfrel::shard

@@ -1,0 +1,98 @@
+#ifndef RDFREL_SHARD_COORDINATOR_H_
+#define RDFREL_SHARD_COORDINATOR_H_
+
+/// \file coordinator.h
+/// Scatter-gather execution of a FragmentPlan across in-process shards
+/// (DESIGN.md §16.3).
+///
+/// Scatter: each Scatter leaf sends its fragment text to every target
+/// shard — all shards for a variable subject, exactly the owning shard for
+/// a constant subject — as tasks on the process-wide worker pool
+/// (util::ThreadPool::Global()). Shard sub-queries run with max_threads=1:
+/// parallelism comes from the cross-shard fan-out, and a sub-query that
+/// itself submitted morsel tasks and blocked on them could deadlock the
+/// pool (every worker waiting on tasks stuck behind it in the queues).
+///
+/// Gather: the coordinator thread (never a pool worker) blocks on a
+/// CondVar under the kShardRouter-ranked gather mutex until every
+/// sub-query of the wave lands; tasks take that mutex only to deposit a
+/// result and notify. Pool submission happens before the gather lock is
+/// taken, so no pool lock ever nests inside coordinator locks. Gathered
+/// tables concatenate in shard order — a deterministic intermediate
+/// independent of completion interleaving (the canonical merge sort in
+/// binding_ops.h makes the *final* order data-pure regardless).
+///
+/// Joins between gathered tables run at the coordinator as hash joins
+/// with the smaller actual side as build input (ties broken by the PR-2
+/// statistics estimates that also order the fold), the in-process
+/// degeneration of the broadcast-vs-repartition choice: every "exchange"
+/// is a pointer handoff, so shipping the small side IS building the hash
+/// table over it.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "shard/binding_ops.h"
+#include "shard/fragment.h"
+#include "shard/partition.h"
+#include "store/sparql_store.h"
+#include "util/mutex.h"
+
+namespace rdfrel::shard {
+
+/// Cumulative scatter-gather counters (all monotonic except
+/// gather_inflight, the current depth; gather_peak is its high-water).
+struct CoordinatorStats {
+  uint64_t queries = 0;         ///< coordinator plans evaluated
+  uint64_t fragments = 0;       ///< Scatter leaves executed
+  uint64_t subqueries = 0;      ///< shard sub-queries issued
+  uint64_t rows_gathered = 0;   ///< rows returned by shard sub-queries
+  uint64_t gather_inflight = 0; ///< sub-queries in flight right now
+  uint64_t gather_peak = 0;     ///< high-water of gather_inflight
+};
+
+/// Evaluates FragmentPlans against a fixed set of shard stores. Stateless
+/// between queries apart from the counters; thread-safe (concurrent
+/// Evaluate calls share the pool and the counters).
+class Coordinator {
+ public:
+  /// \p shards are borrowed and must outlive the coordinator.
+  Coordinator(std::vector<store::SparqlStore*> shards, Partitioner partitioner)
+      : shards_(std::move(shards)), partitioner_(partitioner) {}
+
+  /// Runs \p plan and returns the finalized result (projection/aggregates,
+  /// DISTINCT, canonical merge order, OFFSET/LIMIT — see
+  /// binding_ops.h FinalizeRows). Honors opts.deadline / opts.cancel
+  /// between operators and inside shard sub-queries, opts.scatter_width as
+  /// the per-fragment fan-out cap, and forces max_threads=1 on sub-queries.
+  Result<store::ResultSet> Evaluate(const FragmentPlan& plan,
+                                    const store::QueryOptions& opts);
+
+  CoordinatorStats stats() const;
+
+ private:
+  Result<store::ResultSet> EvalNode(const CoordNode& node,
+                                    const FragmentPlan& plan,
+                                    const store::QueryOptions& opts);
+  Result<store::ResultSet> EvalScatter(const Fragment& fragment,
+                                       const store::QueryOptions& opts);
+  Result<store::ResultSet> EvalJoin(const CoordNode& node,
+                                    const FragmentPlan& plan,
+                                    const store::QueryOptions& opts);
+
+  std::vector<store::SparqlStore*> shards_;
+  Partitioner partitioner_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> fragments_{0};
+  std::atomic<uint64_t> subqueries_{0};
+  std::atomic<uint64_t> rows_gathered_{0};
+  std::atomic<uint64_t> gather_inflight_{0};
+  std::atomic<uint64_t> gather_peak_{0};
+};
+
+}  // namespace rdfrel::shard
+
+#endif  // RDFREL_SHARD_COORDINATOR_H_

@@ -1,0 +1,504 @@
+#include "shard/fragment.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace rdfrel::shard {
+
+namespace {
+
+using sparql::FilterExpr;
+using sparql::FilterOp;
+using sparql::Pattern;
+using sparql::PatternKind;
+using sparql::TermOrVar;
+using sparql::TriplePattern;
+
+/// Key identifying a subject node: variables by name, constants by their
+/// dictionary key (kind-tagged, so an IRI and a literal never collide).
+std::string SubjectKey(const TermOrVar& s) {
+  return s.is_var ? "?" + s.var : s.term.DictionaryKey();
+}
+
+void AddVar(std::vector<std::string>* vars, const std::string& v) {
+  if (std::find(vars->begin(), vars->end(), v) == vars->end()) {
+    vars->push_back(v);
+  }
+}
+
+void CollectFilterVars(const FilterExpr& f, std::vector<std::string>* out) {
+  switch (f.op) {
+    case FilterOp::kVar:
+    case FilterOp::kBound:
+      AddVar(out, f.var);
+      return;
+    case FilterOp::kTerm:
+      return;
+    default:
+      if (f.lhs) CollectFilterVars(*f.lhs, out);
+      if (f.rhs) CollectFilterVars(*f.rhs, out);
+      return;
+  }
+}
+
+bool ContainsBound(const FilterExpr& f) {
+  if (f.op == FilterOp::kBound) return true;
+  if (f.lhs && ContainsBound(*f.lhs)) return true;
+  if (f.rhs && ContainsBound(*f.rhs)) return true;
+  return false;
+}
+
+std::string EscapeStringLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string TermOrVarToSparql(const TermOrVar& t) {
+  return t.is_var ? "?" + t.var : t.term.ToNTriples();
+}
+
+std::string TripleToSparql(const TriplePattern& t) {
+  std::string pred = TermOrVarToSparql(t.predicate);
+  if (t.path_mod == sparql::PathMod::kPlus) pred += "+";
+  if (t.path_mod == sparql::PathMod::kStar) pred += "*";
+  return TermOrVarToSparql(t.subject) + " " + pred + " " +
+         TermOrVarToSparql(t.object);
+}
+
+std::string PatternToSparql(const Pattern& p);
+
+/// Serializes a union branch / optional body as a braced group.
+std::string AsGroup(const Pattern& p) {
+  if (p.kind == PatternKind::kAnd) return PatternToSparql(p);
+  return "{ " + PatternToSparql(p) + " }";
+}
+
+std::string PatternToSparql(const Pattern& p) {
+  switch (p.kind) {
+    case PatternKind::kTriple:
+      return TripleToSparql(p.triple);
+    case PatternKind::kOr: {
+      std::string out;
+      for (size_t i = 0; i < p.children.size(); ++i) {
+        if (i) out += " UNION ";
+        out += AsGroup(*p.children[i]);
+      }
+      return out;
+    }
+    case PatternKind::kOptional:
+      return "OPTIONAL " + AsGroup(*p.children[0]);
+    case PatternKind::kAnd: {
+      std::string out = "{";
+      bool prev_triple = false;
+      for (const auto& c : p.children) {
+        if (c->kind == PatternKind::kTriple) {
+          out += prev_triple ? " . " : " ";
+          out += TripleToSparql(c->triple);
+          prev_triple = true;
+        } else {
+          out += " " + PatternToSparql(*c);
+          prev_triple = false;
+        }
+      }
+      for (const auto& f : p.filters) {
+        out += " FILTER (" + FilterToSparql(*f) + ")";
+      }
+      out += " }";
+      return out;
+    }
+  }
+  return "";
+}
+
+double PatternEstimate(const TriplePattern& t, const opt::Statistics& stats,
+                       const rdf::Dictionary& dict) {
+  if (!t.subject.is_var) {
+    const uint64_t id = dict.Lookup(t.subject.term);
+    return id == 0 ? 0.0 : stats.EstimateBySubject(id);
+  }
+  if (!t.predicate.is_var) {
+    const uint64_t id = dict.Lookup(t.predicate.term);
+    return id == 0 ? 0.0
+                   : static_cast<double>(stats.CountByPredicate(id));
+  }
+  return static_cast<double>(stats.total_triples());
+}
+
+/// Builds fragments + coordinator nodes for one kAnd group.
+class Decomposer {
+ public:
+  Decomposer(FragmentPlan* plan, const opt::Statistics* stats,
+             const rdf::Dictionary* dict)
+      : plan_(plan), stats_(stats), dict_(dict) {}
+
+  Result<CoordNodePtr> Build(const Pattern& p) {
+    switch (p.kind) {
+      case PatternKind::kTriple: {
+        if (p.triple.path_mod != sparql::PathMod::kNone) {
+          return Status::Unsupported(
+              "sharded execution: transitive property paths cross shard "
+              "boundaries (pattern t" + std::to_string(p.triple.id) + ")");
+        }
+        std::vector<const TriplePattern*> group{&p.triple};
+        RDFREL_ASSIGN_OR_RETURN(
+            size_t frag, MakeFragment(p.triple.subject, group, {}));
+        return ScatterNode(frag);
+      }
+      case PatternKind::kOr: {
+        auto node = std::make_unique<CoordNode>();
+        node->kind = CoordNodeKind::kUnion;
+        for (const auto& c : p.children) {
+          RDFREL_ASSIGN_OR_RETURN(CoordNodePtr child, Build(*c));
+          node->children.push_back(std::move(child));
+        }
+        return node;
+      }
+      case PatternKind::kOptional:
+        // Reached only when OPTIONAL is the sole content of a group (the
+        // parent kAnd handles the left-join pairing); evaluate the body
+        // as if required — with an empty left side, SPARQL's left join
+        // degenerates to the body itself.
+        return Build(*p.children[0]);
+      case PatternKind::kAnd:
+        return BuildGroup(p);
+    }
+    return Status::Internal("unreachable pattern kind");
+  }
+
+ private:
+  Result<CoordNodePtr> ScatterNode(size_t frag) {
+    auto node = std::make_unique<CoordNode>();
+    node->kind = CoordNodeKind::kScatter;
+    node->fragment = frag;
+    return node;
+  }
+
+  Result<CoordNodePtr> BuildGroup(const Pattern& p) {
+    // 1. Collapse this group's direct triple children into subject stars,
+    //    keyed by subject node, in first-occurrence order.
+    std::vector<std::string> star_order;
+    std::map<std::string, std::vector<const TriplePattern*>> stars;
+    std::map<std::string, TermOrVar> star_subject;
+    for (const auto& c : p.children) {
+      if (c->kind != PatternKind::kTriple) continue;
+      const TriplePattern& t = c->triple;
+      if (t.path_mod != sparql::PathMod::kNone) {
+        return Status::Unsupported(
+            "sharded execution: transitive property paths cross shard "
+            "boundaries (pattern t" + std::to_string(t.id) + ")");
+      }
+      const std::string key = SubjectKey(t.subject);
+      auto [it, inserted] = stars.try_emplace(key);
+      if (inserted) {
+        star_order.push_back(key);
+        star_subject.emplace(key, t.subject);
+      }
+      it->second.push_back(&t);
+    }
+
+    // 2. Partition this group's filters into pushdown candidates (attached
+    //    to the star that produces every variable they mention; BOUND
+    //    stays residual — its semantics belong to the OPTIONAL scope) and
+    //    residual coordinator filters.
+    std::vector<const FilterExpr*> residual;
+    std::map<std::string, std::vector<const FilterExpr*>> pushed;
+    for (const auto& f : p.filters) {
+      std::vector<std::string> fvars;
+      CollectFilterVars(*f, &fvars);
+      const FilterExpr* chosen_star_filter = nullptr;
+      std::string chosen_key;
+      if (!ContainsBound(*f) && !fvars.empty()) {
+        for (const auto& key : star_order) {
+          std::vector<std::string> svars = StarVars(stars[key]);
+          bool covered = true;
+          for (const auto& v : fvars) {
+            if (std::find(svars.begin(), svars.end(), v) == svars.end()) {
+              covered = false;
+              break;
+            }
+          }
+          if (covered) {
+            chosen_star_filter = f.get();
+            chosen_key = key;
+            break;
+          }
+        }
+      }
+      if (chosen_star_filter != nullptr) {
+        pushed[chosen_key].push_back(chosen_star_filter);
+      } else {
+        residual.push_back(f.get());
+      }
+    }
+
+    // 3. Required inputs: star fragments first (subject first-occurrence
+    //    order), then non-triple required children in syntactic order.
+    std::vector<CoordNodePtr> required;
+    for (const auto& key : star_order) {
+      RDFREL_ASSIGN_OR_RETURN(
+          size_t frag,
+          MakeFragment(star_subject.at(key), stars[key], pushed[key]));
+      RDFREL_ASSIGN_OR_RETURN(CoordNodePtr node, ScatterNode(frag));
+      required.push_back(std::move(node));
+    }
+    std::vector<const Pattern*> optionals;
+    for (const auto& c : p.children) {
+      if (c->kind == PatternKind::kTriple) continue;
+      if (c->kind == PatternKind::kOptional) {
+        optionals.push_back(c->children[0].get());
+        continue;
+      }
+      RDFREL_ASSIGN_OR_RETURN(CoordNodePtr node, Build(*c));
+      required.push_back(std::move(node));
+    }
+    if (required.empty() && optionals.empty()) {
+      return Status::InvalidQuery("empty group pattern");
+    }
+
+    CoordNodePtr node;
+    if (required.size() == 1) {
+      node = std::move(required[0]);
+    } else if (!required.empty()) {
+      node = std::make_unique<CoordNode>();
+      node->kind = CoordNodeKind::kJoin;
+      node->children = std::move(required);
+    }
+
+    // 4. OPTIONAL children left-join onto the required part in syntactic
+    //    order. A group that is *only* OPTIONALs left-joins onto the unit
+    //    table — i.e. the first body evaluates as required.
+    for (const Pattern* opt : optionals) {
+      RDFREL_ASSIGN_OR_RETURN(CoordNodePtr body, Build(*opt));
+      if (!node) {
+        node = std::move(body);
+        continue;
+      }
+      auto lj = std::make_unique<CoordNode>();
+      lj->kind = CoordNodeKind::kLeftJoin;
+      lj->children.push_back(std::move(node));
+      lj->children.push_back(std::move(body));
+      node = std::move(lj);
+    }
+
+    if (!residual.empty()) {
+      auto filt = std::make_unique<CoordNode>();
+      filt->kind = CoordNodeKind::kFilter;
+      filt->children.push_back(std::move(node));
+      filt->filters = std::move(residual);
+      node = std::move(filt);
+    }
+    return node;
+  }
+
+  static std::vector<std::string> StarVars(
+      const std::vector<const TriplePattern*>& patterns) {
+    std::vector<std::string> vars;
+    for (const auto* t : patterns) {
+      for (const auto& v : t->Variables()) AddVar(&vars, v);
+    }
+    return vars;
+  }
+
+  Result<size_t> MakeFragment(const TermOrVar& subject,
+                              const std::vector<const TriplePattern*>& group,
+                              std::vector<const FilterExpr*> filters) {
+    Fragment f;
+    f.subject = subject;
+    f.patterns = group;
+    f.pushed_filters = std::move(filters);
+    f.vars = StarVars(group);
+    if (f.vars.empty()) {
+      return Status::Unsupported(
+          "sharded execution: variable-free (boolean) pattern group");
+    }
+    for (const auto* t : group) {
+      if (t->subject.is_var) continue;
+      if (t->subject.term.is_blank()) {
+        return Status::Unsupported(
+            "sharded execution: blank-node subject in query pattern");
+      }
+    }
+    f.routed = !subject.is_var;
+    std::string text = "SELECT";
+    for (const auto& v : f.vars) text += " ?" + v;
+    text += " WHERE {";
+    for (size_t i = 0; i < group.size(); ++i) {
+      text += i ? " . " : " ";
+      text += TripleToSparql(*group[i]);
+    }
+    for (const auto* flt : f.pushed_filters) {
+      text += " FILTER (" + FilterToSparql(*flt) + ")";
+    }
+    text += " }";
+    f.sparql = std::move(text);
+    if (stats_ != nullptr && dict_ != nullptr) {
+      double est = static_cast<double>(stats_->total_triples());
+      for (const auto* t : group) {
+        est = std::min(est, PatternEstimate(*t, *stats_, *dict_));
+      }
+      f.estimated_rows = est;
+    }
+    plan_->fragments.push_back(std::move(f));
+    return plan_->fragments.size() - 1;
+  }
+
+  FragmentPlan* plan_;
+  const opt::Statistics* stats_;
+  const rdf::Dictionary* dict_;
+};
+
+void DumpNode(const CoordNode& n, const FragmentPlan& plan, int indent,
+              std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (n.kind) {
+    case CoordNodeKind::kScatter: {
+      const Fragment& f = plan.fragments[n.fragment];
+      *out += pad + "Scatter f" + std::to_string(n.fragment) +
+              (f.routed ? " [routed]" : " [all shards]");
+      if (f.estimated_rows >= 0) {
+        *out += " est=" + std::to_string(static_cast<long long>(
+                              f.estimated_rows));
+      }
+      *out += ": " + f.sparql + "\n";
+      return;
+    }
+    case CoordNodeKind::kJoin:
+      *out += pad + "Join\n";
+      break;
+    case CoordNodeKind::kLeftJoin:
+      *out += pad + "LeftJoin (OPTIONAL)\n";
+      break;
+    case CoordNodeKind::kUnion:
+      *out += pad + "Union\n";
+      break;
+    case CoordNodeKind::kFilter: {
+      *out += pad + "Filter";
+      for (const auto* f : n.filters) *out += " " + FilterToSparql(*f);
+      *out += "\n";
+      break;
+    }
+  }
+  for (const auto& c : n.children) DumpNode(*c, plan, indent + 1, out);
+}
+
+}  // namespace
+
+std::string FilterToSparql(const FilterExpr& f) {
+  switch (f.op) {
+    case FilterOp::kVar: return "?" + f.var;
+    case FilterOp::kTerm: return f.term.ToNTriples();
+    case FilterOp::kBound: return "BOUND(?" + f.var + ")";
+    case FilterOp::kRegex:
+      return "REGEX(" + FilterToSparql(*f.lhs) + ", \"" +
+             EscapeStringLiteral(f.pattern) + "\")";
+    case FilterOp::kNot: return "(!" + FilterToSparql(*f.lhs) + ")";
+    case FilterOp::kAnd:
+      return "(" + FilterToSparql(*f.lhs) + " && " + FilterToSparql(*f.rhs) +
+             ")";
+    case FilterOp::kOr:
+      return "(" + FilterToSparql(*f.lhs) + " || " + FilterToSparql(*f.rhs) +
+             ")";
+    case FilterOp::kEq:
+      return "(" + FilterToSparql(*f.lhs) + " = " + FilterToSparql(*f.rhs) +
+             ")";
+    case FilterOp::kNe:
+      return "(" + FilterToSparql(*f.lhs) + " != " + FilterToSparql(*f.rhs) +
+             ")";
+    case FilterOp::kLt:
+      return "(" + FilterToSparql(*f.lhs) + " < " + FilterToSparql(*f.rhs) +
+             ")";
+    case FilterOp::kLe:
+      return "(" + FilterToSparql(*f.lhs) + " <= " + FilterToSparql(*f.rhs) +
+             ")";
+    case FilterOp::kGt:
+      return "(" + FilterToSparql(*f.lhs) + " > " + FilterToSparql(*f.rhs) +
+             ")";
+    case FilterOp::kGe:
+      return "(" + FilterToSparql(*f.lhs) + " >= " + FilterToSparql(*f.rhs) +
+             ")";
+  }
+  return "";
+}
+
+std::string QueryToSparql(const sparql::Query& query) {
+  std::string out = "SELECT";
+  if (query.distinct) out += " DISTINCT";
+  if (query.HasAggregates()) {
+    for (const auto& pr : query.projection) {
+      if (pr.agg == sparql::AggKind::kNone) {
+        out += " ?" + pr.var;
+        continue;
+      }
+      const char* name = "COUNT";
+      switch (pr.agg) {
+        case sparql::AggKind::kCount: name = "COUNT"; break;
+        case sparql::AggKind::kSum: name = "SUM"; break;
+        case sparql::AggKind::kMin: name = "MIN"; break;
+        case sparql::AggKind::kMax: name = "MAX"; break;
+        case sparql::AggKind::kAvg: name = "AVG"; break;
+        case sparql::AggKind::kNone: break;
+      }
+      out += " (" + std::string(name) + "(";
+      if (pr.distinct) out += "DISTINCT ";
+      out += pr.star ? "*" : "?" + pr.var;
+      out += ") AS ?" + pr.alias + ")";
+    }
+  } else if (query.select_vars.empty()) {
+    out += " *";
+  } else {
+    for (const auto& v : query.select_vars) out += " ?" + v;
+  }
+  out += " WHERE ";
+  out += query.where ? AsGroup(*query.where) : "{ }";
+  if (!query.group_by.empty()) {
+    out += " GROUP BY";
+    for (const auto& v : query.group_by) out += " ?" + v;
+  }
+  if (!query.order_by.empty()) {
+    out += " ORDER BY";
+    for (const auto& o : query.order_by) {
+      out += o.descending ? " DESC(?" + o.var + ")" : " ?" + o.var;
+    }
+  }
+  if (query.limit.has_value()) {
+    out += " LIMIT " + std::to_string(*query.limit);
+  }
+  if (query.offset.has_value()) {
+    out += " OFFSET " + std::to_string(*query.offset);
+  }
+  return out;
+}
+
+std::string FragmentPlan::ToString() const {
+  std::string out;
+  out += "fragments: " + std::to_string(fragments.size()) + "\n";
+  if (root) DumpNode(*root, *this, 0, &out);
+  return out;
+}
+
+Result<FragmentPlan> DecomposeQuery(sparql::Query query,
+                                    const opt::Statistics* stats,
+                                    const rdf::Dictionary* dict) {
+  FragmentPlan plan;
+  plan.query = std::move(query);
+  if (!plan.query.where) {
+    return Status::InvalidQuery("query has no WHERE pattern");
+  }
+  Decomposer d(&plan, stats, dict);
+  RDFREL_ASSIGN_OR_RETURN(plan.root, d.Build(*plan.query.where));
+  return plan;
+}
+
+}  // namespace rdfrel::shard

@@ -1,0 +1,117 @@
+#ifndef RDFREL_SHARD_FRAGMENT_H_
+#define RDFREL_SHARD_FRAGMENT_H_
+
+/// \file fragment.h
+/// Query fragmentation for scatter-gather execution (DESIGN.md §16).
+///
+/// The coordinator decomposes a parsed SPARQL query into *fragments*: each
+/// fragment is a single-subject star — every triple pattern in it shares
+/// one subject node (same variable, or the same constant term) — re-
+/// serialized as a standalone, backend-agnostic SPARQL text. Subject
+/// hash-partitioning makes a star subject-local (see partition.h), so a
+/// fragment evaluates exactly by scattering its text to every shard (or to
+/// the one owning shard, when the subject is a constant) and unioning the
+/// gathered rows. Everything *between* fragments — joins on shared
+/// variables, left joins for OPTIONAL, unions, residual filters, DISTINCT,
+/// ORDER/LIMIT — runs at the coordinator over decoded bindings.
+///
+/// Fragments are deliberately plain text + options ("sendable"): a shard
+/// executes one through the ordinary SparqlStore::QueryWith surface, which
+/// keeps the protocol identical for all three backends and lets every
+/// shard's own plan cache, vectorized executor and morsel layer do the
+/// heavy lifting. FILTERs whose variables are fully produced by one
+/// fragment (and which do not involve BOUND — its semantics belong to the
+/// enclosing OPTIONAL scope) are pushed down into the fragment text, so
+/// shards filter before the gather instead of after it.
+///
+/// The decomposition is a tree of CoordNodes mirroring the query's
+/// AND/UNION/OPTIONAL structure with stars collapsed into Scatter leaves.
+/// FragmentPlan owns the parsed Query; nodes reference its heap-allocated
+/// pattern and filter nodes, which are address-stable under moves (the
+/// same contract store::CachedPlan relies on).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/statistics.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace rdfrel::shard {
+
+/// One scatterable star: patterns sharing a single subject node.
+struct Fragment {
+  /// The shared subject (variable or constant term).
+  sparql::TermOrVar subject;
+  /// Patterns of this star, in parse order (borrowed from the plan's Query).
+  std::vector<const sparql::TriplePattern*> patterns;
+  /// Filters pushed into the fragment text (borrowed).
+  std::vector<const sparql::FilterExpr*> pushed_filters;
+  /// Variables this fragment produces, in first-occurrence order.
+  std::vector<std::string> vars;
+  /// The standalone SPARQL text sent to shards:
+  /// `SELECT ?v... WHERE { patterns . FILTER ... }`.
+  std::string sparql;
+  /// Statistics-based cardinality estimate (rows), used to order joins
+  /// before any fragment has executed. Negative = no estimate.
+  double estimated_rows = -1.0;
+  /// True when `subject` is a constant: the scatter targets only the
+  /// owning shard instead of all shards.
+  bool routed = false;
+};
+
+enum class CoordNodeKind {
+  kScatter,   ///< leaf: evaluate one Fragment across the shards
+  kJoin,      ///< hash-join children on shared vars (cartesian when none)
+  kLeftJoin,  ///< children[0] OPTIONAL-extended by children[1..]
+  kUnion,     ///< bag union of children (UNION branches)
+  kFilter,    ///< residual FILTERs over children[0]
+};
+
+struct CoordNode;
+using CoordNodePtr = std::unique_ptr<CoordNode>;
+
+/// A node of the coordinator-side plan.
+struct CoordNode {
+  CoordNodeKind kind = CoordNodeKind::kScatter;
+  /// kScatter: index into FragmentPlan::fragments.
+  size_t fragment = 0;
+  std::vector<CoordNodePtr> children;
+  /// kFilter: the residual filters (borrowed from the plan's Query).
+  std::vector<const sparql::FilterExpr*> filters;
+};
+
+/// The complete coordinator plan for one query. Immutable after build and
+/// shared via shared_ptr from the coordinator's plan cache.
+struct FragmentPlan {
+  sparql::Query query;  ///< owns every pattern/filter the nodes reference
+  std::vector<Fragment> fragments;
+  CoordNodePtr root;
+
+  /// Pretty tree dump for Explain / debugging.
+  std::string ToString() const;
+};
+
+/// Decomposes \p query (consumed) into a FragmentPlan. \p stats and
+/// \p dict, when non-null, provide the PR-2 statistics used to estimate
+/// fragment cardinalities (join ordering); the plan is correct without
+/// them. Fails with kUnsupported for constructs that cannot be made
+/// subject-local (transitive property paths — their closures cross
+/// shards).
+Result<FragmentPlan> DecomposeQuery(sparql::Query query,
+                                    const opt::Statistics* stats,
+                                    const rdf::Dictionary* dict);
+
+/// Serializes a parsed query back to parseable SPARQL (full IRIs, no
+/// prologue). Used for fragment texts and by tests to strip modifiers.
+std::string QueryToSparql(const sparql::Query& query);
+
+/// Serializes one filter expression in the parser's accepted syntax.
+std::string FilterToSparql(const sparql::FilterExpr& f);
+
+}  // namespace rdfrel::shard
+
+#endif  // RDFREL_SHARD_FRAGMENT_H_

@@ -1,0 +1,216 @@
+#include "shard/fragment_verifier.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sparql/parser.h"
+
+namespace rdfrel::shard {
+
+namespace {
+
+using sparql::FilterExpr;
+using sparql::FilterOp;
+using sparql::TriplePattern;
+
+Status Fail(const std::string& path, const std::string& what) {
+  return Status::InternalPlanError(path + ": " + what);
+}
+
+std::string SubjectKeyOf(const sparql::TermOrVar& s) {
+  return s.is_var ? "?" + s.var : s.term.DictionaryKey();
+}
+
+void CollectVars(const FilterExpr& f, std::vector<std::string>* out) {
+  if (f.op == FilterOp::kVar || f.op == FilterOp::kBound) {
+    out->push_back(f.var);
+    return;
+  }
+  if (f.lhs) CollectVars(*f.lhs, out);
+  if (f.rhs) CollectVars(*f.rhs, out);
+}
+
+bool HasBound(const FilterExpr& f) {
+  if (f.op == FilterOp::kBound) return true;
+  return (f.lhs && HasBound(*f.lhs)) || (f.rhs && HasBound(*f.rhs));
+}
+
+Status VerifyFragment(const Fragment& f, const std::string& path) {
+  if (f.patterns.empty()) return Fail(path, "fragment has no patterns");
+  if (f.vars.empty()) {
+    return Fail(path, "fragment produces no variables");
+  }
+  const std::string subject_key = SubjectKeyOf(f.subject);
+  std::vector<std::string> expect_vars;
+  for (const TriplePattern* t : f.patterns) {
+    if (t == nullptr) return Fail(path, "null pattern pointer");
+    if (t->path_mod != sparql::PathMod::kNone) {
+      return Fail(path, "transitive path modifier survived decomposition");
+    }
+    if (SubjectKeyOf(t->subject) != subject_key) {
+      return Fail(path, "pattern t" + std::to_string(t->id) +
+                            " does not share the star subject " +
+                            f.subject.ToString());
+    }
+    for (const auto& v : t->Variables()) {
+      if (std::find(expect_vars.begin(), expect_vars.end(), v) ==
+          expect_vars.end()) {
+        expect_vars.push_back(v);
+      }
+    }
+  }
+  if (expect_vars != f.vars) {
+    return Fail(path, "variable list is not the first-occurrence set of "
+                      "the fragment's patterns");
+  }
+  if (f.routed == f.subject.is_var) {
+    return Fail(path, f.routed ? "routed fragment with variable subject"
+                               : "constant-subject fragment not routed");
+  }
+  for (const FilterExpr* flt : f.pushed_filters) {
+    if (flt == nullptr) return Fail(path, "null pushed filter");
+    if (HasBound(*flt)) {
+      return Fail(path, "BOUND pushed below its OPTIONAL scope");
+    }
+    std::vector<std::string> fvars;
+    CollectVars(*flt, &fvars);
+    for (const auto& v : fvars) {
+      if (std::find(f.vars.begin(), f.vars.end(), v) == f.vars.end()) {
+        return Fail(path, "pushed filter mentions ?" + v +
+                              ", which the fragment does not produce");
+      }
+    }
+  }
+  // Sendability round-trip: the text must parse back to a query with
+  // exactly this fragment's pattern count and variable list.
+  if (f.sparql.empty()) return Fail(path, "empty fragment SPARQL text");
+  Result<sparql::Query> reparsed = sparql::ParseQuery(f.sparql);
+  if (!reparsed.ok()) {
+    return Fail(path, "fragment text does not re-parse: " +
+                          reparsed.status().ToString());
+  }
+  if (static_cast<size_t>(reparsed->num_triples) != f.patterns.size()) {
+    return Fail(path, "fragment text re-parses to " +
+                          std::to_string(reparsed->num_triples) +
+                          " patterns, fragment holds " +
+                          std::to_string(f.patterns.size()));
+  }
+  if (reparsed->EffectiveSelectVars() != f.vars) {
+    return Fail(path, "fragment text projects a different variable list");
+  }
+  return Status::OK();
+}
+
+Status VerifyNode(const CoordNode& node, const FragmentPlan& plan,
+                  const std::string& path,
+                  std::vector<size_t>* scatter_refs) {
+  switch (node.kind) {
+    case CoordNodeKind::kScatter: {
+      if (!node.children.empty()) {
+        return Fail(path, "Scatter leaf has children");
+      }
+      if (node.fragment >= plan.fragments.size()) {
+        return Fail(path, "fragment index f" + std::to_string(node.fragment) +
+                              " out of range");
+      }
+      scatter_refs->push_back(node.fragment);
+      return Status::OK();
+    }
+    case CoordNodeKind::kJoin:
+    case CoordNodeKind::kUnion: {
+      const char* kind =
+          node.kind == CoordNodeKind::kJoin ? "join" : "union";
+      if (node.children.size() < 2) {
+        return Fail(path, std::string(kind) + " with fewer than 2 children");
+      }
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (!node.children[i]) return Fail(path, "null child");
+        RDFREL_RETURN_NOT_OK(VerifyNode(
+            *node.children[i], plan,
+            path + "." + kind + "[" + std::to_string(i) + "]",
+            scatter_refs));
+      }
+      return Status::OK();
+    }
+    case CoordNodeKind::kLeftJoin: {
+      if (node.children.size() != 2) {
+        return Fail(path, "left join must have exactly 2 children");
+      }
+      for (size_t i = 0; i < 2; ++i) {
+        if (!node.children[i]) return Fail(path, "null child");
+        RDFREL_RETURN_NOT_OK(VerifyNode(
+            *node.children[i], plan,
+            path + ".leftjoin[" + std::to_string(i) + "]", scatter_refs));
+      }
+      return Status::OK();
+    }
+    case CoordNodeKind::kFilter: {
+      if (node.children.size() != 1 || !node.children[0]) {
+        return Fail(path, "filter must have exactly 1 child");
+      }
+      if (node.filters.empty()) {
+        return Fail(path, "filter node with no residual filters");
+      }
+      for (const auto* f : node.filters) {
+        if (f == nullptr) return Fail(path, "null residual filter");
+      }
+      return VerifyNode(*node.children[0], plan, path + ".filter",
+                        scatter_refs);
+    }
+  }
+  return Fail(path, "unknown node kind");
+}
+
+}  // namespace
+
+Status VerifyFragmentPlan(const FragmentPlan& plan) {
+  const std::string root = "shardplan";
+  if (!plan.root) return Fail(root, "plan has no root node");
+  if (!plan.query.where) return Fail(root, "plan query has no pattern");
+
+  for (size_t i = 0; i < plan.fragments.size(); ++i) {
+    RDFREL_RETURN_NOT_OK(
+        VerifyFragment(plan.fragments[i], root + ".f" + std::to_string(i)));
+  }
+
+  std::vector<size_t> scatter_refs;
+  RDFREL_RETURN_NOT_OK(VerifyNode(*plan.root, plan, root, &scatter_refs));
+
+  // Every fragment referenced by exactly one reachable Scatter leaf.
+  std::vector<size_t> ref_counts(plan.fragments.size(), 0);
+  for (size_t f : scatter_refs) ref_counts[f]++;
+  for (size_t i = 0; i < ref_counts.size(); ++i) {
+    if (ref_counts[i] != 1) {
+      return Fail(root, "fragment f" + std::to_string(i) + " referenced " +
+                            std::to_string(ref_counts[i]) +
+                            " times (want exactly 1)");
+    }
+  }
+
+  // Every triple pattern of the query covered by exactly one fragment.
+  std::vector<const TriplePattern*> query_triples;
+  plan.query.where->CollectTriples(&query_triples);
+  std::set<const TriplePattern*> want(query_triples.begin(),
+                                      query_triples.end());
+  std::set<const TriplePattern*> got;
+  size_t total = 0;
+  for (const auto& f : plan.fragments) {
+    for (const TriplePattern* t : f.patterns) {
+      if (!got.insert(t).second) {
+        return Fail(root, "pattern t" + std::to_string(t->id) +
+                              " covered by more than one fragment");
+      }
+      ++total;
+    }
+  }
+  if (got != want || total != query_triples.size()) {
+    return Fail(root, "fragments cover " + std::to_string(total) +
+                          " patterns, query has " +
+                          std::to_string(query_triples.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace rdfrel::shard

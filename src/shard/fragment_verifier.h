@@ -1,0 +1,42 @@
+#ifndef RDFREL_SHARD_FRAGMENT_VERIFIER_H_
+#define RDFREL_SHARD_FRAGMENT_VERIFIER_H_
+
+/// \file fragment_verifier.h
+/// Structural invariant verification for coordinator fragment plans — the
+/// sharded analogue of opt/plan_verifier.h (DESIGN.md §8, §16).
+///
+/// A FragmentPlan is trusted by the coordinator: a violated invariant
+/// produces silently wrong merged results (a triple answered twice, a
+/// fragment that is not subject-local, a filter pushed below the OPTIONAL
+/// whose BOUND it observes). The verifier re-checks, per plan:
+///
+///   * coverage — every triple pattern of the query appears in exactly one
+///     fragment, and every fragment is referenced by exactly one Scatter
+///     leaf reachable from the root;
+///   * star shape — all patterns of a fragment share one subject node
+///     (same variable or same constant term), `routed` is set iff that
+///     subject is a constant, no transitive path modifiers survive;
+///   * sendability — the fragment's SPARQL text re-parses and contains
+///     exactly the fragment's patterns (round-trip), its variable list is
+///     the first-occurrence variable set of its patterns;
+///   * pushdown soundness — pushed filters mention only fragment-produced
+///     variables and never BOUND;
+///   * node arity — Scatter is a leaf with an in-range fragment index,
+///     LeftJoin has exactly two children, Join/Union at least two, Filter
+///     exactly one child and at least one residual filter.
+///
+/// Failures return Status::InternalPlanError with a dotted path
+/// ("shardplan.union[1].scatter.f2"); always a decomposer bug, never user
+/// error. Callers gate on QueryOptions::verify_plans /
+/// util::VerifyPlansEnabled(), like every other verifier.
+
+#include "shard/fragment.h"
+#include "util/status.h"
+
+namespace rdfrel::shard {
+
+Status VerifyFragmentPlan(const FragmentPlan& plan);
+
+}  // namespace rdfrel::shard
+
+#endif  // RDFREL_SHARD_FRAGMENT_VERIFIER_H_

@@ -1,0 +1,87 @@
+#include "shard/manifest.h"
+
+#include <cstdio>
+#include <memory>
+#include <string_view>
+
+#include "persist/coding.h"
+#include "persist/crc32c.h"
+
+namespace rdfrel::shard {
+
+namespace {
+constexpr std::string_view kMagic = "RDFMANI1";
+}  // namespace
+
+std::string Manifest::Encode() const {
+  std::string body;
+  body.append(kMagic);
+  persist::PutU32(&body, kFormatVersion);
+  persist::PutU64(&body, generation);
+  persist::PutU32(&body, shard_count);
+  persist::PutU64(&body, partition_seed);
+  persist::PutString(&body, backend_kind);
+  persist::PutU32(&body, persist::MaskCrc(persist::Crc32c(body)));
+  return body;
+}
+
+Result<Manifest> Manifest::Decode(std::string_view data) {
+  if (data.size() < kMagic.size() + 4 ||
+      data.substr(0, kMagic.size()) != kMagic) {
+    return Status::DataLoss("coordinator manifest: bad magic");
+  }
+  const size_t body_end = data.size() - 4;
+  persist::ByteReader footer(data.substr(body_end));
+  RDFREL_ASSIGN_OR_RETURN(uint32_t stored_crc, footer.ReadU32());
+  if (persist::UnmaskCrc(stored_crc) !=
+      persist::Crc32c(data.substr(0, body_end))) {
+    return Status::DataLoss("coordinator manifest: CRC32C mismatch");
+  }
+  persist::ByteReader r(data.substr(kMagic.size(), body_end - kMagic.size()));
+  Manifest m;
+  RDFREL_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return Status::DataLoss("coordinator manifest: unknown format version " +
+                            std::to_string(version));
+  }
+  RDFREL_ASSIGN_OR_RETURN(m.generation, r.ReadU64());
+  RDFREL_ASSIGN_OR_RETURN(m.shard_count, r.ReadU32());
+  RDFREL_ASSIGN_OR_RETURN(m.partition_seed, r.ReadU64());
+  RDFREL_ASSIGN_OR_RETURN(std::string_view kind, r.ReadString());
+  m.backend_kind = std::string(kind);
+  if (!r.AtEnd()) {
+    return Status::DataLoss("coordinator manifest: trailing garbage");
+  }
+  if (m.shard_count == 0) {
+    return Status::DataLoss("coordinator manifest: zero shard count");
+  }
+  return m;
+}
+
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+
+std::string ShardDirPath(const std::string& dir, uint32_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%03u", index);
+  return dir + "/" + buf;
+}
+
+Result<Manifest> ReadManifest(persist::Env* env, const std::string& dir) {
+  RDFREL_ASSIGN_OR_RETURN(std::string data,
+                          env->ReadFile(ManifestPath(dir)));
+  return Manifest::Decode(data);
+}
+
+Status WriteManifest(persist::Env* env, const std::string& dir,
+                     const Manifest& manifest) {
+  const std::string path = ManifestPath(dir);
+  const std::string tmp = path + ".tmp";
+  RDFREL_ASSIGN_OR_RETURN(std::unique_ptr<persist::WritableFile> f,
+                          env->NewWritableFile(tmp, /*truncate=*/true));
+  RDFREL_RETURN_NOT_OK(f->Append(manifest.Encode()));
+  RDFREL_RETURN_NOT_OK(f->Sync());
+  RDFREL_RETURN_NOT_OK(f->Close());
+  return env->RenameFile(tmp, path);
+}
+
+}  // namespace rdfrel::shard

@@ -1,0 +1,71 @@
+#ifndef RDFREL_SHARD_MANIFEST_H_
+#define RDFREL_SHARD_MANIFEST_H_
+
+/// \file manifest.h
+/// The coordinator manifest: the one file in a sharded store directory
+/// that belongs to the coordinator rather than to a shard (DESIGN.md §16).
+///
+/// Layout of a persisted sharded store:
+///
+///   <dir>/MANIFEST          this file (tmp + fsync + rename on update)
+///   <dir>/shard-000/        a complete PR-4 persistence unit
+///   <dir>/shard-001/        (snapshot generations + WAL, per shard)
+///   ...
+///
+/// The manifest records the *placement contract* — shard count, partition
+/// seed, backend kind — plus a generation stamp that the coordinator bumps
+/// after every successful multi-shard checkpoint (and after recovery).
+/// Placement fields are immutable for the lifetime of the directory:
+/// recovery refuses a manifest whose shard count or seed cannot be honored,
+/// because opening the shards under a different partition function would
+/// silently misroute every future write.
+///
+/// Crash consistency: each shard's checkpoint is atomic on its own (PR-4
+/// two-generation rotation), and each shard's WAL independently holds every
+/// acknowledged mutation. A crash in the middle of a multi-shard checkpoint
+/// therefore leaves shards at *mixed snapshot generations but one logical
+/// commit point*: per-shard recovery (snapshot + WAL replay) restores each
+/// shard's full acknowledged state regardless of whether its checkpoint ran.
+/// The manifest generation is deliberately stamped LAST, so a torn
+/// checkpoint is visible as `manifest.generation < max(shard generations)`;
+/// recovery logs the tear, re-opens every shard, and re-stamps.
+
+#include <cstdint>
+#include <string>
+
+#include "persist/env.h"
+#include "util/status.h"
+
+namespace rdfrel::shard {
+
+struct Manifest {
+  static constexpr uint32_t kFormatVersion = 1;
+
+  uint64_t generation = 1;
+  uint32_t shard_count = 0;
+  uint64_t partition_seed = 0;
+  std::string backend_kind;  ///< "db2rdf" | "triple" | "predicate"
+
+  /// Serialized byte image (magic, version, fields, masked CRC32C).
+  std::string Encode() const;
+
+  /// Parses and CRC-verifies an image. kDataLoss on any corruption.
+  static Result<Manifest> Decode(std::string_view data);
+};
+
+/// MANIFEST path inside a sharded store directory.
+std::string ManifestPath(const std::string& dir);
+
+/// "shard-000"-style subdirectory path for shard \p index.
+std::string ShardDirPath(const std::string& dir, uint32_t index);
+
+/// Reads and verifies <dir>/MANIFEST.
+Result<Manifest> ReadManifest(persist::Env* env, const std::string& dir);
+
+/// Atomically (tmp + fsync + rename) writes <dir>/MANIFEST.
+Status WriteManifest(persist::Env* env, const std::string& dir,
+                     const Manifest& manifest);
+
+}  // namespace rdfrel::shard
+
+#endif  // RDFREL_SHARD_MANIFEST_H_

@@ -1,0 +1,65 @@
+#ifndef RDFREL_SHARD_PARTITION_H_
+#define RDFREL_SHARD_PARTITION_H_
+
+/// \file partition.h
+/// Subject hash-partitioning for the sharded store (DESIGN.md §16).
+///
+/// The partition key of a triple is its *subject*: every triple whose
+/// subject is the term S lives in shard `Hash(canonical(S), seed) % N`.
+/// The hash runs over the subject's canonical N-Triples serialization, so
+/// placement is a pure function of (term, seed, shard count) — stable
+/// across processes, restarts and per-shard dictionary id assignment
+/// (each shard owns an independent dictionary, so ids are NOT comparable
+/// across shards; canonical strings are).
+///
+/// Subject-locality is what makes star scatter-gather correct: a star
+/// query anchored at one subject draws every one of its triples from a
+/// single shard, so scattering the star to all shards and unioning the
+/// gathered rows loses nothing and duplicates nothing.
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/term.h"
+#include "util/hash.h"
+
+namespace rdfrel::shard {
+
+/// Default seed for the partition hash. Changing the seed (or the shard
+/// count) changes placement, so both are stamped into the coordinator
+/// manifest and validated on recovery.
+inline constexpr uint64_t kDefaultPartitionSeed = 0x52444652454C5348ULL;
+
+/// The subject-hash partitioner. Cheap value type; copies are fine.
+class Partitioner {
+ public:
+  Partitioner(uint32_t num_shards, uint64_t seed)
+      : num_shards_(num_shards == 0 ? 1 : num_shards), seed_(seed) {}
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Shard owning subject \p term.
+  uint32_t ShardOf(const rdf::Term& term) const {
+    return ShardOfKey(term.ToNTriples());
+  }
+
+  /// Shard owning a subject given its canonical N-Triples form.
+  uint32_t ShardOfKey(const std::string& canonical) const {
+    return static_cast<uint32_t>(Mix64(Fnv1a64(canonical) ^ seed_) %
+                                 num_shards_);
+  }
+
+  /// Shard owning triple \p t (routes by subject).
+  uint32_t ShardOfTriple(const rdf::Triple& t) const {
+    return ShardOf(t.subject);
+  }
+
+ private:
+  uint32_t num_shards_;
+  uint64_t seed_;
+};
+
+}  // namespace rdfrel::shard
+
+#endif  // RDFREL_SHARD_PARTITION_H_

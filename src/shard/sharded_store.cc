@@ -1,0 +1,417 @@
+#include "shard/sharded_store.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "persist/env.h"
+#include "shard/fragment_verifier.h"
+#include "sparql/parser.h"
+#include "store/open.h"
+#include "store/predicate_store_backend.h"
+#include "store/triple_store_backend.h"
+#include "util/verify.h"
+
+namespace rdfrel::shard {
+
+namespace {
+
+using store::PersistOptions;
+using store::QueryOptions;
+using store::ResultSet;
+
+/// Rows per OnRows block when streaming the finalized result out.
+constexpr size_t kStreamBatchRows = 1024;
+
+Result<std::unique_ptr<store::SparqlStore>> LoadShard(
+    const std::string& backend, rdf::Graph graph) {
+  if (backend == store::RdfStore::kBackendKind) {
+    RDFREL_ASSIGN_OR_RETURN(auto s, store::RdfStore::Load(std::move(graph)));
+    return std::unique_ptr<store::SparqlStore>(std::move(s));
+  }
+  if (backend == store::TripleStoreBackend::kBackendKind) {
+    RDFREL_ASSIGN_OR_RETURN(auto s,
+                            store::TripleStoreBackend::Load(std::move(graph)));
+    return std::unique_ptr<store::SparqlStore>(std::move(s));
+  }
+  if (backend == store::PredicateStoreBackend::kBackendKind) {
+    RDFREL_ASSIGN_OR_RETURN(
+        auto s, store::PredicateStoreBackend::Load(std::move(graph)));
+    return std::unique_ptr<store::SparqlStore>(std::move(s));
+  }
+  return Status::InvalidArgument("unknown shard backend kind '" + backend +
+                                 "'");
+}
+
+Status EnableShardPersistence(store::SparqlStore* shard,
+                              const std::string& dir,
+                              const PersistOptions& opts) {
+  if (auto* s = dynamic_cast<store::RdfStore*>(shard)) {
+    return s->EnablePersistence(dir, opts);
+  }
+  if (auto* s = dynamic_cast<store::TripleStoreBackend*>(shard)) {
+    return s->EnablePersistence(dir, opts);
+  }
+  if (auto* s = dynamic_cast<store::PredicateStoreBackend*>(shard)) {
+    return s->EnablePersistence(dir, opts);
+  }
+  return Status::Internal("shard store of unknown concrete type");
+}
+
+/// Full-dump query used to rebuild the coordinator dictionary/statistics
+/// from recovered shards (per-shard ids are not comparable, so the
+/// coordinator re-encodes decoded terms).
+constexpr std::string_view kDumpQuery =
+    "SELECT ?s ?p ?o WHERE { ?s ?p ?o }";
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::Load(
+    rdf::Graph graph, const ShardedStoreOptions& options) {
+  if (options.shards == 0) {
+    return Status::InvalidArgument("shard count must be at least 1");
+  }
+  auto sharded = std::unique_ptr<ShardedStore>(new ShardedStore());
+  sharded->partitioner_ = Partitioner(options.shards, options.partition_seed);
+  sharded->backend_ = options.backend;
+  sharded->stats_top_k_ = options.stats_top_k;
+  sharded->plan_cache_ = std::make_unique<
+      util::ShardedLruCache<std::string, std::shared_ptr<const FragmentPlan>>>(
+      options.plan_cache_capacity);
+
+  {
+    util::WriterLock lock(&sharded->mutex_);
+    sharded->stats_ = opt::Statistics::FromGraph(graph, options.stats_top_k);
+  }
+  RDFREL_ASSIGN_OR_RETURN(std::vector<rdf::Triple> decoded,
+                          graph.DecodeAll());
+  sharded->dict_ = std::move(graph.dictionary());
+
+  std::vector<rdf::Graph> parts(options.shards);
+  for (const rdf::Triple& t : decoded) {
+    parts[sharded->partitioner_.ShardOfTriple(t)].Add(t);
+  }
+  std::vector<store::SparqlStore*> raw;
+  for (auto& part : parts) {
+    RDFREL_ASSIGN_OR_RETURN(auto shard,
+                            LoadShard(options.backend, std::move(part)));
+    raw.push_back(shard.get());
+    if (auto* m = dynamic_cast<store::RdfStore*>(shard.get())) {
+      sharded->mutable_shards_.push_back(m);
+    }
+    sharded->shards_.push_back(std::move(shard));
+  }
+  sharded->coord_ =
+      std::make_unique<Coordinator>(std::move(raw), sharded->partitioner_);
+  return sharded;
+}
+
+Result<std::unique_ptr<ShardedStore>> ShardedStore::Open(
+    const std::string& dir, const PersistOptions& persist_opts,
+    const ShardedStoreOptions& options) {
+  persist::Env* env =
+      persist_opts.env != nullptr ? persist_opts.env : persist::Env::Default();
+  RDFREL_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(env, dir));
+
+  auto sharded = std::unique_ptr<ShardedStore>(new ShardedStore());
+  sharded->partitioner_ =
+      Partitioner(manifest.shard_count, manifest.partition_seed);
+  sharded->backend_ = manifest.backend_kind;
+  sharded->stats_top_k_ = options.stats_top_k;
+  sharded->plan_cache_ = std::make_unique<
+      util::ShardedLruCache<std::string, std::shared_ptr<const FragmentPlan>>>(
+      options.plan_cache_capacity);
+
+  // Per-shard recovery: snapshot + WAL replay + fresh checkpoint, each
+  // shard independently. A torn multi-shard checkpoint (crash between two
+  // shards' snapshots) converges here because every shard's WAL holds its
+  // full acknowledged suffix.
+  std::vector<store::SparqlStore*> raw;
+  for (uint32_t i = 0; i < manifest.shard_count; ++i) {
+    RDFREL_ASSIGN_OR_RETURN(
+        auto shard, store::OpenStore(ShardDirPath(dir, i), persist_opts));
+    raw.push_back(shard.get());
+    if (auto* m = dynamic_cast<store::RdfStore*>(shard.get())) {
+      sharded->mutable_shards_.push_back(m);
+    }
+    sharded->shards_.push_back(std::move(shard));
+  }
+  sharded->coord_ =
+      std::make_unique<Coordinator>(std::move(raw), sharded->partitioner_);
+
+  // Rebuild coordinator dictionary + statistics from the recovered data.
+  rdf::Graph all;
+  for (auto& shard : sharded->shards_) {
+    RDFREL_ASSIGN_OR_RETURN(ResultSet dump, shard->Query(kDumpQuery));
+    for (const auto& row : dump.rows) {
+      if (row.size() != 3 || !row[0] || !row[1] || !row[2]) {
+        return Status::Internal("shard dump returned a malformed row");
+      }
+      all.Add(rdf::Triple{*row[0], *row[1], *row[2]});
+    }
+  }
+  {
+    util::WriterLock lock(&sharded->mutex_);
+    sharded->stats_ = opt::Statistics::FromGraph(all, options.stats_top_k);
+    sharded->dict_ = std::move(all.dictionary());
+    // Re-stamp: a recovery is a new consistent generation, whether or not
+    // the pre-crash checkpoint reached every shard.
+    sharded->generation_ = manifest.generation + 1;
+    sharded->persist_dir_ = dir;
+    sharded->persist_env_ = env;
+    RDFREL_RETURN_NOT_OK(sharded->WriteManifestLocked());
+  }
+  return sharded;
+}
+
+Status ShardedStore::EnablePersistence(const std::string& dir,
+                                       const PersistOptions& opts) {
+  persist::Env* env =
+      opts.env != nullptr ? opts.env : persist::Env::Default();
+  RDFREL_RETURN_NOT_OK(env->CreateDirIfMissing(dir));
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    RDFREL_RETURN_NOT_OK(EnableShardPersistence(
+        shards_[i].get(), ShardDirPath(dir, i), opts));
+  }
+  util::WriterLock lock(&mutex_);
+  generation_ = 1;
+  persist_dir_ = dir;
+  persist_env_ = env;
+  return WriteManifestLocked();
+}
+
+bool ShardedStore::persistent() const {
+  util::ReaderLock lock(&mutex_);
+  return persist_env_ != nullptr;
+}
+
+Status ShardedStore::WriteManifestLocked() {
+  Manifest m;
+  m.generation = generation_;
+  m.shard_count = num_shards();
+  m.partition_seed = partitioner_.seed();
+  m.backend_kind = backend_;
+  return WriteManifest(persist_env_, persist_dir_, m);
+}
+
+Result<std::shared_ptr<const FragmentPlan>> ShardedStore::GetPlan(
+    std::string_view sparql, const QueryOptions& opts) {
+  const std::string key = store::PlanCacheKey(sparql, opts);
+  if (auto hit = plan_cache_->Get(key)) return std::move(*hit);
+  RDFREL_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(sparql));
+  std::shared_ptr<FragmentPlan> plan;
+  {
+    util::ReaderLock lock(&mutex_);
+    RDFREL_ASSIGN_OR_RETURN(
+        FragmentPlan p, DecomposeQuery(std::move(query), &stats_, &dict_));
+    plan = std::make_shared<FragmentPlan>(std::move(p));
+  }
+  if (opts.verify_plans || util::VerifyPlansEnabled()) {
+    RDFREL_RETURN_NOT_OK(VerifyFragmentPlan(*plan));
+  }
+  std::shared_ptr<const FragmentPlan> shared = std::move(plan);
+  plan_cache_->Put(key, shared);
+  return shared;
+}
+
+Status ShardedStore::QueryWith(std::string_view sparql,
+                               const QueryOptions& opts,
+                               store::RowSink& sink) {
+  std::shared_ptr<const FragmentPlan> plan;
+  {
+    Result<std::shared_ptr<const FragmentPlan>> r = GetPlan(sparql, opts);
+    if (!r.ok()) return r.status();
+    plan = std::move(*r);
+  }
+  ResultSet result;
+  {
+    // Held shared across the whole scatter-gather: a mutation routed to
+    // several shards is all-or-nothing from this query's point of view.
+    util::ReaderLock lock(&mutex_);
+    Result<ResultSet> r = coord_->Evaluate(*plan, opts);
+    if (!r.ok()) return r.status();
+    result = std::move(*r);
+  }
+  RDFREL_RETURN_NOT_OK(sink.Begin(result.vars));
+  for (size_t start = 0; start < result.rows.size();
+       start += kStreamBatchRows) {
+    const size_t end =
+        std::min(result.rows.size(), start + kStreamBatchRows);
+    std::vector<store::Binding> block(
+        std::make_move_iterator(result.rows.begin() +
+                                static_cast<ptrdiff_t>(start)),
+        std::make_move_iterator(result.rows.begin() +
+                                static_cast<ptrdiff_t>(end)));
+    RDFREL_RETURN_NOT_OK(sink.OnRows(std::move(block)));
+  }
+  return sink.End();
+}
+
+Result<std::string> ShardedStore::TranslateWith(std::string_view sparql,
+                                                const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(std::shared_ptr<const FragmentPlan> plan,
+                          GetPlan(sparql, opts));
+  std::string out = "-- coordinator plan (" +
+                    std::to_string(num_shards()) + " shards)\n" +
+                    plan->ToString();
+  for (size_t i = 0; i < plan->fragments.size(); ++i) {
+    out += "-- fragment f" + std::to_string(i) + " (shard-local SQL)\n";
+    RDFREL_ASSIGN_OR_RETURN(
+        std::string sql,
+        shards_[0]->TranslateWith(plan->fragments[i].sparql, opts));
+    out += sql + "\n";
+  }
+  return out;
+}
+
+Result<store::SparqlStore::Explanation> ShardedStore::Explain(
+    std::string_view sparql, const QueryOptions& opts) {
+  RDFREL_ASSIGN_OR_RETURN(std::shared_ptr<const FragmentPlan> plan,
+                          GetPlan(sparql, opts));
+  Explanation ex;
+  ex.parse_tree = plan->query.where ? plan->query.where->ToString() : "";
+  ex.flow_tree = "(coordinator) fragments scatter to " +
+                 std::to_string(num_shards()) + " shards";
+  ex.exec_tree = plan->ToString();
+  ex.plan_tree = plan->ToString();
+  RDFREL_ASSIGN_OR_RETURN(ex.sql, TranslateWith(sparql, opts));
+  return ex;
+}
+
+util::CacheStats ShardedStore::page_cache_stats() const {
+  util::CacheStats total;
+  for (const auto& shard : shards_) {
+    const util::CacheStats s = shard->page_cache_stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.entries += s.entries;
+  }
+  return total;
+}
+
+Status ShardedStore::Checkpoint() {
+  // Exclusive: no mutation may land between the first and the last shard's
+  // snapshot, so the multi-shard checkpoint is one consistent cut.
+  util::WriterLock lock(&mutex_);
+  if (persist_env_ == nullptr) {
+    return Status::Unsupported("no persistence attached to this store");
+  }
+  for (auto& shard : shards_) {
+    RDFREL_RETURN_NOT_OK(shard->Checkpoint());
+  }
+  // The generation stamp goes LAST: a crash anywhere above leaves the old
+  // manifest in place and per-shard recovery converges the shards.
+  ++generation_;
+  return WriteManifestLocked();
+}
+
+Status ShardedStore::Flush() {
+  for (auto& shard : shards_) {
+    RDFREL_RETURN_NOT_OK(shard->Flush());
+  }
+  return Status::OK();
+}
+
+Status ShardedStore::Close() {
+  for (auto& shard : shards_) {
+    RDFREL_RETURN_NOT_OK(shard->Close());
+  }
+  util::WriterLock lock(&mutex_);
+  persist_env_ = nullptr;
+  persist_dir_.clear();
+  return Status::OK();
+}
+
+persist::PersistStats ShardedStore::persist_stats() const {
+  persist::PersistStats total;
+  for (const auto& shard : shards_) {
+    const persist::PersistStats s = shard->persist_stats();
+    total.wal_records += s.wal_records;
+    total.wal_bytes += s.wal_bytes;
+    total.fsyncs += s.fsyncs;
+    total.group_commit_batches += s.group_commit_batches;
+    total.snapshots_written += s.snapshots_written;
+    total.replayed_records += s.replayed_records;
+    total.torn_tail_bytes += s.torn_tail_bytes;
+    total.last_lsn = std::max(total.last_lsn, s.last_lsn);
+    total.last_checkpoint_lsn =
+        std::max(total.last_checkpoint_lsn, s.last_checkpoint_lsn);
+  }
+  if (total.group_commit_batches > 0) {
+    total.avg_group_commit_batch =
+        static_cast<double>(total.wal_records) /
+        static_cast<double>(total.group_commit_batches);
+  }
+  return total;
+}
+
+std::string ShardedStore::name() const {
+  const std::string inner =
+      shards_.empty() ? backend_ : shards_[0]->name();
+  return "Sharded[" + inner + "]x" + std::to_string(num_shards());
+}
+
+uint64_t ShardedStore::generation() const {
+  util::ReaderLock lock(&mutex_);
+  return generation_;
+}
+
+uint64_t ShardedStore::rows_routed() const {
+  return rows_routed_.load(std::memory_order_relaxed);
+}
+
+Status ShardedStore::Insert(const rdf::Triple& triple) {
+  return InsertBatch({triple});
+}
+
+Status ShardedStore::Delete(const rdf::Triple& triple) {
+  return DeleteBatch({triple});
+}
+
+Status ShardedStore::InsertBatch(const std::vector<rdf::Triple>& triples) {
+  if (mutable_shards_.empty()) {
+    return Status::Unsupported("the '" + backend_ +
+                               "' backend is immutable after Load");
+  }
+  if (triples.empty()) return Status::OK();
+  util::WriterLock lock(&mutex_);
+  // Route by subject, preserving relative order within each shard.
+  std::map<uint32_t, std::vector<rdf::Triple>> routed;
+  for (const auto& t : triples) {
+    routed[partitioner_.ShardOfTriple(t)].push_back(t);
+  }
+  for (auto& [target, batch] : routed) {
+    RDFREL_RETURN_NOT_OK(mutable_shards_[target]->InsertBatch(batch));
+    for (const auto& t : batch) {
+      stats_.AddTriple(dict_.EncodeTriple(t));
+    }
+    rows_routed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+  plan_cache_->Clear();
+  return Status::OK();
+}
+
+Status ShardedStore::DeleteBatch(const std::vector<rdf::Triple>& triples) {
+  if (mutable_shards_.empty()) {
+    return Status::Unsupported("the '" + backend_ +
+                               "' backend is immutable after Load");
+  }
+  if (triples.empty()) return Status::OK();
+  util::WriterLock lock(&mutex_);
+  std::map<uint32_t, std::vector<rdf::Triple>> routed;
+  for (const auto& t : triples) {
+    routed[partitioner_.ShardOfTriple(t)].push_back(t);
+  }
+  for (auto& [target, batch] : routed) {
+    RDFREL_RETURN_NOT_OK(mutable_shards_[target]->DeleteBatch(batch));
+    for (const auto& t : batch) {
+      stats_.RemoveTriple(dict_.EncodeTriple(t));
+    }
+    rows_routed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+  plan_cache_->Clear();
+  return Status::OK();
+}
+
+}  // namespace rdfrel::shard

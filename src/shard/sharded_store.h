@@ -1,0 +1,163 @@
+#ifndef RDFREL_SHARD_SHARDED_STORE_H_
+#define RDFREL_SHARD_SHARDED_STORE_H_
+
+/// \file sharded_store.h
+/// The in-process sharded store (DESIGN.md §16): N complete backend
+/// instances — each with its own dictionary, relational layout, plan cache
+/// and persistence unit — behind one coordinator that implements the full
+/// store::SparqlStore surface. Triples are hash-partitioned by subject
+/// (partition.h), queries are decomposed into subject-star fragments
+/// (fragment.h) scattered onto the process worker pool and gathered /
+/// joined at the coordinator (coordinator.h), and results always come back
+/// in the canonical merge order (binding_ops.h) — a pure function of the
+/// data, identical for every shard count.
+///
+/// Consistency: the coordinator carries its own SharedMutex (rank
+/// kCoordinator, *above* every shard's kStore lock). Queries hold it
+/// shared for the whole scatter-gather; mutations and Checkpoint hold it
+/// exclusively while routing to shards. A multi-triple mutation routed to
+/// several shards is therefore never half-visible to a query, and a
+/// multi-shard checkpoint is a consistent cut: no mutation can land
+/// between the first and the last shard's snapshot.
+///
+/// Mutations route to the owning shard and are supported for the "db2rdf"
+/// backend; the baseline backends are immutable after Load, and the
+/// sharded store reports the same kUnsupported they would.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "shard/coordinator.h"
+#include "shard/fragment.h"
+#include "shard/manifest.h"
+#include "shard/partition.h"
+#include "store/backend_util.h"
+#include "store/rdf_store.h"
+#include "store/sparql_store.h"
+#include "util/lru_cache.h"
+#include "util/mutex.h"
+
+namespace rdfrel::shard {
+
+struct ShardedStoreOptions {
+  /// Number of shards; fixed for the lifetime of the store (and of its
+  /// persisted directory — placement is a function of the count).
+  uint32_t shards = 2;
+  uint64_t partition_seed = kDefaultPartitionSeed;
+  /// Backend kind per shard: "db2rdf", "triple" or "predicate".
+  std::string backend = store::RdfStore::kBackendKind;
+  /// Coordinator fragment-plan cache budget (each shard additionally runs
+  /// its own SQL plan cache).
+  size_t plan_cache_capacity = store::PlanCache::kDefaultCapacity;
+  /// Top-k budget of the coordinator statistics.
+  size_t stats_top_k = 1000;
+};
+
+class ShardedStore final : public store::SparqlStore {
+ public:
+  /// Builds a sharded store from \p graph (consumed): partitions the
+  /// triples by subject and loads one backend instance per shard.
+  static Result<std::unique_ptr<ShardedStore>> Load(
+      rdf::Graph graph, const ShardedStoreOptions& options = {});
+
+  /// Opens a persisted sharded store directory: reads the coordinator
+  /// MANIFEST (placement contract + generation), recovers every shard
+  /// through store::OpenStore (snapshot + WAL replay, per shard), rebuilds
+  /// the coordinator dictionary/statistics from the recovered shards, and
+  /// re-stamps the manifest generation. A crash between two shard
+  /// checkpoints is invisible here: each shard's WAL independently holds
+  /// every acknowledged mutation, so per-shard recovery converges all
+  /// shards onto the same logical commit point.
+  static Result<std::unique_ptr<ShardedStore>> Open(
+      const std::string& dir, const store::PersistOptions& persist_opts = {},
+      const ShardedStoreOptions& options = {});
+
+  /// Attaches durability: one PR-4 persistence unit per shard under
+  /// <dir>/shard-NNN plus the coordinator MANIFEST.
+  Status EnablePersistence(const std::string& dir,
+                           const store::PersistOptions& opts = {});
+  bool persistent() const;
+
+  // SparqlStore surface.
+  Status QueryWith(std::string_view sparql, const store::QueryOptions& opts,
+                   store::RowSink& sink) override;
+  using store::SparqlStore::QueryWith;
+  Result<std::string> TranslateWith(std::string_view sparql,
+                                    const store::QueryOptions& opts) override;
+  Result<Explanation> Explain(std::string_view sparql,
+                              const store::QueryOptions& opts = {}) override;
+  util::CacheStats plan_cache_stats() const override {
+    return plan_cache_->stats();
+  }
+  /// Aggregated over shards.
+  util::CacheStats page_cache_stats() const override;
+  Status Checkpoint() override;
+  Status Flush() override;
+  Status Close() override;
+  /// Aggregated over shards (counters summed, LSNs maxed).
+  persist::PersistStats persist_stats() const override;
+  std::string name() const override;
+  const rdf::Dictionary& dictionary() const override { return dict_; }
+
+  // Mutations (db2rdf shards only; kUnsupported otherwise).
+  Status Insert(const rdf::Triple& triple);
+  Status Delete(const rdf::Triple& triple);
+  Status InsertBatch(const std::vector<rdf::Triple>& triples);
+  Status DeleteBatch(const std::vector<rdf::Triple>& triples);
+
+  // Introspection (/stats, tests).
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  const Partitioner& partitioner() const { return partitioner_; }
+  const std::string& backend_kind() const { return backend_; }
+  /// Manifest generation; 0 while no persistence is attached.
+  uint64_t generation() const;
+  /// Triples routed to shards by the mutation paths.
+  uint64_t rows_routed() const;
+  CoordinatorStats coordinator_stats() const { return coord_->stats(); }
+  store::SparqlStore* shard(uint32_t index) { return shards_[index].get(); }
+  const store::SparqlStore* shard(uint32_t index) const {
+    return shards_[index].get();
+  }
+
+ private:
+  ShardedStore() = default;
+
+  /// Looks up or builds the FragmentPlan for (sparql, opts).
+  Result<std::shared_ptr<const FragmentPlan>> GetPlan(
+      std::string_view sparql, const store::QueryOptions& opts)
+      RDFREL_EXCLUDES(mutex_);
+
+  Status WriteManifestLocked() RDFREL_REQUIRES(mutex_);
+
+  // Immutable after construction.
+  std::vector<std::unique_ptr<store::SparqlStore>> shards_;
+  std::vector<store::RdfStore*> mutable_shards_;  ///< non-owning; db2rdf only
+  std::unique_ptr<Coordinator> coord_;
+  Partitioner partitioner_{1, kDefaultPartitionSeed};
+  std::string backend_;
+  size_t stats_top_k_ = 1000;
+
+  // Coordinator lock: ABOVE every shard's kStore lock (see util/mutex.h).
+  mutable util::SharedMutex mutex_{"sharded-store",
+                                   util::lock_rank::kCoordinator};
+  rdf::Dictionary dict_;  ///< coordinator-level ids (routing, estimates)
+  opt::Statistics stats_ RDFREL_GUARDED_BY(mutex_);
+  uint64_t generation_ RDFREL_GUARDED_BY(mutex_) = 0;
+  std::string persist_dir_ RDFREL_GUARDED_BY(mutex_);
+  persist::Env* persist_env_ RDFREL_GUARDED_BY(mutex_) = nullptr;
+  std::atomic<uint64_t> rows_routed_{0};
+
+  mutable std::unique_ptr<
+      util::ShardedLruCache<std::string, std::shared_ptr<const FragmentPlan>>>
+      plan_cache_;
+};
+
+}  // namespace rdfrel::shard
+
+#endif  // RDFREL_SHARD_SHARDED_STORE_H_

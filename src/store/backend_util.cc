@@ -2,6 +2,7 @@
 
 #include "opt/cost_model.h"
 #include "opt/data_flow_graph.h"
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -108,6 +109,7 @@ Result<std::shared_ptr<const CachedPlan>> TranslateForBackend(
   plan->query = std::move(query);
   plan->sql = std::move(tq.sql);
   plan->post_filters = std::move(tq.post_filters);
+  plan->post_filter_vars = std::move(tq.post_filter_vars);
   return std::shared_ptr<const CachedPlan>(std::move(plan));
 }
 
@@ -180,14 +182,30 @@ Status ExecuteDecodedSqlStreaming(
     sql::Database* db, const std::string& sql, const sparql::Query& query,
     const rdf::Dictionary& dict,
     const std::vector<const sparql::FilterExpr*>& post_filters,
+    const std::vector<std::string>& post_filter_vars,
     const QueryOptions& opts, RowSink& sink) {
   const sql::ExecControl control = ControlFromOptions(opts);
   sql::ExecOptions exec = ExecOptionsFromQueryOptions(opts);
   exec.control = &control;
-  const std::vector<std::string> vars = query.EffectiveSelectVars();
+  // The SQL row may be wider than the projection: post_filter_vars are
+  // extra trailing columns the post-filters need (sql_base.h). They are
+  // decoded, filtered over, and trimmed before rows reach the sink.
+  std::vector<std::string> visible = query.EffectiveSelectVars();
+  const size_t visible_width = visible.size();
+  std::vector<std::string> vars = visible;
+  vars.insert(vars.end(), post_filter_vars.begin(), post_filter_vars.end());
   const std::vector<sparql::AggKind> kinds = ColumnAggKinds(query,
                                                             vars.size());
-  RDFREL_RETURN_NOT_OK(sink.Begin(vars));
+  // When the translator widened a DISTINCT row it also deferred the
+  // dedup and the LIMIT/OFFSET slice to this stage (same rule as
+  // sql_base.cc Build: DISTINCT over the wide row would be wrong).
+  const bool post_distinct = query.distinct && !post_filter_vars.empty();
+  std::set<std::string> seen;
+  int64_t skip =
+      post_distinct && query.offset.has_value() ? *query.offset : 0;
+  int64_t budget =
+      post_distinct && query.limit.has_value() ? *query.limit : -1;
+  RDFREL_RETURN_NOT_OK(sink.Begin(visible));
   RDFREL_RETURN_NOT_OK(db->QueryStreaming(
       sql, exec, nullptr, [&](const sql::RowBatch& batch) -> Status {
         std::vector<Binding> block;
@@ -209,6 +227,29 @@ Status ExecuteDecodedSqlStreaming(
         }
         RDFREL_RETURN_NOT_OK(
             ApplyPostFiltersToRows(post_filters, vars, &block));
+        if (visible_width < vars.size()) {
+          for (auto& row : block) row.resize(visible_width);
+        }
+        if (post_distinct) {
+          std::vector<Binding> kept;
+          kept.reserve(block.size());
+          for (auto& row : block) {
+            std::string sig;
+            for (const auto& c : row) {
+              sig += c.has_value() ? c->ToNTriples() : std::string("\x01");
+              sig += '\x1f';
+            }
+            if (!seen.insert(std::move(sig)).second) continue;
+            if (skip > 0) {
+              --skip;
+              continue;
+            }
+            if (budget == 0) continue;
+            if (budget > 0) --budget;
+            kept.push_back(std::move(row));
+          }
+          block = std::move(kept);
+        }
         return sink.OnRows(std::move(block));
       }));
   return sink.End();
@@ -218,10 +259,11 @@ Result<ResultSet> ExecuteDecodedSql(
     sql::Database* db, const std::string& sql, const sparql::Query& query,
     const rdf::Dictionary& dict,
     const std::vector<const sparql::FilterExpr*>& post_filters,
+    const std::vector<std::string>& post_filter_vars,
     const QueryOptions& opts) {
   CollectingSink sink;
-  RDFREL_RETURN_NOT_OK(ExecuteDecodedSqlStreaming(db, sql, query, dict,
-                                                  post_filters, opts, sink));
+  RDFREL_RETURN_NOT_OK(ExecuteDecodedSqlStreaming(
+      db, sql, query, dict, post_filters, post_filter_vars, opts, sink));
   return sink.TakeResult();
 }
 

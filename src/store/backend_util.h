@@ -36,6 +36,9 @@ struct CachedPlan {
   sparql::Query query;
   std::string sql;
   std::vector<const sparql::FilterExpr*> post_filters;
+  /// Unprojected variables the post-filters read; carried as extra
+  /// trailing SQL columns and dropped after filtering (sql_base.h).
+  std::vector<std::string> post_filter_vars;
   /// True when `sql` references materialized property-path closure tables;
   /// such plans die with the tables on the next write.
   bool uses_closure = false;
@@ -122,6 +125,7 @@ Status ExecuteDecodedSqlStreaming(
     sql::Database* db, const std::string& sql, const sparql::Query& query,
     const rdf::Dictionary& dict,
     const std::vector<const sparql::FilterExpr*>& post_filters,
+    const std::vector<std::string>& post_filter_vars,
     const QueryOptions& opts, RowSink& sink);
 
 /// Materializing convenience over the streaming back half.
@@ -129,6 +133,7 @@ Result<ResultSet> ExecuteDecodedSql(
     sql::Database* db, const std::string& sql, const sparql::Query& query,
     const rdf::Dictionary& dict,
     const std::vector<const sparql::FilterExpr*>& post_filters,
+    const std::vector<std::string>& post_filter_vars = {},
     const QueryOptions& opts = {});
 
 /// Executes a translated plan (cache hit or fresh) against \p db.
@@ -136,14 +141,15 @@ inline Status ExecutePlanStreaming(sql::Database* db, const CachedPlan& plan,
                                    const rdf::Dictionary& dict,
                                    const QueryOptions& opts, RowSink& sink) {
   return ExecuteDecodedSqlStreaming(db, plan.sql, plan.query, dict,
-                                    plan.post_filters, opts, sink);
+                                    plan.post_filters, plan.post_filter_vars,
+                                    opts, sink);
 }
 inline Result<ResultSet> ExecutePlan(sql::Database* db,
                                      const CachedPlan& plan,
                                      const rdf::Dictionary& dict,
                                      const QueryOptions& opts = {}) {
   return ExecuteDecodedSql(db, plan.sql, plan.query, dict, plan.post_filters,
-                           opts);
+                           plan.post_filter_vars, opts);
 }
 
 /// Builds the `(id, num)` lex side table named \p table for every numeric

@@ -222,7 +222,8 @@ Status RdfStore::EnsureClosuresFor(const sparql::Query& query) {
 
 Result<std::string> RdfStore::Translate(
     const sparql::Query& query, const QueryOptions& opts,
-    std::vector<const sparql::FilterExpr*>* post_filters) const {
+    std::vector<const sparql::FilterExpr*>* post_filters,
+    std::vector<std::string>* post_filter_vars) const {
   const bool verify = opts.verify_plans || util::VerifyPlansEnabled();
   opt::CostModel cost(&stats_, &dict_);
   opt::DataFlowGraph dfg = opt::DataFlowGraph::Build(query, cost);
@@ -309,6 +310,9 @@ Result<std::string> RdfStore::Translate(
                           translate::BuildSqlFull(query, *plan, ctx));
   if (post_filters != nullptr) {
     *post_filters = std::move(tq.post_filters);
+    if (post_filter_vars != nullptr) {
+      *post_filter_vars = std::move(tq.post_filter_vars);
+    }
   } else if (!tq.post_filters.empty()) {
     return Status::Unsupported("query requires post-filters");
   }
@@ -319,8 +323,9 @@ Result<std::shared_ptr<const CachedPlan>> RdfStore::BuildPlan(
     sparql::Query query, const QueryOptions& opts) const {
   auto plan = std::make_shared<CachedPlan>();
   plan->uses_closure = HasPropertyPaths(query);
-  RDFREL_ASSIGN_OR_RETURN(plan->sql,
-                          Translate(query, opts, &plan->post_filters));
+  RDFREL_ASSIGN_OR_RETURN(
+      plan->sql, Translate(query, opts, &plan->post_filters,
+                           &plan->post_filter_vars));
   // Post-filter pointers reach into heap-allocated FILTER nodes, so moving
   // the AST into the plan keeps them valid.
   plan->query = std::move(query);
@@ -363,15 +368,21 @@ Result<ResultSet> RdfStore::QueryParsed(const sparql::Query& query,
     util::WriterLock lock(&mutex_);
     RDFREL_RETURN_NOT_OK(EnsureClosuresFor(query));
     std::vector<const sparql::FilterExpr*> post_filters;
-    RDFREL_ASSIGN_OR_RETURN(std::string sql,
-                            Translate(query, opts, &post_filters));
-    return ExecuteDecodedSql(&db_, sql, query, dict_, post_filters);
+    std::vector<std::string> post_filter_vars;
+    RDFREL_ASSIGN_OR_RETURN(
+        std::string sql,
+        Translate(query, opts, &post_filters, &post_filter_vars));
+    return ExecuteDecodedSql(&db_, sql, query, dict_, post_filters,
+                             post_filter_vars);
   }
   util::ReaderLock lock(&mutex_);
   std::vector<const sparql::FilterExpr*> post_filters;
-  RDFREL_ASSIGN_OR_RETURN(std::string sql,
-                          Translate(query, opts, &post_filters));
-  return ExecuteDecodedSql(&db_, sql, query, dict_, post_filters);
+  std::vector<std::string> post_filter_vars;
+  RDFREL_ASSIGN_OR_RETURN(
+      std::string sql,
+      Translate(query, opts, &post_filters, &post_filter_vars));
+  return ExecuteDecodedSql(&db_, sql, query, dict_, post_filters,
+                           post_filter_vars);
 }
 
 Result<std::string> RdfStore::TranslateWith(std::string_view sparql,

@@ -153,7 +153,9 @@ class RdfStore final : public SparqlStore {
   Result<std::string> Translate(const sparql::Query& query,
                                 const QueryOptions& opts,
                                 std::vector<const sparql::FilterExpr*>*
-                                    post_filters) const
+                                    post_filters,
+                                std::vector<std::string>* post_filter_vars =
+                                    nullptr) const
       RDFREL_REQUIRES_SHARED(mutex_);
 
   /// Translates \p query into an immutable, shareable plan (consumes it).

@@ -23,6 +23,21 @@ Result<TranslatedQuery> PatternSqlBuilderBase::Build(const ExecNode& plan) {
     return Status::InvalidArgument("plan produced no relation");
   }
   std::vector<std::string> vars = query_.EffectiveSelectVars();
+  // Post-filters (e.g. REGEX) run on decoded rows after the SQL; any
+  // variable they read must survive the projection even when it is not
+  // selected. Extra columns ride at the tail of the SELECT list and the
+  // decode stage drops them once the filters have run.
+  std::vector<std::string> extra;
+  if (!post_filters_.empty() && !query_.HasAggregates()) {
+    std::set<std::string> have(vars.begin(), vars.end());
+    for (const auto* f : post_filters_) {
+      CollectExtraFilterVars(*f, &have, &extra);
+    }
+  }
+  // DISTINCT over the widened row would keep duplicate projections, so
+  // dedup — and the LIMIT/OFFSET slice that depends on it — defers to the
+  // decode stage whenever extra columns are present.
+  const bool slice_in_sql = !(query_.distinct && !extra.empty());
   std::string sql;
   if (!ctes_.empty()) {
     sql += "WITH ";
@@ -37,7 +52,7 @@ Result<TranslatedQuery> PatternSqlBuilderBase::Build(const ExecNode& plan) {
     sql += agg_sql;
   } else {
   sql += "SELECT ";
-  if (query_.distinct) sql += "DISTINCT ";
+  if (query_.distinct && extra.empty()) sql += "DISTINCT ";
   for (size_t i = 0; i < vars.size(); ++i) {
     if (i) sql += ", ";
     auto it = bound_.find(vars[i]);
@@ -47,7 +62,12 @@ Result<TranslatedQuery> PatternSqlBuilderBase::Build(const ExecNode& plan) {
       sql += "NULL AS " + VarColumn(vars[i]);
     }
   }
-  if (vars.empty()) sql += "1 AS one";
+  for (size_t i = 0; i < extra.size(); ++i) {
+    if (i || !vars.empty()) sql += ", ";
+    sql += cur_ + "." + bound_.at(extra[i]).column + " AS " +
+           VarColumn(extra[i]);
+  }
+  if (vars.empty() && extra.empty()) sql += "1 AS one";
   sql += " FROM " + cur_;
   }
   if (!query_.order_by.empty()) {
@@ -60,15 +80,16 @@ Result<TranslatedQuery> PatternSqlBuilderBase::Build(const ExecNode& plan) {
     }
     if (!order.empty()) sql += " ORDER BY " + order;
   }
-  if (query_.limit.has_value()) {
+  if (query_.limit.has_value() && slice_in_sql) {
     sql += " LIMIT " + std::to_string(*query_.limit);
   }
-  if (query_.offset.has_value()) {
+  if (query_.offset.has_value() && slice_in_sql) {
     sql += " OFFSET " + std::to_string(*query_.offset);
   }
   TranslatedQuery out;
   out.sql = std::move(sql);
   out.post_filters = std::move(post_filters_);
+  out.post_filter_vars = std::move(extra);
   return out;
 }
 
@@ -366,6 +387,20 @@ Status PatternSqlBuilderBase::EmitFilters(
   body += " WHERE " + JoinStrings(conds, " AND ");
   cur_ = NewCte(body);
   return Status::OK();
+}
+
+void PatternSqlBuilderBase::CollectExtraFilterVars(
+    const sparql::FilterExpr& f, std::set<std::string>* have,
+    std::vector<std::string>* out) const {
+  using sparql::FilterOp;
+  if (f.op == FilterOp::kVar || f.op == FilterOp::kBound) {
+    if (have->insert(f.var).second && bound_.count(f.var)) {
+      out->push_back(f.var);
+    }
+    return;
+  }
+  if (f.lhs) CollectExtraFilterVars(*f.lhs, have, out);
+  if (f.rhs) CollectExtraFilterVars(*f.rhs, have, out);
 }
 
 Result<double> PatternSqlBuilderBase::NumericOf(const rdf::Term& term) {

@@ -27,6 +27,13 @@ namespace rdfrel::translate {
 struct TranslatedQuery {
   std::string sql;
   std::vector<const sparql::FilterExpr*> post_filters;
+  /// Variables the post-filters read that are NOT in the projection: the
+  /// SQL carries them as extra trailing columns so the filters can see
+  /// them, and the decode stage drops them again afterwards. When the
+  /// query is DISTINCT and this is non-empty, DISTINCT and LIMIT/OFFSET
+  /// are likewise deferred to the decode stage (the widened row would
+  /// otherwise keep duplicate projections).
+  std::vector<std::string> post_filter_vars;
 };
 
 /// SQL identifier for a SPARQL variable ("v_<name>", sanitized).
@@ -101,6 +108,11 @@ class PatternSqlBuilderBase {
   Result<std::string> OperandToId(const sparql::FilterExpr& f);
   Result<std::string> LexAlias(const std::string& var,
                                std::map<std::string, std::string>* lex);
+  /// Collects bound variables read by \p f that are missing from \p have
+  /// into \p out (post-filter support columns for the final projection).
+  void CollectExtraFilterVars(const sparql::FilterExpr& f,
+                              std::set<std::string>* have,
+                              std::vector<std::string>* out) const;
   static Result<double> NumericOf(const rdf::Term& term);
 
   const sparql::Query& query_;

@@ -1,0 +1,36 @@
+// Positive control for coordinator_lock_violation.cc: the same sharded
+// checkpoint shape with the discipline intact — the coordinator's
+// kCoordinator-ranked lock is held exclusively across the generation bump
+// and the RDFREL_REQUIRES(mu_) manifest write, so the multi-shard
+// checkpoint is one consistent cut. MUST compile under clang
+// -Werror=thread-safety.
+
+#include <cstdint>
+
+#include "util/mutex.h"
+
+namespace {
+
+class MiniCoordinator {
+ public:
+  void Checkpoint() {
+    rdfrel::util::WriterLock lock(&mu_);
+    ++generation_;
+    WriteManifestLocked();
+  }
+
+ private:
+  void WriteManifestLocked() RDFREL_REQUIRES(mu_) {}
+
+  mutable rdfrel::util::SharedMutex mu_{
+      "mini-coordinator", rdfrel::util::lock_rank::kCoordinator};
+  uint64_t generation_ RDFREL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  MiniCoordinator c;
+  c.Checkpoint();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Compile-fail input: the sharded-store coordinator pattern with its lock
+// discipline broken. Checkpoint() calls a RDFREL_REQUIRES(mu_) helper and
+// bumps the GUARDED_BY generation counter without taking the coordinator
+// lock (rank kCoordinator) — exactly the bug that would make a multi-shard
+// checkpoint a torn cut instead of a consistent one. Under clang
+// -Werror=thread-safety this translation unit MUST NOT compile.
+
+#include <cstdint>
+
+#include "util/mutex.h"
+
+namespace {
+
+class MiniCoordinator {
+ public:
+  void Checkpoint() {
+    ++generation_;        // BAD: mu_ not held exclusively
+    WriteManifestLocked();  // BAD: REQUIRES(mu_) without the lock
+  }
+
+ private:
+  void WriteManifestLocked() RDFREL_REQUIRES(mu_) {}
+
+  mutable rdfrel::util::SharedMutex mu_{
+      "mini-coordinator", rdfrel::util::lock_rank::kCoordinator};
+  uint64_t generation_ RDFREL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  MiniCoordinator c;
+  c.Checkpoint();
+  return 0;
+}

@@ -1,0 +1,374 @@
+/// Sharded-vs-single-store differential over every benchmark workload and
+/// all three backends: each query runs against one unsharded reference
+/// store and against sharded stores at shard counts {1, 2, 4, 7}, and the
+/// answers must agree byte-for-byte after both sides are put into the
+/// canonical merge order (DESIGN.md §16.4) — the single store's ORDER BY
+/// sorts by dictionary id, so its rows are canonicalized with the same
+/// binding_ops helpers the coordinator uses. On top of that, sharded
+/// output must be *ordered byte-identical across shard counts and scatter
+/// widths*: the canonical order is a pure function of the data.
+///
+/// The recovery section proves the coordinator manifest contract: a kill
+/// between two shard checkpoints (mixed snapshot generations, stale
+/// manifest) and a torn shard snapshot both recover to one consistent
+/// generation with no acknowledged write lost.
+///
+/// Suites are prefixed ShardTest so `ctest -R ShardTest` (and the TSan CI
+/// job) runs exactly this layer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchdata/dbpedia.h"
+#include "benchdata/lubm.h"
+#include "benchdata/micro.h"
+#include "benchdata/prbench.h"
+#include "benchdata/sp2bench.h"
+#include "persist/env.h"
+#include "persist/manager.h"
+#include "shard/binding_ops.h"
+#include "shard/fragment.h"
+#include "shard/sharded_store.h"
+#include "sparql/parser.h"
+#include "store/predicate_store_backend.h"
+#include "store/rdf_store.h"
+#include "store/sparql_store.h"
+#include "store/triple_store_backend.h"
+
+namespace rdfrel::shard {
+namespace {
+
+using rdf::Term;
+using store::QueryOptions;
+using store::ResultSet;
+
+constexpr uint32_t kShardCounts[] = {1, 2, 4, 7};
+
+benchdata::Workload MakeSmall(const std::string& name) {
+  if (name == "micro") return benchdata::MakeMicro(400, 11);
+  if (name == "lubm") return benchdata::MakeLubm(2, 11);
+  if (name == "sp2bench") return benchdata::MakeSp2Bench(4, 11);
+  if (name == "dbpedia") return benchdata::MakeDbpedia(400, 300, 11);
+  if (name == "prbench") return benchdata::MakePrbench(2, 11);
+  return {};
+}
+
+/// Ordered row signatures: order differences are failures.
+std::vector<std::string> OrderedSignature(const ResultSet& rs) {
+  std::vector<std::string> out;
+  out.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    std::string sig;
+    for (const auto& v : row) {
+      sig += v.has_value() ? v->ToNTriples() : "UNBOUND";
+      sig += "\x1f";
+    }
+    out.push_back(std::move(sig));
+  }
+  return out;
+}
+
+/// The query with LIMIT/OFFSET stripped, so reference and sharded answers
+/// compare over the full row set (a LIMIT over tied sort keys may
+/// legitimately keep different rows under different tie-breaks).
+std::string StripSlice(const std::string& sparql, sparql::Query* parsed_out) {
+  auto q = sparql::ParseQuery(sparql);
+  EXPECT_TRUE(q.ok()) << sparql << ": " << q.status().ToString();
+  if (!q.ok()) return sparql;
+  q->limit.reset();
+  q->offset.reset();
+  std::string text = QueryToSparql(*q);
+  if (parsed_out != nullptr) *parsed_out = std::move(*q);
+  return text;
+}
+
+void ExpectShardedMatchesSingle(const std::string& workload,
+                                const std::string& backend) {
+  // The unsharded reference. (shards=1 still exercises the full
+  // decompose/scatter/merge path, so the reference must be the *single*
+  // store engine, built directly.)
+  benchdata::Workload w = MakeSmall(workload);
+  ASSERT_FALSE(w.queries.empty());
+  auto single = [&]() -> Result<std::unique_ptr<store::SparqlStore>> {
+    benchdata::Workload sw = MakeSmall(workload);
+    if (backend == "db2rdf") {
+      auto s = store::RdfStore::Load(std::move(sw.graph));
+      if (!s.ok()) return s.status();
+      return std::unique_ptr<store::SparqlStore>(std::move(*s));
+    }
+    if (backend == "triple") {
+      auto s = store::TripleStoreBackend::Load(std::move(sw.graph));
+      if (!s.ok()) return s.status();
+      return std::unique_ptr<store::SparqlStore>(std::move(*s));
+    }
+    auto s = store::PredicateStoreBackend::Load(std::move(sw.graph));
+    if (!s.ok()) return s.status();
+    return std::unique_ptr<store::SparqlStore>(std::move(*s));
+  }();
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+  // One sharded store per shard count.
+  std::vector<std::unique_ptr<ShardedStore>> sharded;
+  for (uint32_t count : kShardCounts) {
+    benchdata::Workload sw = MakeSmall(workload);
+    ShardedStoreOptions o;
+    o.shards = count;
+    o.backend = backend;
+    auto s = ShardedStore::Load(std::move(sw.graph), o);
+    ASSERT_TRUE(s.ok()) << backend << " x" << count << ": "
+                        << s.status().ToString();
+    sharded.push_back(std::move(*s));
+  }
+
+  QueryOptions opts;
+  opts.verify_plans = true;  // every decomposition passes the verifier
+
+  for (const auto& q : w.queries) {
+    sparql::Query parsed;
+    const std::string stripped = StripSlice(q.sparql, &parsed);
+
+    // Decomposition may honestly refuse a query (transitive property
+    // paths); the refusal must be kUnsupported, and consistent.
+    auto first = sharded[0]->QueryWith(stripped, opts);
+    if (!first.ok()) {
+      ASSERT_TRUE(first.status().IsUnsupported())
+          << backend << "/" << workload << "/" << q.id << ": "
+          << first.status().ToString();
+      for (size_t i = 1; i < sharded.size(); ++i) {
+        EXPECT_FALSE(sharded[i]->QueryWith(stripped, opts).ok());
+      }
+      continue;
+    }
+
+    // Reference: single-store rows, canonicalized with the same helpers
+    // the coordinator merge uses.
+    auto ref = single.value()->QueryWith(stripped, opts);
+    ASSERT_TRUE(ref.ok()) << backend << "/" << workload << "/" << q.id << ": "
+                          << ref.status().ToString();
+    CanonicalSortRows(parsed.order_by, &ref.value());
+    const std::vector<std::string> want = OrderedSignature(*ref);
+
+    const std::vector<std::string> first_sig = OrderedSignature(*first);
+    ASSERT_EQ(first_sig, want)
+        << backend << "/" << workload << "/" << q.id
+        << " shards=1: sharded result differs from canonicalized single ("
+        << first->size() << " vs " << ref->size() << " rows)";
+
+    for (size_t i = 1; i < sharded.size(); ++i) {
+      auto got = sharded[i]->QueryWith(stripped, opts);
+      ASSERT_TRUE(got.ok()) << backend << "/" << workload << "/" << q.id
+                            << " shards=" << kShardCounts[i] << ": "
+                            << got.status().ToString();
+      ASSERT_EQ(OrderedSignature(*got), want)
+          << backend << "/" << workload << "/" << q.id
+          << " shards=" << kShardCounts[i]
+          << ": result depends on the shard count";
+    }
+
+    // Scatter width must never change bytes, only scheduling.
+    for (unsigned width : {1u, 2u}) {
+      QueryOptions narrow = opts;
+      narrow.scatter_width = width;
+      auto got = sharded.back()->QueryWith(stripped, narrow);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(OrderedSignature(*got), want)
+          << backend << "/" << workload << "/" << q.id
+          << " scatter_width=" << width << ": width changed the answer";
+    }
+
+    // Original query (LIMIT/OFFSET intact): the canonical order makes the
+    // kept slice identical across shard counts.
+    auto sliced0 = sharded[0]->QueryWith(q.sparql, opts);
+    ASSERT_TRUE(sliced0.ok()) << sliced0.status().ToString();
+    const std::vector<std::string> slice_sig = OrderedSignature(*sliced0);
+    for (size_t i = 1; i < sharded.size(); ++i) {
+      auto got = sharded[i]->QueryWith(q.sparql, opts);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(OrderedSignature(*got), slice_sig)
+          << backend << "/" << workload << "/" << q.id
+          << " shards=" << kShardCounts[i]
+          << ": sliced result depends on the shard count";
+    }
+  }
+}
+
+class ShardTestWorkloads : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardTestWorkloads, Db2RdfShardedMatchesSingle) {
+  ExpectShardedMatchesSingle(GetParam(), "db2rdf");
+}
+
+TEST_P(ShardTestWorkloads, TripleShardedMatchesSingle) {
+  ExpectShardedMatchesSingle(GetParam(), "triple");
+}
+
+TEST_P(ShardTestWorkloads, PredicateShardedMatchesSingle) {
+  ExpectShardedMatchesSingle(GetParam(), "predicate");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ShardTestWorkloads,
+                         ::testing::Values("micro", "lubm", "sp2bench",
+                                           "dbpedia", "prbench"),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
+                         });
+
+// ---------------------------------------------------------------- Recovery
+
+Term Iri(const std::string& s) { return Term::Iri("http://x/" + s); }
+
+rdf::Graph BaseGraph() {
+  rdf::Graph g;
+  for (int i = 0; i < 12; ++i) {
+    g.Add({Iri("c" + std::to_string(i)), Iri("industry"),
+           Term::Literal("sector" + std::to_string(i % 3))});
+  }
+  return g;
+}
+
+std::vector<rdf::Triple> MoreTriples(const std::string& tag, int n) {
+  std::vector<rdf::Triple> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back({Iri(tag + std::to_string(i)), Iri("hq"),
+                   Term::Literal("city" + std::to_string(i))});
+  }
+  return out;
+}
+
+store::PersistOptions SyncEveryRecord(persist::Env* env) {
+  store::PersistOptions o;
+  o.env = env;
+  o.wal.sync = persist::WalSync::kEveryRecord;
+  return o;
+}
+
+using Rows = std::vector<store::Binding>;
+
+Rows AllTriples(store::SparqlStore& s) {
+  auto r = s.Query("SELECT ?s ?p ?o WHERE { ?s ?p ?o }");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) return {};
+  auto rows = r->rows;
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(ShardTestRecovery, CleanCheckpointAndReopen) {
+  persist::MemEnv env;
+  ShardedStoreOptions o;
+  o.shards = 3;
+  auto store = ShardedStore::Load(BaseGraph(), o);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(
+      (*store)->EnablePersistence("db", SyncEveryRecord(&env)).ok());
+  EXPECT_EQ((*store)->generation(), 1u);
+  ASSERT_TRUE((*store)->InsertBatch(MoreTriples("a", 9)).ok());
+  ASSERT_TRUE((*store)->Checkpoint().ok());
+  EXPECT_EQ((*store)->generation(), 2u);
+  const Rows before = AllTriples(**store);
+  ASSERT_TRUE((*store)->Close().ok());
+  store->reset();
+
+  auto reopened = ShardedStore::Open("db", SyncEveryRecord(&env));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_shards(), 3u);
+  // Recovery re-stamps: a new consistent generation past the manifest's.
+  EXPECT_EQ((*reopened)->generation(), 3u);
+  EXPECT_EQ(AllTriples(**reopened), before);
+}
+
+TEST(ShardTestRecovery, KillBetweenShardCheckpointsConverges) {
+  persist::MemEnv env;
+  ShardedStoreOptions o;
+  o.shards = 2;
+  auto store = ShardedStore::Load(BaseGraph(), o);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(
+      (*store)->EnablePersistence("db", SyncEveryRecord(&env)).ok());
+  ASSERT_TRUE((*store)->InsertBatch(MoreTriples("a", 8)).ok());
+  ASSERT_TRUE((*store)->Checkpoint().ok());  // generation 2, both shards
+  ASSERT_TRUE((*store)->InsertBatch(MoreTriples("b", 8)).ok());
+
+  // The torn multi-shard checkpoint: shard 0's checkpoint completes, the
+  // "crash" lands before shard 1's checkpoint and before the manifest
+  // stamp. Shards now sit at mixed snapshot generations; the manifest
+  // still says generation 2.
+  ASSERT_TRUE((*store)->shard(0)->Checkpoint().ok());
+  const Rows before = AllTriples(**store);
+  const uint64_t stale_gen = (*store)->generation();
+  EXPECT_EQ(stale_gen, 2u);
+  ASSERT_TRUE((*store)->Close().ok());
+  store->reset();
+
+  // Per-shard WAL recovery converges both shards onto the same logical
+  // commit point; the manifest re-stamps one consistent generation.
+  auto reopened = ShardedStore::Open("db", SyncEveryRecord(&env));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(AllTriples(**reopened), before);
+  EXPECT_EQ((*reopened)->generation(), stale_gen + 1);
+
+  // The recovered store keeps accepting routed writes.
+  ASSERT_TRUE((*reopened)->InsertBatch(MoreTriples("c", 4)).ok());
+  EXPECT_EQ(AllTriples(**reopened).size(), before.size() + 4);
+}
+
+TEST(ShardTestRecovery, TornShardSnapshotFallsBack) {
+  persist::MemEnv env;
+  ShardedStoreOptions o;
+  o.shards = 2;
+  auto store = ShardedStore::Load(BaseGraph(), o);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(
+      (*store)->EnablePersistence("db", SyncEveryRecord(&env)).ok());
+  ASSERT_TRUE((*store)->InsertBatch(MoreTriples("a", 8)).ok());
+  ASSERT_TRUE((*store)->Checkpoint().ok());
+  const Rows before = AllTriples(**store);
+  ASSERT_TRUE((*store)->Close().ok());
+  store->reset();
+
+  // Corrupt shard 1's newest snapshot (generation 2): its recovery must
+  // fall back to generation 1 + WAL replay, and the coordinator must still
+  // come up with the complete data set.
+  const std::string snap = persist::PersistenceManager::SnapshotPath(
+      ShardDirPath("db", 1), 2);
+  ASSERT_TRUE(env.FileExists(snap)) << snap;
+  std::string bytes = env.ReadFile(snap).value();
+  bytes[bytes.size() / 2] ^= 0x01;
+  env.SetFile(snap, bytes);
+
+  auto reopened = ShardedStore::Open("db", SyncEveryRecord(&env));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(AllTriples(**reopened), before);
+}
+
+TEST(ShardTestRecovery, MutationsRouteAndQueriesSeeThem) {
+  ShardedStoreOptions o;
+  o.shards = 4;
+  auto store = ShardedStore::Load(BaseGraph(), o);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const size_t base = AllTriples(**store).size();
+
+  ASSERT_TRUE((*store)->InsertBatch(MoreTriples("x", 16)).ok());
+  EXPECT_EQ((*store)->rows_routed(), 16u);
+  EXPECT_EQ(AllTriples(**store).size(), base + 16);
+
+  ASSERT_TRUE((*store)->Delete(
+      {Iri("x0"), Iri("hq"), Term::Literal("city0")}).ok());
+  EXPECT_EQ(AllTriples(**store).size(), base + 15);
+
+  // Immutable baselines refuse mutation, like their single-store twins.
+  ShardedStoreOptions t;
+  t.shards = 2;
+  t.backend = "triple";
+  auto frozen = ShardedStore::Load(BaseGraph(), t);
+  ASSERT_TRUE(frozen.ok());
+  auto st = (*frozen)->Insert({Iri("n"), Iri("p"), Term::Literal("v")});
+  EXPECT_TRUE(st.IsUnsupported()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace rdfrel::shard

@@ -1,0 +1,409 @@
+/// Unit tests for the sharding subsystem's building blocks: the subject
+/// partitioner, the coordinator manifest codec, query decomposition and
+/// round-trip re-serialization, the fragment-plan verifier's negative
+/// paths, and the coordinator-side binding algebra. Suites are prefixed
+/// ShardTest so `ctest -R ShardTest` runs exactly this layer.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "persist/env.h"
+#include "shard/binding_ops.h"
+#include "shard/fragment.h"
+#include "shard/fragment_verifier.h"
+#include "shard/manifest.h"
+#include "shard/partition.h"
+#include "sparql/parser.h"
+
+namespace rdfrel::shard {
+namespace {
+
+using rdf::Term;
+using store::Binding;
+using store::ResultSet;
+
+Term Iri(const std::string& s) { return Term::Iri("http://x/" + s); }
+
+// ------------------------------------------------------------- Partitioner
+
+TEST(ShardTestPartition, PlacementIsDeterministicAcrossInstances) {
+  Partitioner a(4, kDefaultPartitionSeed);
+  Partitioner b(4, kDefaultPartitionSeed);
+  for (int i = 0; i < 200; ++i) {
+    const Term s = Iri("subject" + std::to_string(i));
+    EXPECT_EQ(a.ShardOf(s), b.ShardOf(s));
+    EXPECT_LT(a.ShardOf(s), 4u);
+  }
+}
+
+TEST(ShardTestPartition, RoutesBySubjectOnly) {
+  Partitioner p(7, kDefaultPartitionSeed);
+  const Term s = Iri("ibm");
+  const uint32_t home = p.ShardOf(s);
+  for (int i = 0; i < 20; ++i) {
+    rdf::Triple t{s, Iri("p" + std::to_string(i)),
+                  Term::Literal("o" + std::to_string(i))};
+    EXPECT_EQ(p.ShardOfTriple(t), home);
+  }
+}
+
+TEST(ShardTestPartition, CoversEveryShard) {
+  Partitioner p(7, kDefaultPartitionSeed);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(p.ShardOf(Iri("s" + std::to_string(i))));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(ShardTestPartition, SeedChangesPlacement) {
+  Partitioner a(7, kDefaultPartitionSeed);
+  Partitioner b(7, kDefaultPartitionSeed + 1);
+  int moved = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Term s = Iri("s" + std::to_string(i));
+    if (a.ShardOf(s) != b.ShardOf(s)) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ShardTestPartition, SingleShardTakesEverything) {
+  Partitioner p(1, kDefaultPartitionSeed);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(p.ShardOf(Iri("s" + std::to_string(i))), 0u);
+  }
+}
+
+// ---------------------------------------------------------------- Manifest
+
+TEST(ShardTestManifest, RoundTrip) {
+  persist::MemEnv env;
+  Manifest m;
+  m.generation = 17;
+  m.shard_count = 4;
+  m.partition_seed = 0xABCDEF;
+  m.backend_kind = "db2rdf";
+  ASSERT_TRUE(env.CreateDirIfMissing("db").ok());
+  ASSERT_TRUE(WriteManifest(&env, "db", m).ok());
+
+  auto r = ReadManifest(&env, "db");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->generation, 17u);
+  EXPECT_EQ(r->shard_count, 4u);
+  EXPECT_EQ(r->partition_seed, 0xABCDEFu);
+  EXPECT_EQ(r->backend_kind, "db2rdf");
+}
+
+TEST(ShardTestManifest, DetectsEveryBitFlip) {
+  Manifest m;
+  m.generation = 3;
+  m.shard_count = 2;
+  m.partition_seed = kDefaultPartitionSeed;
+  m.backend_kind = "triple";
+  const std::string bytes = m.Encode();
+  ASSERT_TRUE(Manifest::Decode(bytes).ok());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string bad = bytes;
+    bad[i] ^= 0x01;
+    auto r = Manifest::Decode(bad);
+    EXPECT_FALSE(r.ok()) << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(ShardTestManifest, RejectsTruncation) {
+  Manifest m;
+  m.shard_count = 2;
+  m.backend_kind = "db2rdf";
+  const std::string bytes = m.Encode();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(Manifest::Decode(bytes.substr(0, cut)).ok())
+        << "truncation to " << cut << " bytes went undetected";
+  }
+  EXPECT_FALSE(Manifest::Decode(bytes + "x").ok()) << "trailing byte accepted";
+}
+
+TEST(ShardTestManifest, MissingFileIsAnError) {
+  persist::MemEnv env;
+  ASSERT_TRUE(env.CreateDirIfMissing("db").ok());
+  EXPECT_FALSE(ReadManifest(&env, "db").ok());
+}
+
+// --------------------------------------------- QueryToSparql / decompose
+
+/// parse -> serialize -> parse -> serialize must be a fixpoint, and both
+/// parses must agree on the pattern count and projection.
+void ExpectRoundTrips(const std::string& sparql) {
+  auto q1 = sparql::ParseQuery(sparql);
+  ASSERT_TRUE(q1.ok()) << sparql << ": " << q1.status().ToString();
+  const std::string text1 = QueryToSparql(*q1);
+  auto q2 = sparql::ParseQuery(text1);
+  ASSERT_TRUE(q2.ok()) << "re-parse failed for: " << text1 << "\n"
+                       << q2.status().ToString();
+  EXPECT_EQ(q1->num_triples, q2->num_triples) << text1;
+  EXPECT_EQ(q1->EffectiveSelectVars(), q2->EffectiveSelectVars()) << text1;
+  EXPECT_EQ(text1, QueryToSparql(*q2)) << "serialization is not a fixpoint";
+}
+
+TEST(ShardTestFragmentText, RoundTrips) {
+  ExpectRoundTrips("SELECT ?s WHERE { ?s <http://x/p> ?o }");
+  ExpectRoundTrips("SELECT * WHERE { ?s <http://x/p> ?o . ?s <http://x/q> ?v }");
+  ExpectRoundTrips(
+      "SELECT DISTINCT ?o WHERE { ?s <http://x/p> ?o FILTER(?o > 3) }");
+  ExpectRoundTrips(
+      "SELECT ?s ?o WHERE { { ?s <http://x/p> ?o } UNION "
+      "{ ?s <http://x/q> ?o } }");
+  ExpectRoundTrips(
+      "SELECT ?s ?n WHERE { ?s <http://x/p> ?o "
+      "OPTIONAL { ?s <http://x/name> ?n } }");
+  ExpectRoundTrips(
+      "SELECT ?p (COUNT(?s) AS ?c) WHERE { ?s <http://x/in> ?p } "
+      "GROUP BY ?p ORDER BY DESC(?c) LIMIT 5");
+  ExpectRoundTrips(
+      "SELECT ?s WHERE { ?s <http://x/p> ?o } ORDER BY ?s LIMIT 10 OFFSET 2");
+}
+
+Result<FragmentPlan> Decompose(const std::string& sparql) {
+  auto q = sparql::ParseQuery(sparql);
+  if (!q.ok()) return q.status();
+  return DecomposeQuery(std::move(*q), nullptr, nullptr);
+}
+
+TEST(ShardTestDecompose, SingleStarIsOneFragment) {
+  auto plan = Decompose(
+      "SELECT ?o ?v WHERE { ?s <http://x/p> ?o . ?s <http://x/q> ?v }");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->fragments.size(), 1u);
+  EXPECT_EQ(plan->fragments[0].patterns.size(), 2u);
+  EXPECT_FALSE(plan->fragments[0].routed);
+  EXPECT_EQ(plan->root->kind, CoordNodeKind::kScatter);
+  EXPECT_TRUE(VerifyFragmentPlan(*plan).ok())
+      << VerifyFragmentPlan(*plan).ToString();
+}
+
+TEST(ShardTestDecompose, TwoStarsJoinAtCoordinator) {
+  auto plan = Decompose(
+      "SELECT * WHERE { ?a <http://x/knows> ?b . ?b <http://x/name> ?n }");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->fragments.size(), 2u);
+  EXPECT_EQ(plan->root->kind, CoordNodeKind::kJoin);
+  EXPECT_EQ(plan->root->children.size(), 2u);
+  EXPECT_TRUE(VerifyFragmentPlan(*plan).ok())
+      << VerifyFragmentPlan(*plan).ToString();
+}
+
+TEST(ShardTestDecompose, ConstantSubjectIsRouted) {
+  auto plan =
+      Decompose("SELECT ?o WHERE { <http://x/ibm> <http://x/industry> ?o }");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->fragments.size(), 1u);
+  EXPECT_TRUE(plan->fragments[0].routed);
+  EXPECT_TRUE(VerifyFragmentPlan(*plan).ok());
+}
+
+TEST(ShardTestDecompose, SingleStarFilterIsPushedDown) {
+  auto plan = Decompose(
+      "SELECT ?o WHERE { ?s <http://x/p> ?o FILTER(?o > 3) }");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->fragments.size(), 1u);
+  EXPECT_EQ(plan->fragments[0].pushed_filters.size(), 1u);
+  EXPECT_NE(plan->fragments[0].sparql.find("FILTER"), std::string::npos)
+      << plan->fragments[0].sparql;
+  EXPECT_TRUE(VerifyFragmentPlan(*plan).ok())
+      << VerifyFragmentPlan(*plan).ToString();
+}
+
+TEST(ShardTestDecompose, CrossStarFilterStaysResidual) {
+  auto plan = Decompose(
+      "SELECT * WHERE { ?a <http://x/age> ?x . ?b <http://x/age> ?y "
+      "FILTER(?x > ?y) }");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->fragments.size(), 2u);
+  EXPECT_TRUE(plan->fragments[0].pushed_filters.empty());
+  EXPECT_TRUE(plan->fragments[1].pushed_filters.empty());
+  EXPECT_EQ(plan->root->kind, CoordNodeKind::kFilter);
+  EXPECT_TRUE(VerifyFragmentPlan(*plan).ok())
+      << VerifyFragmentPlan(*plan).ToString();
+}
+
+TEST(ShardTestDecompose, TransitivePathsAreUnsupported) {
+  auto plan = Decompose(
+      "SELECT ?o WHERE { <http://x/a> <http://x/knows>+ ?o }");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsUnsupported()) << plan.status().ToString();
+}
+
+// -------------------------------------------------------------- Verifier
+
+TEST(ShardTestVerifier, FlagsOutOfRangeFragmentIndex) {
+  auto plan = Decompose("SELECT ?o WHERE { ?s <http://x/p> ?o }");
+  ASSERT_TRUE(plan.ok());
+  plan->root->fragment = 99;
+  const Status st = VerifyFragmentPlan(*plan);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("shardplan"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(ShardTestVerifier, FlagsRoutedFlagMismatch) {
+  auto plan = Decompose("SELECT ?o WHERE { ?s <http://x/p> ?o }");
+  ASSERT_TRUE(plan.ok());
+  plan->fragments[0].routed = true;  // variable subject must not be routed
+  EXPECT_FALSE(VerifyFragmentPlan(*plan).ok());
+}
+
+TEST(ShardTestVerifier, FlagsDoubleCoverage) {
+  auto plan = Decompose(
+      "SELECT * WHERE { ?a <http://x/p> ?o . ?b <http://x/q> ?v }");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->fragments.size(), 2u);
+  // The same pattern now appears in both fragments.
+  plan->fragments[1].patterns = plan->fragments[0].patterns;
+  EXPECT_FALSE(VerifyFragmentPlan(*plan).ok());
+}
+
+TEST(ShardTestVerifier, FlagsTamperedFragmentText) {
+  auto plan = Decompose("SELECT ?o WHERE { ?s <http://x/p> ?o }");
+  ASSERT_TRUE(plan.ok());
+  plan->fragments[0].sparql = "SELECT ?o WHERE { ?s <http://x/p> ?o . "
+                              "?s <http://x/q> ?z }";
+  EXPECT_FALSE(VerifyFragmentPlan(*plan).ok());
+}
+
+TEST(ShardTestVerifier, FlagsVariableListMismatch) {
+  auto plan = Decompose("SELECT ?o WHERE { ?s <http://x/p> ?o }");
+  ASSERT_TRUE(plan.ok());
+  plan->fragments[0].vars = {"o", "s"};  // not first-occurrence order
+  EXPECT_FALSE(VerifyFragmentPlan(*plan).ok());
+}
+
+// ----------------------------------------------------------- Binding ops
+
+ResultSet Table(std::vector<std::string> vars,
+                std::vector<Binding> rows) {
+  ResultSet t;
+  t.vars = std::move(vars);
+  t.rows = std::move(rows);
+  return t;
+}
+
+std::optional<Term> L(const std::string& s) { return Term::Literal(s); }
+std::optional<Term> U() { return std::nullopt; }
+
+TEST(ShardTestBindingOps, JoinMatchesOnSharedVars) {
+  ResultSet left = Table({"a", "b"}, {{L("1"), L("x")}, {L("2"), L("y")}});
+  ResultSet right = Table({"b", "c"}, {{L("x"), L("c1")}, {L("z"), L("c2")}});
+  ResultSet out = JoinTables(std::move(left), std::move(right));
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.vars, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(out.rows[0], (Binding{L("1"), L("x"), L("c1")}));
+}
+
+TEST(ShardTestBindingOps, JoinTreatsUnboundAsCompatible) {
+  // SPARQL compatibility: an unbound shared var matches anything, and the
+  // merge coalesces the bound value in.
+  ResultSet left = Table({"a", "b"}, {{L("1"), U()}});
+  ResultSet right = Table({"b"}, {{L("x")}});
+  ResultSet out = JoinTables(std::move(left), std::move(right));
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.rows[0], (Binding{L("1"), L("x")}));
+}
+
+TEST(ShardTestBindingOps, JoinWithoutSharedVarsIsCartesian) {
+  ResultSet left = Table({"a"}, {{L("1")}, {L("2")}});
+  ResultSet right = Table({"b"}, {{L("x")}, {L("y")}});
+  ResultSet out = JoinTables(std::move(left), std::move(right));
+  EXPECT_EQ(out.rows.size(), 4u);
+}
+
+TEST(ShardTestBindingOps, LeftJoinPadsUnmatchedRows) {
+  ResultSet left = Table({"a"}, {{L("1")}, {L("2")}});
+  ResultSet right = Table({"a", "n"}, {{L("1"), L("one")}});
+  ResultSet out = LeftJoinTables(std::move(left), std::move(right));
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.vars, (std::vector<std::string>{"a", "n"}));
+  // One matched row, one padded row.
+  int padded = 0;
+  for (const auto& row : out.rows) {
+    if (!row[1].has_value()) ++padded;
+  }
+  EXPECT_EQ(padded, 1);
+}
+
+TEST(ShardTestBindingOps, UnionWidensVariableSets) {
+  ResultSet a = Table({"x"}, {{L("1")}});
+  ResultSet b = Table({"y"}, {{L("2")}});
+  std::vector<ResultSet> parts;
+  parts.push_back(std::move(a));
+  parts.push_back(std::move(b));
+  ResultSet out = UnionTables(std::move(parts));
+  EXPECT_EQ(out.vars, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.rows[0], (Binding{L("1"), U()}));
+  EXPECT_EQ(out.rows[1], (Binding{U(), L("2")}));
+}
+
+TEST(ShardTestBindingOps, CanonicalSortIsNumericAwareAndTotal) {
+  auto Num = [](const std::string& s) {
+    return std::optional<Term>(
+        Term::TypedLiteral(s, "http://www.w3.org/2001/XMLSchema#integer"));
+  };
+  ResultSet t = Table({"v"}, {{Num("10")}, {Num("2")}, {U()}, {L("abc")}});
+  std::vector<sparql::OrderCond> order{{"v", false}};
+  CanonicalSortRows(order, &t);
+  // Unbound first, then numerics by value, then non-numeric terms.
+  EXPECT_EQ(t.rows[0], (Binding{U()}));
+  EXPECT_EQ(t.rows[1], (Binding{Num("2")}));
+  EXPECT_EQ(t.rows[2], (Binding{Num("10")}));
+  EXPECT_EQ(t.rows[3], (Binding{L("abc")}));
+}
+
+TEST(ShardTestBindingOps, FinalizeAppliesDistinctSortAndLimit) {
+  auto q = sparql::ParseQuery(
+      "SELECT DISTINCT ?v WHERE { ?s <http://x/p> ?v } ORDER BY ?v LIMIT 2");
+  ASSERT_TRUE(q.ok());
+  ResultSet t = Table({"s", "v"}, {{L("s1"), L("b")},
+                                   {L("s2"), L("a")},
+                                   {L("s3"), L("b")},
+                                   {L("s4"), L("c")}});
+  auto out = FinalizeRows(*q, std::move(t));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->rows.size(), 2u);
+  EXPECT_EQ(out->rows[0], (Binding{L("a")}));
+  EXPECT_EQ(out->rows[1], (Binding{L("b")}));
+}
+
+TEST(ShardTestBindingOps, FinalizeCountsGroups) {
+  auto q = sparql::ParseQuery(
+      "SELECT ?g (COUNT(?v) AS ?c) WHERE { ?v <http://x/in> ?g } GROUP BY ?g");
+  ASSERT_TRUE(q.ok());
+  ResultSet t = Table({"v", "g"}, {{L("v1"), L("g1")},
+                                   {L("v2"), L("g1")},
+                                   {L("v3"), L("g2")}});
+  auto out = FinalizeRows(*q, std::move(t));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->rows.size(), 2u);
+  EXPECT_EQ(out->vars, (std::vector<std::string>{"g", "c"}));
+  // Canonical order: g1 before g2.
+  ASSERT_TRUE(out->rows[0][1].has_value());
+  EXPECT_EQ(out->rows[0][1]->lexical(), "2");
+  EXPECT_EQ(out->rows[1][1]->lexical(), "1");
+}
+
+TEST(ShardTestBindingOps, FinalizeGlobalCountOnEmptyInputIsZero) {
+  auto q = sparql::ParseQuery(
+      "SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }");
+  ASSERT_TRUE(q.ok());
+  ResultSet t = Table({"s", "o"}, {});
+  auto out = FinalizeRows(*q, std::move(t));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->rows.size(), 1u);
+  ASSERT_TRUE(out->rows[0][0].has_value());
+  EXPECT_EQ(out->rows[0][0]->lexical(), "0");
+}
+
+}  // namespace
+}  // namespace rdfrel::shard
